@@ -1,0 +1,229 @@
+(* tangramc: the command-line front end of the synthesis pipeline.
+
+   Sub-commands:
+
+   - [emit]     print the CUDA C source of a code version (the paper's
+                output path; compare Listings 1-4);
+   - [variants] run the Figure 5 pass pipeline on a codelet unit and list
+                (or print) the discovered codelet variants;
+   - [versions] enumerate the code-version search space and its census
+                (Section IV-B: 10 original -> 88 -> 30 after pruning);
+   - [check]    parse and semantically check a codelet source file. *)
+
+open Cmdliner
+
+let spectrum_arg =
+  let doc = "Codelet unit: the built-in 'sum', 'max', 'min' or 'int' spectrum." in
+  Arg.(
+    value
+    & opt (enum [ ("sum", `Sum); ("max", `Max); ("min", `Min); ("int", `Int) ]) `Sum
+    & info [ "spectrum" ] ~doc)
+
+let source_arg =
+  let doc = "Read the codelet unit from $(docv) instead of a built-in." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc ~docv:"FILE")
+
+let load_unit spectrum source =
+  match source with
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      Tangram.Check.check_unit (Tangram.Parser.parse_unit src)
+  | None -> (
+      match spectrum with
+      | `Sum -> Tangram.Builtins.sum_unit ()
+      | `Max -> Tangram.Builtins.max_unit ()
+      | `Min -> Tangram.Builtins.min_unit ()
+      | `Int -> Tangram.Builtins.int_sum_unit ())
+
+let handle_frontend_errors f =
+  try f () with
+  | Tangram.Lexer.Lex_error (pos, msg) ->
+      Printf.eprintf "lex error at %s: %s\n"
+        (Format.asprintf "%a" Tangram.Lexer.pp_pos pos) msg;
+      exit 1
+  | Tangram.Parser.Parse_error (pos, msg) ->
+      Printf.eprintf "parse error at %s: %s\n"
+        (Format.asprintf "%a" Tangram.Lexer.pp_pos pos) msg;
+      exit 1
+  | Tangram.Check.Check_error msg ->
+      Printf.eprintf "semantic error: %s\n" msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let version_arg =
+  let doc =
+    "Code version to emit: a Figure 6 label (a-p) or a full version name as \
+     printed by 'tangramc versions'."
+  in
+  Arg.(value & opt string "p" & info [ "code-version"; "v" ] ~doc ~docv:"VERSION")
+
+let sync_shuffles_arg =
+  let doc = "Emit CUDA 9+ __shfl_*_sync intrinsics instead of the legacy API." in
+  Arg.(value & flag & info [ "sync-shuffles" ] ~doc)
+
+let unroll_arg =
+  let doc = "Fully unroll constant-trip loops before emitting (future-work pass)." in
+  Arg.(value & flag & info [ "unroll" ] ~doc)
+
+let vectorize_arg =
+  let doc = "Vectorize unit-stride serial loads before emitting (CUB's optimization)." in
+  Arg.(value & flag & info [ "vectorize" ] ~doc)
+
+let target_arg =
+  let doc = "Output language: 'cuda' (default), 'ptx' or 'ir' (s-expression)." in
+  Arg.(
+    value
+    & opt (enum [ ("cuda", `Cuda); ("ptx", `Ptx); ("ir", `Ir) ]) `Cuda
+    & info [ "target"; "t" ] ~doc)
+
+let resolve_version (spec : string) : Tangram.Version.t =
+  if String.length spec = 1 then Tangram.Version.of_figure6 spec
+  else
+    match
+      List.find_opt
+        (fun v -> Tangram.Version.name v = spec)
+        (Tangram.all_versions ())
+    with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "unknown version %S (try 'tangramc versions')\n" spec;
+        exit 1
+
+let emit_cmd =
+  let run spectrum source version sync_shuffles unroll vectorize target =
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem =
+          if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32
+        in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let options =
+          { Tangram.Cuda.default_options with Tangram.Cuda.sync_shuffles } in
+        let program = Tangram.Planner.program plan (resolve_version version) in
+        let program =
+          if unroll then fst (Tangram.Unroll.program program) else program
+        in
+        let program =
+          if vectorize then fst (Tangram.Vectorize.program program) else program
+        in
+        match target with
+        | `Cuda -> print_string (Tangram.Cuda.emit_program ~options program)
+        | `Ptx -> print_string (Tangram.Ptx.emit_program program)
+        | `Ir ->
+            print_string (Tangram.Serialize.program_to_string program);
+            print_newline ())
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print the CUDA C or PTX source of a synthesized code version")
+    Term.(
+      const run $ spectrum_arg $ source_arg $ version_arg $ sync_shuffles_arg
+      $ unroll_arg $ vectorize_arg $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* variants                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_bodies_arg =
+  let doc = "Also print each variant's transformed codelet source." in
+  Arg.(value & flag & info [ "print" ; "p" ] ~doc)
+
+let variants_cmd =
+  let run spectrum source print_bodies =
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let variants = Tangram.Driver.all_variants unit_info in
+        List.iter
+          (fun (v : Tangram.Driver.variant) ->
+            Printf.printf "%-28s kind=%-11s features=[%s]\n" v.Tangram.Driver.v_name
+              (match v.v_kind with
+              | Tangram.Ast.Autonomous -> "autonomous"
+              | Tangram.Ast.Compound -> "compound"
+              | Tangram.Ast.Cooperative -> "cooperative")
+              (String.concat "; " (List.map Tangram.Driver.feature_name v.v_features));
+            if print_bodies then begin
+              print_endline (Tangram.Pp.codelet v.v_codelet);
+              print_newline ()
+            end)
+          variants)
+  in
+  Cmd.v
+    (Cmd.info "variants"
+       ~doc:"List the codelet variants produced by the AST passes (Figure 5)")
+    Term.(const run $ spectrum_arg $ source_arg $ print_bodies_arg)
+
+(* ------------------------------------------------------------------ *)
+(* versions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pruned_arg =
+  let doc = "Only list the 30 pruned survivors (Section IV-B)." in
+  Arg.(value & flag & info [ "pruned" ] ~doc)
+
+let versions_cmd =
+  let run pruned =
+    let versions =
+      if pruned then Tangram.pruned_versions () else Tangram.all_versions ()
+    in
+    List.iter
+      (fun v ->
+        let label =
+          match Tangram.Version.figure6_label v with
+          | Some l -> Printf.sprintf "fig6(%s) " l
+          | None -> ""
+        in
+        Printf.printf "%s%s\n" label (Tangram.Version.name v))
+      versions;
+    let c = Synthesis.Version.census () in
+    Printf.printf
+      "\ncensus: %d total | %d original | %d global-atomic-only | %d shared-atomic \
+       | %d shuffle | %d survive pruning\n"
+      c.Synthesis.Version.total c.original c.global_atomic_only c.shared_atomic
+      c.shuffle c.pruned_survivors
+  in
+  Cmd.v
+    (Cmd.info "versions" ~doc:"Enumerate the code-version search space")
+    Term.(const run $ pruned_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    handle_frontend_errors (fun () ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        let checked = Tangram.Check.check_unit (Tangram.Parser.parse_unit src) in
+        List.iter
+          (fun ((c : Tangram.Ast.codelet), (i : Tangram.Check.info)) ->
+            Printf.printf "%s%s: %s\n" c.Tangram.Ast.c_name
+              (match c.c_tag with Some t -> " [" ^ t ^ "]" | None -> "")
+              (match i.Tangram.Check.ci_kind with
+              | Tangram.Ast.Autonomous -> "atomic autonomous"
+              | Tangram.Ast.Compound -> "compound"
+              | Tangram.Ast.Cooperative -> "atomic cooperative"))
+          checked;
+        Printf.printf "%d codelet(s) OK\n" (List.length checked))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and semantically check a codelet source file")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "tangramc" ~version:"1.0.0"
+      ~doc:"Tangram-style kernel synthesis for GPU parallel reduction (CGO 2019)"
+  in
+  exit (Cmd.eval (Cmd.group info [ emit_cmd; variants_cmd; versions_cmd; check_cmd ]))

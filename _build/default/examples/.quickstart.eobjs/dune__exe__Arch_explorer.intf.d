@@ -1,0 +1,1 @@
+examples/arch_explorer.mli:

@@ -1,0 +1,1 @@
+examples/custom_spectrum.ml: Array Float List Passes Printf String Tangram

@@ -1,0 +1,1 @@
+examples/dot_product.ml: Array Float List Printf Tangram

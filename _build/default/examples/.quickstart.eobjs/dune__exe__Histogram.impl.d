@@ -1,0 +1,1 @@
+examples/histogram.ml: Array List Printf Tangram

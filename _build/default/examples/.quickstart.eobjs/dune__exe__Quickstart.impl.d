@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Printf String Tangram

@@ -1,0 +1,1 @@
+examples/scan.ml: Array List Printf String Tangram

@@ -1,0 +1,47 @@
+(* Architecture explorer: the performance-portability table.
+
+   Run with: dune exec examples/arch_explorer.exe
+
+   For every simulated architecture and input size, the library selects
+   the fastest synthesized code version out of the 30 pruned survivors —
+   the dynamic version selection the paper delegates to DySel [33]. The
+   point of the paper is visible directly in the table: the winning
+   version changes with both the architecture (shared-atomic support) and
+   the input size (latency- vs bandwidth-bound regimes), with no source
+   change whatsoever. *)
+
+let sizes = [ 256; 4096; 65536; 1_048_576; 16_777_216 ]
+
+(* the paper's three testbeds, plus Volta: a generation the paper never
+   saw, on which every synthesized version runs unchanged *)
+let architectures = Tangram.Arch.presets @ [ Tangram.Arch.volta_v100 ]
+
+let () =
+  let ctx = Tangram.create () in
+  Printf.printf "%-12s" "size";
+  List.iter
+    (fun a -> Printf.printf "%-26s" a.Tangram.Arch.generation)
+    architectures;
+  print_newline ();
+  List.iter
+    (fun n ->
+      Printf.printf "%-12d" n;
+      List.iter
+        (fun arch ->
+          let v, tunables = Tangram.select ctx ~arch ~n in
+          let label =
+            match Tangram.Version.figure6_label v with
+            | Some l -> Printf.sprintf "(%s)" l
+            | None -> "   "
+          in
+          let bsize = Option.value ~default:0 (List.assoc_opt "bsize" tunables) in
+          Printf.printf "%-26s"
+            (Printf.sprintf "%s %s bs=%d" label (Tangram.Version.name v) bsize))
+        architectures;
+      print_newline ())
+    sizes;
+  print_newline ();
+  print_endline
+    "Each cell is the fastest of the 30 synthesized versions for that\n\
+     architecture and size (Figure 6 labels in parentheses). The same\n\
+     high-level codelets produced every one of them."

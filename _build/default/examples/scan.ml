@@ -1,0 +1,28 @@
+(* Prefix sum: the paper's second motivating workload (Scan [14]).
+
+   Run with: dune exec examples/scan.exe
+
+   The scan kernels use Kogge-Stone steps built on the up-exchange warp
+   shuffle ([__shfl_up]) — the sibling of the down-exchange the reduction
+   pass emits — plus shared-memory warp totals; `lib/apps/scan.ml` has the
+   three-phase multi-block structure. *)
+
+let () =
+  let n = 1_000_000 in
+  let input = Array.init n (fun i -> float_of_int ((i mod 7) - 3)) in
+  let expected = Tangram.Scan.reference input in
+  List.iter
+    (fun arch ->
+      let o = Tangram.Scan.inclusive ~arch input in
+      let ok = o.Tangram.Scan.scanned = expected in
+      Printf.printf "%-10s inclusive scan of %d elements: %.2f us  %s\n"
+        arch.Tangram.Arch.generation n o.Tangram.Scan.time_us
+        (if ok then "OK" else "WRONG");
+      assert ok)
+    Tangram.Arch.presets;
+  (* exclusive scan drops the last element's contribution *)
+  let small = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+  let ex = Tangram.Scan.exclusive ~arch:Tangram.Arch.maxwell_gtx980 small in
+  Printf.printf "exclusive [3;1;4;1;5] = [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%g") ex.Tangram.Scan.scanned)))

@@ -1,0 +1,1 @@
+lib/apps/histogram.ml: Array Device_ir Gpusim Lazy

@@ -1,0 +1,1 @@
+lib/apps/scan.ml: Array Device_ir Gpusim Lazy List

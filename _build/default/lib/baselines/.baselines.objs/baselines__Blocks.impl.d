@@ -1,0 +1,1 @@
+lib/baselines/blocks.ml: Device_ir

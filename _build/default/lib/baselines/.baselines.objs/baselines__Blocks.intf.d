@@ -1,0 +1,1 @@
+lib/baselines/blocks.mli: Device_ir

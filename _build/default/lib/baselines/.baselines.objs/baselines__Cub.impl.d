@@ -1,0 +1,1 @@
+lib/baselines/cub.ml: Blocks Device_ir Gpusim Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/baselines/cub.mli: Device_ir Gpusim

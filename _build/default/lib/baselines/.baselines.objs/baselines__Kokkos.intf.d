@@ -1,0 +1,1 @@
+lib/baselines/kokkos.mli: Device_ir Gpusim

@@ -1,0 +1,1 @@
+lib/baselines/openmp.ml: Array Float Gpusim

@@ -1,0 +1,67 @@
+(* Shared device-IR building blocks for the hand-written baselines:
+   CUB-style block reduction (warp shuffle tree, per-warp partials in
+   shared memory, first-warp tree) and guarded serial accumulation. *)
+
+module Ir = Device_ir.Ir
+
+(** Warp-level shuffle reduction of register [acc]:
+    [for off = 16..1: acc += __shfl_down(acc, off)]. *)
+let warp_shfl_tree ~(fresh : string -> string) (acc : string) : Ir.stmt list =
+  let off = fresh "off" and t = fresh "shv" in
+  [
+    Ir.for_halving off ~from:(Ir.Int 16)
+      [
+        Ir.shfl_down t (Ir.Reg acc) (Ir.Reg off) ~width:32;
+        Ir.let_ acc Ir.(Reg acc +: Reg t);
+      ];
+  ]
+
+(** CUB-style BlockReduce over per-thread partials in [acc]: shuffle tree
+    per warp, lane-0 partials to shared memory, first warp reduces them.
+    After this, thread 0's [acc] holds the block total. Returns the
+    statements and the shared declaration it needs. *)
+let block_reduce ~(fresh : string -> string) (acc : string) :
+    Ir.stmt list * Ir.shared_decl =
+  let part = fresh "warp_part" in
+  let decl = { Ir.sh_name = part; sh_ty = Ir.F32; sh_size = Ir.Static_size 32 } in
+  let x = fresh "wp" in
+  let stmts =
+    [
+      Ir.if_
+        Ir.(tid <: Int 32)
+        [ Ir.store_shared part Ir.tid (Ir.Float 0.0) ]
+        [];
+      Ir.Sync;
+    ]
+    @ warp_shfl_tree ~fresh acc
+    @ [
+        Ir.if_ Ir.(lane_id =: Int 0) [ Ir.store_shared part Ir.warp_id (Ir.Reg acc) ] [];
+        Ir.Sync;
+        Ir.if_
+          Ir.(warp_id =: Int 0)
+          ([
+             Ir.let_ x (Ir.Float 0.0);
+             Ir.if_
+               Ir.(lane_id <: (bdim /: warp_size))
+               [ Ir.load_shared x part Ir.lane_id ]
+               [];
+             Ir.let_ acc (Ir.Reg x);
+           ]
+          @ warp_shfl_tree ~fresh acc)
+          [];
+      ]
+  in
+  (stmts, decl)
+
+(** Guarded scalar accumulation of [input_arr.(idx)] into [acc] when
+    [idx < bound]. *)
+let guarded_accum ~(fresh : string -> string) ~(arr : string) ~(bound : Ir.exp)
+    (acc : string) (idx : Ir.exp) : Ir.stmt list =
+  let i = fresh "gi" and x = fresh "x" in
+  [
+    Ir.let_ i idx;
+    Ir.if_
+      Ir.(Reg i <: bound)
+      [ Ir.load_global x arr (Ir.Reg i); Ir.let_ acc Ir.(Reg acc +: Reg x) ]
+      [];
+  ]

@@ -1,0 +1,1 @@
+lib/device_ir/analysis.pp.ml: Ir List Map Set String

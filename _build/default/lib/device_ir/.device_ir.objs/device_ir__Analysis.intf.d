@@ -1,0 +1,1 @@
+lib/device_ir/analysis.pp.mli: Ir Map Set

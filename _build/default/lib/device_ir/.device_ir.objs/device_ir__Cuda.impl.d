@@ -1,0 +1,1 @@
+lib/device_ir/cuda.pp.ml: Analysis Buffer Float Ir List Printf String

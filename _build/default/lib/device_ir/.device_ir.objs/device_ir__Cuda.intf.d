@@ -1,0 +1,1 @@
+lib/device_ir/cuda.pp.mli: Ir

@@ -1,0 +1,1 @@
+lib/device_ir/ir.pp.ml: Float List Ppx_deriving_runtime Printf

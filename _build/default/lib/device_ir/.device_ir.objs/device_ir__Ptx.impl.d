@@ -1,0 +1,1 @@
+lib/device_ir/ptx.pp.ml: Array Buffer Hashtbl Int32 Ir List Printf String

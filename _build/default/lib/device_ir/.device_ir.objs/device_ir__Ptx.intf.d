@@ -1,0 +1,1 @@
+lib/device_ir/ptx.pp.mli: Hashtbl Ir

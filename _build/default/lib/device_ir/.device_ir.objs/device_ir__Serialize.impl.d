@@ -1,0 +1,1 @@
+lib/device_ir/serialize.pp.ml: Buffer Ir List Printf String

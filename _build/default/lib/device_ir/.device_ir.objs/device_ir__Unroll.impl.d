@@ -1,0 +1,1 @@
+lib/device_ir/unroll.pp.ml: Ir List

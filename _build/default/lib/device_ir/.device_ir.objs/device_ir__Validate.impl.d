@@ -1,0 +1,1 @@
+lib/device_ir/validate.pp.ml: Analysis Ir List Printf Set String

@@ -1,0 +1,1 @@
+lib/device_ir/validate.pp.mli: Ir

@@ -1,0 +1,1 @@
+lib/device_ir/vectorize.pp.ml: Ir List Option Printf

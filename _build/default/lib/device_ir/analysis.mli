@@ -1,0 +1,66 @@
+(** Static analyses over the device IR: barrier placement, a
+    thread-divergence taint analysis, and def/use scans.
+
+    The divergence analysis classifies values and control-flow contexts on
+    a three-point lattice: block-uniform (identical across the block),
+    warp-uniform (identical within each warp, e.g. anything derived from
+    [Warp_id]), and divergent. Barriers require block-uniform control;
+    warp shuffles tolerate warp-uniform control. *)
+
+module SS : Set.S with type elt = string
+
+(** Whether a statement is (or contains) a [__syncthreads()]. The
+    simulator uses this to decide whether a statement must execute
+    block-wide. *)
+val contains_sync : Ir.stmt -> bool
+
+(** The divergence lattice, ordered [Block_uniform < Warp_uniform <
+    Divergent]. *)
+type level = Block_uniform | Warp_uniform | Divergent
+
+val join_level : level -> level -> level
+
+module SM : Map.S with type key = string
+
+(** Divergence level of an expression, given per-register levels (absent
+    registers are block-uniform). *)
+val exp_level : tainted:level SM.t -> Ir.exp -> level
+
+(** Boolean view of {!exp_level}: block-uniformity given a set of
+    divergent registers. *)
+val uniform_exp : tainted:SS.t -> Ir.exp -> bool
+
+(** Propagate divergence levels through a statement list: a register
+    assigned from an expression of level L under control of level C gets
+    [join L C]; registers loaded from memory are conservatively
+    divergent. *)
+val level_stmts : level SM.t -> Ir.stmt list -> level SM.t
+
+(** Set view of {!level_stmts}: the non-block-uniform registers. *)
+val taint_stmts : SS.t -> Ir.stmt list -> SS.t
+
+val exp_uses : Ir.exp -> SS.t
+val stmt_defs : Ir.stmt -> string list
+
+(** All registers defined anywhere in a statement list, including loop
+    iterators and nested definitions. *)
+val all_defs : Ir.stmt list -> SS.t
+
+(** All registers read anywhere in a statement list. *)
+val all_uses : Ir.stmt list -> SS.t
+
+(** Global / shared array names referenced by a statement list. *)
+val arrays_used : Ir.stmt list -> (string * Ir.space) list
+
+type stats = {
+  n_stmts : int;
+  n_shfl : int;
+  n_atomic_shared : int;
+  n_atomic_global : int;
+  n_sync : int;
+  n_loads : int;
+  n_stores : int;
+}
+
+(** Static instruction statistics of a kernel (tests and reports). *)
+val stats_of_kernel : Ir.kernel -> stats

@@ -1,0 +1,22 @@
+(** PTX back end: renders device-IR kernels as NVIDIA PTX virtual-ISA text
+    (three-address code over typed virtual registers, structured control
+    flow lowered to labels and predicated branches), targeted at sm_60.
+
+    Where {!Cuda} emits what Tangram feeds nvcc, this emits what nvcc's
+    front end would produce — useful for inspecting the instruction mix
+    (shuffles, atomics with scopes, barriers) the synthesis decided on. *)
+
+(** Register classes: 32-bit integer ([%r]), 32-bit float ([%f]) and
+    predicates ([%p]); addresses use a fourth, 64-bit class ([%rd]). *)
+type rty = S32 | F32 | Pred
+
+(** Infer each IR register's class (loads type their destination from the
+    array element type; comparisons produce predicates; floats are
+    sticky). *)
+val infer_types : Ir.kernel -> (string, rty) Hashtbl.t
+
+(** Render one kernel as a [.visible .entry]. *)
+val emit_kernel : Ir.kernel -> string
+
+(** Render a whole program's kernels as one PTX module. *)
+val emit_program : Ir.program -> string

@@ -1,0 +1,17 @@
+(** Loop unrolling — the advanced optimisation the paper defers to future
+    work (Section III-A).
+
+    Loops whose trip count is a compile-time constant (literal initialiser,
+    literal-bounded condition, literal affine/geometric step — the
+    tree-reduction loops the synthesis emits) are fully unrolled, removing
+    the per-iteration branch and iterator update. Loops whose bounds
+    involve kernel parameters are left alone. *)
+
+type report = { unrolled_loops : int; emitted_iterations : int }
+
+(** Unroll every constant-trip loop of the kernel (innermost first).
+    [max_trip] bounds the per-loop expansion (default 64). *)
+val kernel : ?max_trip:int -> Ir.kernel -> Ir.kernel * report
+
+(** Unroll every kernel of a program. *)
+val program : ?max_trip:int -> Ir.program -> Ir.program * report

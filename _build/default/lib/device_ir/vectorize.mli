@@ -1,0 +1,17 @@
+(** Load vectorization — the bandwidth optimisation the paper observes in
+    CUB but reports missing from Tangram (Section IV-C.1), supplied here as
+    a device-IR pass.
+
+    The canonical guarded serial-accumulation loop over a unit-stride
+    per-thread tile becomes a width-4 vector loop with a dynamically
+    guarded fast path (alignment + range) and a scalar tail. Loops whose
+    per-thread stride is not 1 are left alone. *)
+
+type report = { vectorized_loops : int }
+
+val width : int
+
+val kernel : Ir.kernel -> Ir.kernel * report
+
+(** Vectorize every kernel of a program. *)
+val program : Ir.program -> Ir.program * report

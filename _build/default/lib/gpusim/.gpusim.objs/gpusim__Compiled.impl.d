@@ -1,0 +1,1 @@
+lib/gpusim/compiled.ml: Array Device_ir Hashtbl List Printf

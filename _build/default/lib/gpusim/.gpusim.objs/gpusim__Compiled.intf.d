@@ -1,0 +1,1 @@
+lib/gpusim/compiled.mli: Device_ir

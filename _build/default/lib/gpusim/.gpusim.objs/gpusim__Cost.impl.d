@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Arch Events Format Interp List

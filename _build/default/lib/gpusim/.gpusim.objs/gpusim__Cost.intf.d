@@ -1,0 +1,1 @@
+lib/gpusim/cost.mli: Arch Format Interp

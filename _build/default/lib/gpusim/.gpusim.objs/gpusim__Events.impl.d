@@ -1,0 +1,1 @@
+lib/gpusim/events.ml: Float Format Hashtbl

@@ -1,0 +1,1 @@
+lib/gpusim/events.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/gpusim/interp.ml: Arch Array Compiled Device_ir Events Float List Printf Value

@@ -1,0 +1,1 @@
+lib/gpusim/interp.mli: Arch Compiled Device_ir Events Value

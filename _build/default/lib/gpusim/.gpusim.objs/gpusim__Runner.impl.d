@@ -1,0 +1,1 @@
+lib/gpusim/runner.ml: Arch Array Compiled Cost Device_ir Hashtbl Interp List Printf Value

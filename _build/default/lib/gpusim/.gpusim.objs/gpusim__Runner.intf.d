@@ -1,0 +1,1 @@
+lib/gpusim/runner.mli: Arch Compiled Cost Device_ir Interp

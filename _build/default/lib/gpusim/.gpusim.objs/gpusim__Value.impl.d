@@ -1,0 +1,1 @@
+lib/gpusim/value.ml: Device_ir Float Format Printf

@@ -1,0 +1,250 @@
+(* Simulated GPU architecture descriptors.
+
+   Each descriptor captures the microarchitectural properties the paper
+   identifies as decisive for reduction-version selection (Section II-A):
+
+   - how shared-memory atomics are implemented: a software
+     lock-update-unlock loop on Kepler (expensive under contention, causes
+     branch divergence, cf. the paper's analysis of version (p) vs (m)),
+     native units from Maxwell on;
+   - whether atomics have scopes (Pascal): block-scope atomics avoid
+     device-wide serialisation;
+   - L2-buffered global atomics (fast since Kepler);
+   - warp shuffle availability (Kepler on);
+   - clocks, SM counts, bandwidth, launch overheads — the quantities that
+     decide where the CPU/GPU and small/large-array crossovers fall.
+
+   Timing coefficients are calibration constants in the usual
+   simulator-building sense: the *model* (what gets charged where) is
+   first-principles; the coefficients are fitted so that published
+   behaviours are reproduced. Every coefficient is documented here. *)
+
+type shared_atomic_impl =
+  | Lock_update_unlock
+      (** pre-Maxwell: compiler-emitted lock loop; cost scales with the
+          number of same-address lanes and causes divergent branches *)
+  | Native  (** Maxwell+: dedicated shared-memory atomic units *)
+
+type t = {
+  name : string;
+  generation : string;  (** "Kepler" | "Maxwell" | "Pascal" | ... *)
+  sms : int;
+  clock_ghz : float;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_sm : int;  (** bytes *)
+  shared_mem_per_block : int;  (** bytes *)
+  dram_bw_gbs : float;  (** peak DRAM bandwidth, GB/s *)
+  scalar_stream_efficiency : float;
+      (** fraction of peak a scalar-load streaming kernel achieves; the
+          paper's profiling shows neither Tangram nor CUB saturates DRAM *)
+  vector_stream_efficiency : float;
+      (** same, with 128-bit vectorized loads (CUB's optimisation) *)
+  staged_stream_efficiency : float;
+      (** same, for L2-staged multi-kernel pipelines (Kokkos's strategy,
+          per the paper's §IV-C profiling: compute-bound main kernel) *)
+  launch_overhead_us : float;  (** per kernel launch *)
+  kernel_gap_us : float;
+      (** extra serialisation between dependent launches in one stream
+          (kernel completion, dependency resolution, relaunch) *)
+  init_overhead_us : float;
+      (** host-side cost of initialising one temporary buffer before the
+          first launch (a small [cudaMemset]) *)
+  issue_rate : float;  (** warp instructions / cycle / SM *)
+  (* Per-warp pipelined charge, in cycles, for one instruction of each
+     class appearing in a warp's dynamic instruction stream. These are
+     pipelined (throughput) costs, not raw latencies: independent global
+     loads overlap, so a streaming loop is charged far less than 400
+     cycles per load. *)
+  cyc_alu : float;
+  cyc_shared : float;  (** per conflict-free shared access *)
+  cyc_global : float;  (** per coalesced global transaction in the chain *)
+  cyc_shfl : float;
+  cyc_sync : float;
+  cyc_branch : float;
+  cyc_divergence : float;  (** extra charge per divergent branch *)
+  shared_atomic : shared_atomic_impl;
+  cyc_lock_iteration : float;
+      (** Kepler: cycles per lock-update-unlock round, i.e. per
+          same-address conflicting lane *)
+  cyc_shared_atomic : float;
+      (** Maxwell+: cycles per same-address conflicting lane at the
+          native shared atomic unit *)
+  global_atomic_ns : float;
+      (** device-wide serialisation per same-address global atomic at the
+          L2 atomic units *)
+  has_scoped_atomics : bool;
+  block_scope_discount : float;
+      (** multiplier (<1) on global-atomic costs when the op is
+          block-scoped, meaningful only when [has_scoped_atomics] *)
+  max_resident_warps_per_sm : int;
+}
+
+let kepler_k40c : t =
+  {
+    name = "Tesla K40c";
+    generation = "Kepler";
+    sms = 15;
+    clock_ghz = 0.745;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+    shared_mem_per_sm = 48 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    dram_bw_gbs = 288.0;
+    scalar_stream_efficiency = 0.42;
+    vector_stream_efficiency = 0.55;
+    staged_stream_efficiency = 0.93;
+    launch_overhead_us = 5.2;
+    kernel_gap_us = 9.0;
+    init_overhead_us = 1.8;
+    issue_rate = 4.0;
+    cyc_alu = 1.4;
+    cyc_shared = 4.0;
+    cyc_global = 14.0;
+    cyc_shfl = 2.5;
+    cyc_sync = 22.0;
+    cyc_branch = 1.5;
+    cyc_divergence = 14.0;
+    shared_atomic = Lock_update_unlock;
+    cyc_lock_iteration = 36.0;
+    cyc_shared_atomic = 0.0 (* unused on Kepler *);
+    global_atomic_ns = 4.2;
+    has_scoped_atomics = false;
+    block_scope_discount = 1.0;
+    max_resident_warps_per_sm = 64;
+  }
+
+let maxwell_gtx980 : t =
+  {
+    name = "GeForce GTX 980";
+    generation = "Maxwell";
+    sms = 16;
+    clock_ghz = 1.126;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    shared_mem_per_sm = 96 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    dram_bw_gbs = 224.0;
+    scalar_stream_efficiency = 0.52;
+    vector_stream_efficiency = 0.60;
+    staged_stream_efficiency = 0.95;
+    launch_overhead_us = 4.0;
+    kernel_gap_us = 7.5;
+    init_overhead_us = 1.5;
+    issue_rate = 4.0;
+    cyc_alu = 1.2;
+    cyc_shared = 3.2;
+    cyc_global = 12.0;
+    cyc_shfl = 2.2;
+    cyc_sync = 18.0;
+    cyc_branch = 1.3;
+    cyc_divergence = 12.0;
+    shared_atomic = Native;
+    cyc_lock_iteration = 0.0;
+    cyc_shared_atomic = 2.4;
+    global_atomic_ns = 2.8;
+    has_scoped_atomics = false;
+    block_scope_discount = 1.0;
+    max_resident_warps_per_sm = 64;
+  }
+
+let pascal_p100 : t =
+  {
+    name = "Tesla P100";
+    generation = "Pascal";
+    sms = 56;
+    clock_ghz = 1.328;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    shared_mem_per_sm = 64 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    dram_bw_gbs = 732.0;
+    scalar_stream_efficiency = 0.45;
+    vector_stream_efficiency = 0.60;
+    staged_stream_efficiency = 0.92;
+    launch_overhead_us = 3.2;
+    kernel_gap_us = 6.0;
+    init_overhead_us = 1.2;
+    issue_rate = 4.0;
+    cyc_alu = 1.1;
+    cyc_shared = 2.8;
+    cyc_global = 10.0;
+    cyc_shfl = 2.0;
+    cyc_sync = 15.0;
+    cyc_branch = 1.2;
+    cyc_divergence = 10.0;
+    shared_atomic = Native;
+    cyc_lock_iteration = 0.0;
+    cyc_shared_atomic = 1.8;
+    global_atomic_ns = 1.6;
+    has_scoped_atomics = true;
+    block_scope_discount = 0.45;
+    max_resident_warps_per_sm = 64;
+  }
+
+(* A forward-portability demonstration: a generation the paper did not
+   evaluate (it appeared the year before CGO 2019). Same model, newer
+   numbers; every synthesized version runs on it unchanged. *)
+let volta_v100 : t =
+  {
+    name = "Tesla V100";
+    generation = "Volta";
+    sms = 80;
+    clock_ghz = 1.53;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    shared_mem_per_sm = 96 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    dram_bw_gbs = 900.0;
+    scalar_stream_efficiency = 0.5;
+    vector_stream_efficiency = 0.65;
+    staged_stream_efficiency = 0.93;
+    launch_overhead_us = 2.8;
+    kernel_gap_us = 5.0;
+    init_overhead_us = 1.0;
+    issue_rate = 4.0;
+    cyc_alu = 1.0;
+    cyc_shared = 2.4;
+    cyc_global = 9.0;
+    cyc_shfl = 1.8;
+    cyc_sync = 12.0;
+    cyc_branch = 1.1;
+    cyc_divergence = 8.0;
+    shared_atomic = Native;
+    cyc_lock_iteration = 0.0;
+    cyc_shared_atomic = 1.5;
+    global_atomic_ns = 1.2;
+    has_scoped_atomics = true;
+    block_scope_discount = 0.4;
+    max_resident_warps_per_sm = 64;
+  }
+
+(* The paper's three testbeds; [volta_v100] is available separately for
+   forward-portability experiments. *)
+let presets = [ kepler_k40c; maxwell_gtx980; pascal_p100 ]
+
+let by_name (s : string) : t option =
+  let s = String.lowercase_ascii s in
+  List.find_opt
+    (fun a ->
+      String.lowercase_ascii a.generation = s
+      || String.lowercase_ascii a.name = s)
+    (presets @ [ volta_v100 ])
+
+let pp fmt (a : t) =
+  Format.fprintf fmt "%s (%s): %d SMs at %.3f GHz, %.0f GB/s, shared atomics %s%s"
+    a.name a.generation a.sms a.clock_ghz a.dram_bw_gbs
+    (match a.shared_atomic with
+    | Lock_update_unlock -> "lock-update-unlock"
+    | Native -> "native")
+    (if a.has_scoped_atomics then ", scoped atomics" else "")

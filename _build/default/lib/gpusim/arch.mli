@@ -1,0 +1,86 @@
+(** Simulated GPU architecture descriptors.
+
+    Each descriptor captures the microarchitectural properties the paper
+    identifies as decisive for reduction-version selection (Section II-A):
+    the shared-atomic implementation (software lock loop on Kepler vs
+    native units on Maxwell+), atomic scopes (Pascal), L2-buffered global
+    atomics, warp shuffles, and the clocks/bandwidth/launch overheads that
+    set the CPU/GPU and small/large-array crossovers.
+
+    Timing coefficients are calibration constants in the usual
+    simulator-building sense: the model (what gets charged where) is
+    first-principles; the coefficients are fitted so published behaviours
+    are reproduced. *)
+
+type shared_atomic_impl =
+  | Lock_update_unlock
+      (** pre-Maxwell: compiler-emitted lock loop; cost scales with the
+          number of same-address lanes and causes divergent branches *)
+  | Native  (** Maxwell+: dedicated shared-memory atomic units *)
+
+type t = {
+  name : string;
+  generation : string;  (** "Kepler" | "Maxwell" | "Pascal" | ... *)
+  sms : int;
+  clock_ghz : float;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_sm : int;  (** bytes *)
+  shared_mem_per_block : int;  (** bytes *)
+  dram_bw_gbs : float;  (** peak DRAM bandwidth, GB/s *)
+  scalar_stream_efficiency : float;
+      (** fraction of peak a scalar-load streaming kernel achieves *)
+  vector_stream_efficiency : float;
+      (** same, with 128-bit vectorized loads (CUB's optimisation) *)
+  staged_stream_efficiency : float;
+      (** same, for L2-staged multi-kernel pipelines (Kokkos's strategy) *)
+  launch_overhead_us : float;  (** per kernel launch *)
+  kernel_gap_us : float;
+      (** extra serialisation between dependent launches in one stream *)
+  init_overhead_us : float;
+      (** host-side cost of initialising one temporary buffer *)
+  issue_rate : float;  (** warp instructions / cycle / SM *)
+  cyc_alu : float;  (** pipelined per-warp charge per instruction class *)
+  cyc_shared : float;
+  cyc_global : float;
+  cyc_shfl : float;
+  cyc_sync : float;
+  cyc_branch : float;
+  cyc_divergence : float;
+  shared_atomic : shared_atomic_impl;
+  cyc_lock_iteration : float;
+      (** Kepler: cycles per lock-update-unlock round (per same-address
+          conflicting lane) *)
+  cyc_shared_atomic : float;
+      (** Maxwell+: cycles per conflicting lane at the native unit *)
+  global_atomic_ns : float;
+      (** device-wide serialisation per same-address global atomic *)
+  has_scoped_atomics : bool;
+  block_scope_discount : float;
+  max_resident_warps_per_sm : int;
+}
+
+(** NVIDIA Tesla K40c: the Kepler testbed (software shared atomics). *)
+val kepler_k40c : t
+
+(** NVIDIA GeForce GTX 980: the Maxwell testbed (native shared atomics). *)
+val maxwell_gtx980 : t
+
+(** NVIDIA Tesla P100: the Pascal testbed (native + scoped atomics). *)
+val pascal_p100 : t
+
+(** NVIDIA Tesla V100: a forward-portability demonstration — a generation
+    the paper did not evaluate; every synthesized version runs on it
+    unchanged. Not part of {!presets}. *)
+val volta_v100 : t
+
+(** The three paper testbeds, in generation order. *)
+val presets : t list
+
+(** Look a preset up by generation ("kepler") or full name ("Tesla K40c"),
+    case-insensitively. *)
+val by_name : string -> t option
+
+val pp : Format.formatter -> t -> unit

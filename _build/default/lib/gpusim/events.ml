@@ -1,0 +1,158 @@
+(* Event counters gathered by the SIMT interpreter during one kernel launch.
+
+   Counters are floats because sampled runs (see {!Interp.options}) scale
+   partially-observed sections by their replication factor. *)
+
+type t = {
+  mutable warp_insts : float;  (** total issued warp instructions *)
+  mutable alu_insts : float;
+  mutable gld_warp_ops : float;  (** warp-level global load instructions *)
+  mutable gld_trans : float;  (** 128-byte global load transactions *)
+  mutable gst_trans : float;
+  mutable bytes_dram : float;  (** DRAM traffic implied by the transactions *)
+  mutable shared_ops : float;
+  mutable shared_serial : float;
+      (** bank-conflict serialisation: sum over warp accesses of the
+          conflict degree (1 = conflict free) *)
+  mutable shfl_insts : float;
+  mutable syncs : float;
+  mutable branches : float;
+  mutable divergent_branches : float;
+  mutable atomic_global_ops : float;  (** lane-level global atomic operations *)
+  mutable atomic_global_trans : float;  (** distinct-address transactions *)
+  mutable atomic_shared_ops : float;
+  mutable atomic_shared_serial : float;
+      (** sum over warp atomics of the same-address conflict degree *)
+  mutable vec_load_ops : float;
+  (* Device-wide same-address pressure on the L2 atomic units. Keyed by
+     (buffer id, element index); the cost model uses the hottest address. *)
+  addr_heat : (int * int, float ref) Hashtbl.t;
+  mutable launched_blocks : int;
+  mutable simulated_blocks : int;
+}
+
+let create () : t =
+  {
+    warp_insts = 0.0;
+    alu_insts = 0.0;
+    gld_warp_ops = 0.0;
+    gld_trans = 0.0;
+    gst_trans = 0.0;
+    bytes_dram = 0.0;
+    shared_ops = 0.0;
+    shared_serial = 0.0;
+    shfl_insts = 0.0;
+    syncs = 0.0;
+    branches = 0.0;
+    divergent_branches = 0.0;
+    atomic_global_ops = 0.0;
+    atomic_global_trans = 0.0;
+    atomic_shared_ops = 0.0;
+    atomic_shared_serial = 0.0;
+    vec_load_ops = 0.0;
+    addr_heat = Hashtbl.create 64;
+    launched_blocks = 0;
+    simulated_blocks = 0;
+  }
+
+let heat (t : t) ~(buffer : int) ~(index : int) ~(by : float) : unit =
+  match Hashtbl.find_opt t.addr_heat (buffer, index) with
+  | Some r -> r := !r +. by
+  | None -> Hashtbl.add t.addr_heat (buffer, index) (ref by)
+
+let max_heat (t : t) : float =
+  Hashtbl.fold (fun _ r acc -> Float.max !r acc) t.addr_heat 0.0
+
+(** Snapshot of the scalar counters, used to scale a partially-executed
+    loop section by its replication factor. Address heat is scaled at
+    [scale_from] time via the per-key deltas, which would be expensive;
+    instead loops under sampling scale heat by applying [by] directly when
+    recording, so snapshots ignore [addr_heat]. *)
+type snapshot = {
+  s_warp_insts : float;
+  s_alu_insts : float;
+  s_gld_warp_ops : float;
+  s_gld_trans : float;
+  s_gst_trans : float;
+  s_bytes_dram : float;
+  s_shared_ops : float;
+  s_shared_serial : float;
+  s_shfl_insts : float;
+  s_syncs : float;
+  s_branches : float;
+  s_divergent_branches : float;
+  s_atomic_global_ops : float;
+  s_atomic_global_trans : float;
+  s_atomic_shared_ops : float;
+  s_atomic_shared_serial : float;
+  s_vec_load_ops : float;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    s_warp_insts = t.warp_insts;
+    s_alu_insts = t.alu_insts;
+    s_gld_warp_ops = t.gld_warp_ops;
+    s_gld_trans = t.gld_trans;
+    s_gst_trans = t.gst_trans;
+    s_bytes_dram = t.bytes_dram;
+    s_shared_ops = t.shared_ops;
+    s_shared_serial = t.shared_serial;
+    s_shfl_insts = t.shfl_insts;
+    s_syncs = t.syncs;
+    s_branches = t.branches;
+    s_divergent_branches = t.divergent_branches;
+    s_atomic_global_ops = t.atomic_global_ops;
+    s_atomic_global_trans = t.atomic_global_trans;
+    s_atomic_shared_ops = t.atomic_shared_ops;
+    s_atomic_shared_serial = t.atomic_shared_serial;
+    s_vec_load_ops = t.vec_load_ops;
+  }
+
+(** Scale everything recorded since [s] by [factor] (i.e. add
+    [(factor - 1) * delta] to each counter). *)
+let scale_from (t : t) (s : snapshot) ~(factor : float) : unit =
+  let f = factor -. 1.0 in
+  t.warp_insts <- t.warp_insts +. (f *. (t.warp_insts -. s.s_warp_insts));
+  t.alu_insts <- t.alu_insts +. (f *. (t.alu_insts -. s.s_alu_insts));
+  t.gld_warp_ops <- t.gld_warp_ops +. (f *. (t.gld_warp_ops -. s.s_gld_warp_ops));
+  t.gld_trans <- t.gld_trans +. (f *. (t.gld_trans -. s.s_gld_trans));
+  t.gst_trans <- t.gst_trans +. (f *. (t.gst_trans -. s.s_gst_trans));
+  t.bytes_dram <- t.bytes_dram +. (f *. (t.bytes_dram -. s.s_bytes_dram));
+  t.shared_ops <- t.shared_ops +. (f *. (t.shared_ops -. s.s_shared_ops));
+  t.shared_serial <- t.shared_serial +. (f *. (t.shared_serial -. s.s_shared_serial));
+  t.shfl_insts <- t.shfl_insts +. (f *. (t.shfl_insts -. s.s_shfl_insts));
+  t.syncs <- t.syncs +. (f *. (t.syncs -. s.s_syncs));
+  t.branches <- t.branches +. (f *. (t.branches -. s.s_branches));
+  t.divergent_branches <-
+    t.divergent_branches +. (f *. (t.divergent_branches -. s.s_divergent_branches));
+  t.atomic_global_ops <-
+    t.atomic_global_ops +. (f *. (t.atomic_global_ops -. s.s_atomic_global_ops));
+  t.atomic_global_trans <-
+    t.atomic_global_trans +. (f *. (t.atomic_global_trans -. s.s_atomic_global_trans));
+  t.atomic_shared_ops <-
+    t.atomic_shared_ops +. (f *. (t.atomic_shared_ops -. s.s_atomic_shared_ops));
+  t.atomic_shared_serial <-
+    t.atomic_shared_serial +. (f *. (t.atomic_shared_serial -. s.s_atomic_shared_serial));
+  t.vec_load_ops <- t.vec_load_ops +. (f *. (t.vec_load_ops -. s.s_vec_load_ops))
+
+(** Scale all counters (used to extrapolate from a sampled subset of blocks
+    to the whole grid). Address heat scales uniformly too. *)
+let scale_all (t : t) ~(factor : float) : unit =
+  let dummy = snapshot (create ()) in
+  scale_from t dummy ~factor;
+  Hashtbl.iter (fun _ r -> r := !r *. factor) t.addr_heat
+
+let pp fmt (t : t) =
+  Format.fprintf fmt
+    "@[<v>warp insts     %.0f@,alu            %.0f@,gld ops/trans  %.0f / %.0f@,\
+     gst trans      %.0f@,dram bytes     %.0f@,shared ops     %.0f (serial %.0f)@,\
+     shfl           %.0f@,syncs          %.0f@,branches       %.0f (divergent %.0f)@,\
+     atomics global %.0f ops / %.0f trans (max heat %.0f)@,\
+     atomics shared %.0f ops (serial %.0f)@,vec loads      %.0f@,\
+     blocks         %d launched / %d simulated@]"
+    t.warp_insts t.alu_insts t.gld_warp_ops t.gld_trans t.gst_trans t.bytes_dram
+    t.shared_ops t.shared_serial t.shfl_insts t.syncs t.branches
+    t.divergent_branches t.atomic_global_ops t.atomic_global_trans (max_heat t)
+    t.atomic_shared_ops t.atomic_shared_serial t.vec_load_ops t.launched_blocks
+    t.simulated_blocks

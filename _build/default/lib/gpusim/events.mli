@@ -1,0 +1,59 @@
+(** Event counters gathered by the SIMT interpreter during one kernel
+    launch.
+
+    Counters are floats because sampled runs (see {!Interp.options}) scale
+    partially-observed sections by their replication factor. *)
+
+type t = {
+  mutable warp_insts : float;  (** total issued warp instructions *)
+  mutable alu_insts : float;
+  mutable gld_warp_ops : float;  (** warp-level global load instructions *)
+  mutable gld_trans : float;  (** 128-byte global load transactions *)
+  mutable gst_trans : float;
+  mutable bytes_dram : float;  (** DRAM traffic implied by the transactions *)
+  mutable shared_ops : float;
+  mutable shared_serial : float;
+      (** bank-conflict serialisation: sum over warp accesses of the
+          conflict degree (1 = conflict free) *)
+  mutable shfl_insts : float;
+  mutable syncs : float;
+  mutable branches : float;
+  mutable divergent_branches : float;
+  mutable atomic_global_ops : float;  (** lane-level global atomic operations *)
+  mutable atomic_global_trans : float;  (** distinct-address transactions *)
+  mutable atomic_shared_ops : float;
+  mutable atomic_shared_serial : float;
+      (** sum over warp atomics of the same-address conflict degree *)
+  mutable vec_load_ops : float;
+  addr_heat : (int * int, float ref) Hashtbl.t;
+      (** device-wide same-address pressure on the L2 atomic units, keyed
+          by (buffer id, element index) *)
+  mutable launched_blocks : int;
+  mutable simulated_blocks : int;
+}
+
+val create : unit -> t
+
+(** Record [by] atomic operations against one global address. *)
+val heat : t -> buffer:int -> index:int -> by:float -> unit
+
+(** The hottest global-atomic address's operation count (the cost model's
+    device-wide serialisation term). *)
+val max_heat : t -> float
+
+(** Snapshot of the scalar counters, used to scale a partially-executed
+    loop section by its replication factor. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Scale everything recorded since [s] by [factor] (adds
+    [(factor - 1) * delta] to each scalar counter; address heat is not
+    affected). *)
+val scale_from : t -> snapshot -> factor:float -> unit
+
+(** Scale all counters, including address heat (extrapolation from a
+    sampled subset of blocks to the whole grid). *)
+val scale_all : t -> factor:float -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Program runner: executes a device-IR host program (buffers + launch
+    sequence) on a simulated architecture and aggregates per-launch costs
+    into a wall-clock estimate.
+
+    In {!Interp.exact} mode the returned [result] is the true value the
+    simulated kernels computed; in {!Interp.approximate} mode only
+    [time_us] is meaningful. *)
+
+type outcome = {
+  result : float;  (** element 0 of the program's result buffer *)
+  time_us : float;
+  exact : bool;  (** whether [result] is trustworthy (no sampling) *)
+  launch_costs : Cost.t list;
+  launch_results : Interp.launch_result list;
+}
+
+(** Program input: a dense array, or a synthetic buffer of logical size
+    [n] repeating [pattern] (power-of-two length) for paper-scale timing
+    runs. *)
+type input = Dense of float array | Synthetic of { n : int; pattern : float array }
+
+val input_size : input -> int
+
+type compiled_program = {
+  cp_program : Device_ir.Ir.program;
+  cp_kernels : (string * Compiled.t) list;
+}
+
+(** Validate (raising {!Device_ir.Validate.Invalid} on failure) and compile
+    all kernels once; the result can be run many times with different
+    inputs, tunables and architectures. *)
+val compile : Device_ir.Ir.program -> compiled_program
+
+(** First candidate of every tunable. *)
+val default_tunables : Device_ir.Ir.program -> (string * int) list
+
+val run_compiled :
+  ?opts:Interp.options ->
+  arch:Arch.t ->
+  ?tunables:(string * int) list ->
+  input:input ->
+  compiled_program ->
+  outcome
+
+(** One-shot convenience wrapper around {!compile} and {!run_compiled}. *)
+val run :
+  ?opts:Interp.options ->
+  arch:Arch.t ->
+  ?tunables:(string * int) list ->
+  input:input ->
+  Device_ir.Ir.program ->
+  outcome

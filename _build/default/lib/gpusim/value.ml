@@ -1,0 +1,113 @@
+(* Dynamic values manipulated by the SIMT interpreter.
+
+   The device IR is weakly typed (like PTX virtual registers); the
+   interpreter promotes operands dynamically: int op int = int (with 32-bit
+   wrap-around), any float operand promotes the operation to float,
+   comparisons yield booleans. *)
+
+type t = VI of int | VF of float | VB of bool
+
+let zero = VI 0
+
+(** Normalise to signed 32-bit two's-complement range, as CUDA [int]
+    arithmetic would. *)
+let norm32 (x : int) : int =
+  let y = x land 0xFFFFFFFF in
+  if y land 0x80000000 <> 0 then y - 0x100000000 else y
+
+let to_float = function
+  | VI i -> float_of_int i
+  | VF f -> f
+  | VB b -> if b then 1.0 else 0.0
+
+let to_int = function
+  | VI i -> i
+  | VF f -> norm32 (int_of_float f)
+  | VB b -> if b then 1 else 0
+
+let to_bool = function
+  | VB b -> b
+  | VI i -> i <> 0
+  | VF f -> f <> 0.0
+
+let of_float (ty : Device_ir.Ir.scalar) (f : float) : t =
+  match ty with
+  | Device_ir.Ir.F32 -> VF f
+  | Device_ir.Ir.I32 | Device_ir.Ir.U32 -> VI (norm32 (int_of_float f))
+  | Device_ir.Ir.Pred -> VB (f <> 0.0)
+
+let pp fmt = function
+  | VI i -> Format.fprintf fmt "%d" i
+  | VF f -> Format.fprintf fmt "%g" f
+  | VB b -> Format.fprintf fmt "%b" b
+
+let to_string v = Format.asprintf "%a" pp v
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+let int_binop (op : Device_ir.Ir.binop) (a : int) (b : int) : t =
+  let open Device_ir.Ir in
+  match op with
+  | Add -> VI (norm32 (a + b))
+  | Sub -> VI (norm32 (a - b))
+  | Mul -> VI (norm32 (a * b))
+  | Div -> if b = 0 then trap "integer division by zero" else VI (a / b)
+  | Rem -> if b = 0 then trap "integer remainder by zero" else VI (a mod b)
+  | Min -> VI (min a b)
+  | Max -> VI (max a b)
+  | And -> VI (norm32 (a land b))
+  | Or -> VI (norm32 (a lor b))
+  | Xor -> VI (norm32 (a lxor b))
+  | Shl -> VI (norm32 (a lsl (b land 31)))
+  | Shr -> VI (a asr (b land 31))
+  | Eq -> VB (a = b)
+  | Ne -> VB (a <> b)
+  | Lt -> VB (a < b)
+  | Le -> VB (a <= b)
+  | Gt -> VB (a > b)
+  | Ge -> VB (a >= b)
+  | Land -> VB (a <> 0 && b <> 0)
+  | Lor -> VB (a <> 0 || b <> 0)
+
+let float_binop (op : Device_ir.Ir.binop) (a : float) (b : float) : t =
+  let open Device_ir.Ir in
+  match op with
+  | Add -> VF (a +. b)
+  | Sub -> VF (a -. b)
+  | Mul -> VF (a *. b)
+  | Div -> VF (a /. b)
+  | Rem -> VF (Float.rem a b)
+  | Min -> VF (Float.min a b)
+  | Max -> VF (Float.max a b)
+  | And | Or | Xor | Shl | Shr -> trap "bitwise operation on float operands"
+  | Eq -> VB (a = b)
+  | Ne -> VB (a <> b)
+  | Lt -> VB (a < b)
+  | Le -> VB (a <= b)
+  | Gt -> VB (a > b)
+  | Ge -> VB (a >= b)
+  | Land -> VB (a <> 0.0 && b <> 0.0)
+  | Lor -> VB (a <> 0.0 || b <> 0.0)
+
+let binop (op : Device_ir.Ir.binop) (a : t) (b : t) : t =
+  match (a, b) with
+  | VI x, VI y -> int_binop op x y
+  | VB x, VB y -> (
+      let open Device_ir.Ir in
+      match op with
+      | Land -> VB (x && y)
+      | Lor -> VB (x || y)
+      | Eq -> VB (x = y)
+      | Ne -> VB (x <> y)
+      | _ -> int_binop op (if x then 1 else 0) (if y then 1 else 0))
+  | _ -> float_binop op (to_float a) (to_float b)
+
+let unop (op : Device_ir.Ir.unop) (a : t) : t =
+  let open Device_ir.Ir in
+  match (op, a) with
+  | Neg, VI i -> VI (norm32 (-i))
+  | Neg, v -> VF (-.to_float v)
+  | Bnot, v -> VI (norm32 (lnot (to_int v)))
+  | Lnot, v -> VB (not (to_bool v))

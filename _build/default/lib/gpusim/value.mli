@@ -1,0 +1,37 @@
+(** Dynamic values manipulated by the SIMT interpreter.
+
+    The device IR is weakly typed (like PTX virtual registers); the
+    interpreter promotes operands dynamically: int op int = int (with
+    32-bit wrap-around), any float operand promotes the operation to
+    float, comparisons yield booleans. *)
+
+type t = VI of int | VF of float | VB of bool
+
+(** The all-purpose initial register value (integer zero). *)
+val zero : t
+
+(** Normalise to the signed 32-bit two's-complement range, as CUDA [int]
+    arithmetic would. *)
+val norm32 : int -> int
+
+val to_float : t -> float
+val to_int : t -> int
+val to_bool : t -> bool
+
+(** Store a host float into a register of the given element type
+    (truncating/normalising for the integer types). *)
+val of_float : Device_ir.Ir.scalar -> float -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raised on dynamic type/arithmetic errors (division by zero, bitwise
+    operations on floats). The interpreter converts it into
+    {!Interp.Sim_error} with kernel context. *)
+exception Trap of string
+
+(** Apply a binary operator with dynamic promotion. *)
+val binop : Device_ir.Ir.binop -> t -> t -> t
+
+(** Apply a unary operator. *)
+val unop : Device_ir.Ir.unop -> t -> t

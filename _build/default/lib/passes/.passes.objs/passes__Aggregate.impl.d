@@ -1,0 +1,1 @@
+lib/passes/aggregate.ml: Ast Check List Printf Tir

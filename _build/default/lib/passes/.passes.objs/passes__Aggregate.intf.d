@@ -1,0 +1,1 @@
+lib/passes/aggregate.mli: Tir

@@ -1,0 +1,1 @@
+lib/passes/atomic_global.ml: Ast Check List Rewrite Tir

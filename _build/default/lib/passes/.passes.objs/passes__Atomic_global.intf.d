@@ -1,0 +1,1 @@
+lib/passes/atomic_global.mli: Tir

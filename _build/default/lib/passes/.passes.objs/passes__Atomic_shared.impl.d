@@ -1,0 +1,1 @@
+lib/passes/atomic_shared.ml: Ast Check List Printf Rewrite Tir

@@ -1,0 +1,1 @@
+lib/passes/atomic_shared.mli: Tir

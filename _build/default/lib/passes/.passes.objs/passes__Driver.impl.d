@@ -1,0 +1,1 @@
+lib/passes/driver.ml: Aggregate Ast Atomic_global Atomic_shared Check Fold List Printf Shuffle Tir

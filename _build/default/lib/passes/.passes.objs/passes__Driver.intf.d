@@ -1,0 +1,1 @@
+lib/passes/driver.mli: Aggregate Shuffle Tir

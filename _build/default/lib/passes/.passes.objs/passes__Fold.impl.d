@@ -1,0 +1,1 @@
+lib/passes/fold.ml: Ast List Option Tir

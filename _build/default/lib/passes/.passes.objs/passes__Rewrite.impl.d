@@ -1,0 +1,1 @@
+lib/passes/rewrite.ml: Ast List Tir

@@ -1,0 +1,1 @@
+lib/passes/rewrite.mli: Tir

@@ -1,0 +1,1 @@
+lib/passes/shuffle.ml: Ast Check List Rewrite Tir

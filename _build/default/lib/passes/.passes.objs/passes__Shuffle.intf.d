@@ -1,0 +1,1 @@
+lib/passes/shuffle.mli: Tir

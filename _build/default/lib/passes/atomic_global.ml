@@ -1,0 +1,122 @@
+(* Section III-A: atomic instructions on global memory via the Map API.
+
+   A compound codelet may carry both a non-atomic spectrum call and the
+   atomic Map API (Figure 1(b), lines 10-11):
+
+   {v
+     Map map(sum, partition(in, p, start, inc, end));
+     map.atomicAdd();      // atomic finish
+     return sum(map);      // non-atomic finish
+   v}
+
+   The two are mutually exclusive alternatives. This pass produces the two
+   code versions: the {b non-atomic} variant deletes the atomic API
+   statement; the {b atomic} variant verifies that the consuming spectrum
+   call computes the same reduction as the atomic API (by inferring the
+   spectrum's combining operation from its autonomous codelet) and then
+   disables the spectrum call. If the computations differ, the pass refuses
+   to build the atomic variant (the paper's pass leaves the spectrum call
+   enabled in that case). *)
+
+open Tir
+
+(** Infer the combining operation a spectrum performs by inspecting its
+    autonomous (scalar) codelet: an [accum += _] loop means addition, an
+    [accum -= _] subtraction, and the conditional-select idioms
+    [accum = x > accum ? x : accum] / [... < ...] mean max/min. *)
+let infer_spectrum_op (unit_info : (Ast.codelet * Check.info) list)
+    (spectrum : string) : Ast.atomic_kind option =
+  let scalar =
+    List.find_opt
+      (fun ((c : Ast.codelet), (i : Check.info)) ->
+        c.Ast.c_name = spectrum && i.Check.ci_kind = Ast.Autonomous)
+      unit_info
+  in
+  match scalar with
+  | None -> None
+  | Some (c, _) ->
+      (* The accumulation statement is the one that consumes an element of
+         the input container — this excludes loop-iterator updates such as
+         [i++], which are also compound assignments. *)
+      let containers =
+        List.filter_map
+          (fun (p : Ast.param) ->
+            match p.Ast.p_ty with Ast.TArray _ -> Some p.Ast.p_name | _ -> None)
+          c.Ast.c_params
+      in
+      let reads_container (e : Ast.expr) : bool =
+        let rec go (e : Ast.expr) =
+          match e with
+          | Ast.Index (Ast.Ident a, _) when List.mem a containers -> true
+          | Ast.Index (a, i) -> go a || go i
+          | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Ident _ -> false
+          | Ast.Binary (_, a, b) -> go a || go b
+          | Ast.Unary (_, a) -> go a
+          | Ast.Ternary (x, a, b) -> go x || go a || go b
+          | Ast.Call (_, args) | Ast.Method (_, _, args) -> List.exists go args
+        in
+        go e
+      in
+      let detect acc (s : Ast.stmt) =
+        match (acc, s) with
+        | Some _, _ -> acc
+        | None, Ast.Assign (Ast.L_var _, Ast.As_add, rhs) when reads_container rhs ->
+            Some Ast.At_add
+        | None, Ast.Assign (Ast.L_var _, Ast.As_sub, rhs) when reads_container rhs ->
+            Some Ast.At_sub
+        | ( None,
+            Ast.Assign
+              ( Ast.L_var a,
+                Ast.As_set,
+                Ast.Ternary (Ast.Binary (cmp, x, Ast.Ident a'), x', Ast.Ident a'') ) )
+          when a = a' && a = a'' && Ast.equal_expr x x' && reads_container x -> (
+            match cmp with
+            | Ast.Gt | Ast.Ge -> Some Ast.At_max
+            | Ast.Lt | Ast.Le -> Some Ast.At_min
+            | _ -> None)
+        | None, _ -> None
+      in
+      Rewrite.fold_stmts detect None c.Ast.c_body
+
+(** The non-atomic code version: remove every [m.atomicOp()] statement. *)
+let non_atomic_variant (c : Ast.codelet) : Ast.codelet =
+  let body =
+    Rewrite.rewrite_stmts
+      (fun s -> match s with Ast.Map_atomic _ -> None | s -> Some [ s ])
+      c.Ast.c_body
+  in
+  { c with Ast.c_body = body }
+
+(** The atomic code version: for every Map whose atomic API matches the
+    computation of the spectrum call consuming it, disable the spectrum
+    call ([return f(map)] becomes [return map], whose value is the
+    atomically-accumulated result). Returns [None] when no Map qualifies,
+    i.e. there is no atomic version of this codelet. *)
+let atomic_variant (unit_info : (Ast.codelet * Check.info) list)
+    ((c, info) : Ast.codelet * Check.info) : Ast.codelet option =
+  let qualifying_maps =
+    List.filter_map
+      (fun (name, (mb : Check.map_binding)) ->
+        match (mb.Check.mb_atomic, mb.Check.mb_consumer) with
+        | Some op, Some consumer -> (
+            (* same computation check: the consumer spectrum's combining
+               operation must equal the atomic API's operation *)
+            match infer_spectrum_op unit_info consumer with
+            | Some op' when op' = op -> Some name
+            | Some _ | None -> None)
+        | Some _, None -> Some name  (* atomic-only Map: already atomic *)
+        | None, _ -> None)
+      info.Check.ci_maps
+  in
+  if qualifying_maps = [] then None
+  else
+    let body =
+      Rewrite.rewrite_stmts
+        (fun s ->
+          match s with
+          | Ast.Return (Ast.Call (_, [ Ast.Ident m ])) when List.mem m qualifying_maps ->
+              Some [ Ast.Return (Ast.Ident m) ]
+          | s -> Some [ s ])
+        c.Ast.c_body
+    in
+    Some { c with Ast.c_body = body }

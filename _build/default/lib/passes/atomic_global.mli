@@ -1,0 +1,26 @@
+(** Section III-A: atomic instructions on global memory via the Map API.
+
+    A compound codelet may carry both a non-atomic spectrum call and the
+    atomic Map API (Figure 1(b)); the two are mutually exclusive
+    alternatives, and this pass produces the corresponding two code
+    versions. *)
+
+(** Infer the combining operation a spectrum performs from its autonomous
+    codelet: an [accum += in\[i\]] loop means addition, and the
+    conditional-select idioms mean max/min. Only assignments that consume
+    an element of the input container are considered (loop-iterator
+    updates are not). *)
+val infer_spectrum_op :
+  (Tir.Ast.codelet * Tir.Check.info) list -> string -> Tir.Ast.atomic_kind option
+
+(** The non-atomic code version: remove every [m.atomicOp()] statement. *)
+val non_atomic_variant : Tir.Ast.codelet -> Tir.Ast.codelet
+
+(** The atomic code version: for every Map whose atomic API provably
+    matches the computation of the spectrum call consuming it, disable the
+    spectrum call ([return f(map)] becomes [return map]). [None] when no
+    Map qualifies. *)
+val atomic_variant :
+  (Tir.Ast.codelet * Tir.Check.info) list ->
+  Tir.Ast.codelet * Tir.Check.info ->
+  Tir.Ast.codelet option

@@ -1,0 +1,61 @@
+(* Section III-B: atomic instructions on shared memory via array qualifiers.
+
+   Declarations such as [__shared _atomicAdd float partial;] mark a shared
+   variable as atomically updated. This pass finds every write to such a
+   variable and rewrites it into an explicit atomic operation
+   ({!Tir.Ast.Atomic_write}), which the lowering turns into
+   [atomicAdd(&partial, v)] on shared memory (Listing 3, line 27).
+
+   A plain write [partial = val] denotes accumulation with the qualifier's
+   operation (that is the paper's Figure 3 semantics: "all active lanes
+   update tmp atomically"); a compound write with the matching operator
+   ([partial += val] under [_atomicAdd]) is accepted too; a compound write
+   with a different operator is a semantic clash and raises. *)
+
+open Tir
+
+exception Mismatch of string
+
+let matching_assign (k : Ast.atomic_kind) (op : Ast.assign_op) : bool =
+  match (k, op) with
+  | _, Ast.As_set -> true
+  | Ast.At_add, Ast.As_add
+  | Ast.At_sub, Ast.As_sub
+  | Ast.At_min, Ast.As_min
+  | Ast.At_max, Ast.As_max ->
+      true
+  | _ -> false
+
+(** Rewrite all writes to atomic-qualified shared variables of [c] into
+    {!Tir.Ast.Atomic_write} statements. Returns the rewritten codelet and
+    the number of writes converted. *)
+let apply ((c, info) : Ast.codelet * Check.info) : Ast.codelet * int =
+  let atomics =
+    List.filter_map
+      (fun (name, _, _, q) -> match q with Some k -> Some (name, k) | None -> None)
+      info.Check.ci_shared
+  in
+  if atomics = [] then (c, 0)
+  else begin
+    let converted = ref 0 in
+    let body =
+      Rewrite.rewrite_stmts
+        (fun s ->
+          match s with
+          | Ast.Assign ((Ast.L_var x as lhs), op, v) -> (
+              match List.assoc_opt x atomics with
+              | Some k ->
+                  if not (matching_assign k op) then
+                    raise
+                      (Mismatch
+                         (Printf.sprintf
+                            "%s: write to %S clashes with its _%s qualifier"
+                            c.Ast.c_name x (Ast.atomic_kind_name k)));
+                  incr converted;
+                  Some [ Ast.Atomic_write { aw_lhs = lhs; aw_op = k; aw_v = v } ]
+              | None -> Some [ s ])
+          | s -> Some [ s ])
+        c.Ast.c_body
+    in
+    ({ c with Ast.c_body = body }, !converted)
+  end

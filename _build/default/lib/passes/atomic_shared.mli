@@ -1,0 +1,14 @@
+(** Section III-B: atomic instructions on shared memory via array
+    qualifiers.
+
+    Every write to a [__shared _atomicAdd]-style variable becomes an
+    explicit {!Tir.Ast.Atomic_write} (Listing 3's highlighted lines). A
+    plain write denotes accumulation with the qualifier's operation (the
+    paper's Figure 3 semantics); a compound write with a different
+    operator raises {!Mismatch}. *)
+
+exception Mismatch of string
+
+(** Rewrite the codelet; returns it with the number of writes converted
+    (0 = unchanged). *)
+val apply : Tir.Ast.codelet * Tir.Check.info -> Tir.Ast.codelet * int

@@ -1,0 +1,184 @@
+(* The Figure 5 pre-processing pipeline: planner output (here: a checked
+   unit) flows through general transformations (constant folding) and the
+   CUDA-specific passes (atomic instructions, warp shuffles); every time a
+   pass discovers a new code variant it is recorded, and the loop continues
+   until no new variants appear.
+
+   The driver's output is the per-codelet variant set the synthesis planner
+   composes into whole code versions:
+
+   - an autonomous codelet has exactly one variant;
+   - a compound codelet yields a non-atomic and (when the atomic Map API is
+     present and verified) an atomic variant (Section III-A);
+   - a cooperative codelet is first rewritten by the shared-atomic pass
+     (Section III-B, mandatory: qualified writes {i are} atomic), then the
+     shuffle pass (Section III-C) optionally contributes a second variant
+     per codelet. *)
+
+open Tir
+
+type feature =
+  | F_map_atomic  (** finishes with an atomic on global memory *)
+  | F_shared_atomic of int  (** number of shared-memory atomic writes *)
+  | F_shuffle of Shuffle.report
+  | F_aggregate of Aggregate.report
+      (** warp-aggregated atomics (the Section III-D future-work extension) *)
+
+let feature_name = function
+  | F_map_atomic -> "global-atomic"
+  | F_shared_atomic _ -> "shared-atomic"
+  | F_shuffle _ -> "shuffle"
+  | F_aggregate _ -> "warp-aggregated"
+
+type variant = {
+  v_name : string;  (** e.g. ["coop_tree+shfl"], ["compound_tiled(atomic)"] *)
+  v_spectrum : string;  (** the spectrum this variant's codelet implements *)
+  v_base_tag : string;
+  v_codelet : Ast.codelet;
+  v_kind : Ast.codelet_kind;
+  v_features : feature list;
+  v_pattern : Ast.access_pattern option;  (** compound codelets only *)
+}
+
+let has_shuffle (v : variant) =
+  List.exists (function F_shuffle _ -> true | _ -> false) v.v_features
+
+let has_shared_atomic (v : variant) =
+  List.exists (function F_shared_atomic _ -> true | _ -> false) v.v_features
+
+let has_map_atomic (v : variant) = List.mem F_map_atomic v.v_features
+
+let base_tag (c : Ast.codelet) : string =
+  match c.Ast.c_tag with Some t -> t | None -> c.Ast.c_name
+
+(** Expand one checked codelet into its code variants. [unit_info] is the
+    whole checked unit (needed by the atomic-Map same-computation check). *)
+let variants_of_codelet ~(unit_info : (Ast.codelet * Check.info) list)
+    ((c, info) : Ast.codelet * Check.info) : variant list =
+  let c = Fold.fold_codelet c in
+  let tag = base_tag c in
+  match info.Check.ci_kind with
+  | Ast.Autonomous ->
+      [
+        {
+          v_name = tag;
+          v_spectrum = c.Ast.c_name;
+          v_base_tag = tag;
+          v_codelet = c;
+          v_kind = Ast.Autonomous;
+          v_features = [];
+          v_pattern = None;
+        };
+      ]
+  | Ast.Compound ->
+      let pattern =
+        match info.Check.ci_maps with
+        | (_, mb) :: _ -> Some mb.Check.mb_pattern
+        | [] -> None
+      in
+      let non_atomic =
+        {
+          v_name = tag;
+          v_spectrum = c.Ast.c_name;
+          v_base_tag = tag;
+          v_codelet = Atomic_global.non_atomic_variant c;
+          v_kind = Ast.Compound;
+          v_features = [];
+          v_pattern = pattern;
+        }
+      in
+      let atomic =
+        match Atomic_global.atomic_variant unit_info (c, info) with
+        | Some c' ->
+            [
+              {
+                v_name = tag ^ "(atomic)";
+                v_spectrum = c.Ast.c_name;
+                v_base_tag = tag;
+                v_codelet = c';
+                v_kind = Ast.Compound;
+                v_features = [ F_map_atomic ];
+                v_pattern = pattern;
+              };
+            ]
+        | None -> []
+      in
+      non_atomic :: atomic
+  | Ast.Cooperative ->
+      let c', n_atomic = Atomic_shared.apply (c, info) in
+      let base_features = if n_atomic > 0 then [ F_shared_atomic n_atomic ] else [] in
+      let plain =
+        {
+          v_name = tag;
+          v_spectrum = c.Ast.c_name;
+          v_base_tag = tag;
+          v_codelet = c';
+          v_kind = Ast.Cooperative;
+          v_features = base_features;
+          v_pattern = None;
+        }
+      in
+      let shuffled =
+        match Shuffle.apply (c', info) with
+        | Some (c'', report) ->
+            [
+              {
+                v_name = tag ^ "+shfl";
+                v_spectrum = c.Ast.c_name;
+                v_base_tag = tag;
+                v_codelet = c'';
+                v_kind = Ast.Cooperative;
+                v_features = base_features @ [ F_shuffle report ];
+                v_pattern = None;
+              };
+            ]
+        | None -> []
+      in
+      let aggregated =
+        match Aggregate.apply (c', info) with
+        | Some (c'', report) ->
+            [
+              {
+                v_name = tag ^ "+agg";
+                v_spectrum = c.Ast.c_name;
+                v_base_tag = tag;
+                v_codelet = c'';
+                v_kind = Ast.Cooperative;
+                v_features = base_features @ [ F_aggregate report ];
+                v_pattern = None;
+              };
+            ]
+        | None -> []
+      in
+      (plain :: shuffled) @ aggregated
+
+(** All variants of a checked unit, in stable order. The driver iterates
+    like Figure 5: passes run until they stop producing new variants — with
+    the passes above a single round reaches the fixed point, which the
+    second round asserts. *)
+let all_variants (unit_info : (Ast.codelet * Check.info) list) : variant list =
+  let round () =
+    List.concat_map (variants_of_codelet ~unit_info) unit_info
+  in
+  let v1 = round () in
+  let v2 = round () in
+  assert (List.length v1 = List.length v2);
+  v1
+
+let find_variant (vs : variant list) ~(name : string) : variant =
+  match List.find_opt (fun v -> v.v_name = name) vs with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "no variant named %S" name)
+
+(** Spectrum-qualified lookup: units may define several spectra sharing
+    codelet tags (e.g. a leaf spectrum and the spectrum that combines its
+    partial results). *)
+let find_spectrum_variant (vs : variant list) ~(spectrum : string) ~(name : string) :
+    variant =
+  match
+    List.find_opt (fun v -> v.v_name = name && v.v_spectrum = spectrum) vs
+  with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "spectrum %S has no variant named %S" spectrum name)

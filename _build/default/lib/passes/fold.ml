@@ -1,0 +1,107 @@
+(* Constant folding: one of the "general transformations" in the paper's
+   Figure 5 pipeline (alongside the argument linker and index calculation,
+   which in this reproduction live in the lowering). Folding runs before
+   the CUDA-specific passes so that pattern matchers see normalised
+   expressions ([32 / 2] becomes [16], [x + 0] becomes [x], ...). *)
+
+open Tir
+
+let rec fold_expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Ident _ -> e
+  | Ast.Binary (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      | Ast.Add, Ast.Int_lit x, Ast.Int_lit y -> Ast.Int_lit (x + y)
+      | Ast.Sub, Ast.Int_lit x, Ast.Int_lit y -> Ast.Int_lit (x - y)
+      | Ast.Mul, Ast.Int_lit x, Ast.Int_lit y -> Ast.Int_lit (x * y)
+      | Ast.Div, Ast.Int_lit x, Ast.Int_lit y when y <> 0 -> Ast.Int_lit (x / y)
+      | Ast.Mod, Ast.Int_lit x, Ast.Int_lit y when y <> 0 -> Ast.Int_lit (x mod y)
+      | Ast.Add, Ast.Float_lit x, Ast.Float_lit y -> Ast.Float_lit (x +. y)
+      | Ast.Sub, Ast.Float_lit x, Ast.Float_lit y -> Ast.Float_lit (x -. y)
+      | Ast.Mul, Ast.Float_lit x, Ast.Float_lit y -> Ast.Float_lit (x *. y)
+      | Ast.Add, x, Ast.Int_lit 0 | Ast.Add, Ast.Int_lit 0, x -> x
+      | Ast.Sub, x, Ast.Int_lit 0 -> x
+      | Ast.Mul, x, Ast.Int_lit 1 | Ast.Mul, Ast.Int_lit 1, x -> x
+      | Ast.Mul, _, Ast.Int_lit 0 | Ast.Mul, Ast.Int_lit 0, _ -> Ast.Int_lit 0
+      | Ast.Div, x, Ast.Int_lit 1 -> x
+      | Ast.Lt, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x < y)
+      | Ast.Le, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x <= y)
+      | Ast.Gt, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x > y)
+      | Ast.Ge, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x >= y)
+      | Ast.Eq, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x = y)
+      | Ast.Ne, Ast.Int_lit x, Ast.Int_lit y -> Ast.Bool_lit (x <> y)
+      | Ast.And, Ast.Bool_lit x, Ast.Bool_lit y -> Ast.Bool_lit (x && y)
+      | Ast.Or, Ast.Bool_lit x, Ast.Bool_lit y -> Ast.Bool_lit (x || y)
+      | Ast.And, Ast.Bool_lit true, x | Ast.And, x, Ast.Bool_lit true -> x
+      | Ast.And, Ast.Bool_lit false, _ -> Ast.Bool_lit false
+      | Ast.Or, Ast.Bool_lit false, x | Ast.Or, x, Ast.Bool_lit false -> x
+      | Ast.Or, Ast.Bool_lit true, _ -> Ast.Bool_lit true
+      | _ -> Ast.Binary (op, a, b))
+  | Ast.Unary (op, a) -> (
+      let a = fold_expr a in
+      match (op, a) with
+      | Ast.Neg, Ast.Int_lit x -> Ast.Int_lit (-x)
+      | Ast.Neg, Ast.Float_lit x -> Ast.Float_lit (-.x)
+      | Ast.Not, Ast.Bool_lit b -> Ast.Bool_lit (not b)
+      | _ -> Ast.Unary (op, a))
+  | Ast.Ternary (c, a, b) -> (
+      match fold_expr c with
+      | Ast.Bool_lit true -> fold_expr a
+      | Ast.Bool_lit false -> fold_expr b
+      | c -> Ast.Ternary (c, fold_expr a, fold_expr b))
+  | Ast.Index (a, i) -> Ast.Index (fold_expr a, fold_expr i)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map fold_expr args)
+  | Ast.Method (r, m, args) -> Ast.Method (r, m, List.map fold_expr args)
+
+let fold_opt_stmt fold_stmt (s : Ast.stmt option) : Ast.stmt option =
+  Option.map fold_stmt s
+
+let rec fold_stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Decl { quals; d_ty; d_name; d_dims; d_init } ->
+      Ast.Decl
+        {
+          quals;
+          d_ty;
+          d_name;
+          d_dims = Option.map fold_expr d_dims;
+          d_init = Option.map fold_expr d_init;
+        }
+  | Ast.Assign (l, op, e) ->
+      let l =
+        match l with
+        | Ast.L_index (a, i) -> Ast.L_index (a, fold_expr i)
+        | Ast.L_var _ -> l
+      in
+      Ast.Assign (l, op, fold_expr e)
+  | Ast.If (c, t, e) -> (
+      match fold_expr c with
+      | c -> Ast.If (c, List.map fold_stmt t, List.map fold_stmt e))
+  | Ast.For { f_init; f_cond; f_update; f_body } ->
+      Ast.For
+        {
+          f_init = fold_opt_stmt fold_stmt f_init;
+          f_cond = fold_expr f_cond;
+          f_update = fold_opt_stmt fold_stmt f_update;
+          f_body = List.map fold_stmt f_body;
+        }
+  | Ast.Return e -> Ast.Return (fold_expr e)
+  | Ast.Expr_stmt e -> Ast.Expr_stmt (fold_expr e)
+  | Ast.Map_decl { m_name; m_func; m_part } ->
+      Ast.Map_decl
+        { m_name; m_func; m_part = { m_part with Ast.part_n = fold_expr m_part.Ast.part_n } }
+  | Ast.Shfl_write { sw_dst; sw_op; sw_v; sw_delta; sw_up } ->
+      Ast.Shfl_write
+        { sw_dst; sw_op; sw_v = fold_expr sw_v; sw_delta = fold_expr sw_delta; sw_up }
+  | Ast.Atomic_write { aw_lhs; aw_op; aw_v } ->
+      let aw_lhs =
+        match aw_lhs with
+        | Ast.L_index (a, i) -> Ast.L_index (a, fold_expr i)
+        | Ast.L_var _ -> aw_lhs
+      in
+      Ast.Atomic_write { aw_lhs; aw_op; aw_v = fold_expr aw_v }
+  | Ast.Vector_decl _ | Ast.Sequence_decl _ | Ast.Map_atomic _ -> s
+
+let fold_codelet (c : Ast.codelet) : Ast.codelet =
+  { c with Ast.c_body = List.map fold_stmt c.Ast.c_body }

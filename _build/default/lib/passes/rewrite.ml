@@ -1,0 +1,97 @@
+(* Generic AST traversal and rewriting helpers shared by the passes. *)
+
+open Tir
+
+(** Bottom-up statement rewriting: [f] sees each statement after its
+    children have been rewritten; returning [None] deletes the statement,
+    [Some ss] splices replacements in place. *)
+let rec rewrite_stmts (f : Ast.stmt -> Ast.stmt list option) (body : Ast.stmt list) :
+    Ast.stmt list =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      let s =
+        match s with
+        | Ast.If (c, t, e) -> Ast.If (c, rewrite_stmts f t, rewrite_stmts f e)
+        | Ast.For { f_init; f_cond; f_update; f_body } ->
+            Ast.For { f_init; f_cond; f_update; f_body = rewrite_stmts f f_body }
+        | Ast.Decl _ | Ast.Vector_decl _ | Ast.Sequence_decl _ | Ast.Map_decl _
+        | Ast.Map_atomic _ | Ast.Assign _ | Ast.Return _ | Ast.Expr_stmt _
+        | Ast.Shfl_write _ | Ast.Atomic_write _ ->
+            s
+      in
+      match f s with Some ss -> ss | None -> [])
+    body
+
+(** Fold over every statement (pre-order, including nested ones). *)
+let rec fold_stmts (f : 'a -> Ast.stmt -> 'a) (acc : 'a) (body : Ast.stmt list) : 'a =
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      let acc = f acc s in
+      match s with
+      | Ast.If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+      | Ast.For { f_init; f_update; f_body; _ } ->
+          let acc =
+            match f_init with Some s -> fold_stmts f acc [ s ] | None -> acc
+          in
+          let acc =
+            match f_update with Some s -> fold_stmts f acc [ s ] | None -> acc
+          in
+          fold_stmts f acc f_body
+      | Ast.Decl _ | Ast.Vector_decl _ | Ast.Sequence_decl _ | Ast.Map_decl _
+      | Ast.Map_atomic _ | Ast.Assign _ | Ast.Return _ | Ast.Expr_stmt _
+      | Ast.Shfl_write _ | Ast.Atomic_write _ ->
+          acc)
+    acc body
+
+(** Fold over every expression occurring in a statement list. *)
+let fold_exprs (f : 'a -> Ast.expr -> 'a) (acc : 'a) (body : Ast.stmt list) : 'a =
+  let rec fe acc (e : Ast.expr) =
+    let acc = f acc e in
+    match e with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Ident _ -> acc
+    | Ast.Binary (_, a, b) -> fe (fe acc a) b
+    | Ast.Unary (_, a) -> fe acc a
+    | Ast.Ternary (c, a, b) -> fe (fe (fe acc c) a) b
+    | Ast.Index (a, i) -> fe (fe acc a) i
+    | Ast.Call (_, args) | Ast.Method (_, _, args) -> List.fold_left fe acc args
+  in
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Ast.Decl { d_dims; d_init; _ } ->
+          let acc = match d_dims with Some e -> fe acc e | None -> acc in
+          (match d_init with Some e -> fe acc e | None -> acc)
+      | Ast.Map_decl { m_part = { part_n; _ }; _ } -> fe acc part_n
+      | Ast.Assign (l, _, e) ->
+          let acc = match l with Ast.L_index (_, i) -> fe acc i | Ast.L_var _ -> acc in
+          fe acc e
+      | Ast.If (c, _, _) -> fe acc c
+      | Ast.For { f_cond; _ } -> fe acc f_cond
+      | Ast.Return e | Ast.Expr_stmt e -> fe acc e
+      | Ast.Shfl_write { sw_v; sw_delta; _ } -> fe (fe acc sw_v) sw_delta
+      | Ast.Atomic_write { aw_lhs; aw_v; _ } ->
+          let acc =
+            match aw_lhs with Ast.L_index (_, i) -> fe acc i | Ast.L_var _ -> acc
+          in
+          fe acc aw_v
+      | Ast.Vector_decl _ | Ast.Sequence_decl _ | Ast.Map_atomic _ -> acc)
+    acc body
+
+(** Does any expression in [body] satisfy [p]? *)
+let exists_expr (p : Ast.expr -> bool) (body : Ast.stmt list) : bool =
+  fold_exprs (fun acc e -> acc || p e) false body
+
+(** Free occurrence check for an identifier in expression position. *)
+let expr_mentions (name : string) (e : Ast.expr) : bool =
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Ident x -> x = name
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> false
+    | Ast.Binary (_, a, b) -> go a || go b
+    | Ast.Unary (_, a) -> go a
+    | Ast.Ternary (c, a, b) -> go c || go a || go b
+    | Ast.Index (a, i) -> go a || go i
+    | Ast.Call (_, args) -> List.exists go args
+    | Ast.Method (recv, _, args) -> recv = name || List.exists go args
+  in
+  go e

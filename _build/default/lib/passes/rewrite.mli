@@ -1,0 +1,22 @@
+(** Generic AST traversal and rewriting helpers shared by the passes. *)
+
+(** Bottom-up statement rewriting: [f] sees each statement after its
+    children have been rewritten; returning [None] deletes the statement,
+    [Some ss] splices replacements in place. *)
+val rewrite_stmts :
+  (Tir.Ast.stmt -> Tir.Ast.stmt list option) -> Tir.Ast.stmt list -> Tir.Ast.stmt list
+
+(** Fold over every statement (pre-order, including nested and for-header
+    statements). *)
+val fold_stmts : ('a -> Tir.Ast.stmt -> 'a) -> 'a -> Tir.Ast.stmt list -> 'a
+
+(** Fold over every expression node occurring in a statement list (each
+    node visited exactly once, subexpressions included). *)
+val fold_exprs : ('a -> Tir.Ast.expr -> 'a) -> 'a -> Tir.Ast.stmt list -> 'a
+
+(** Does any expression node satisfy [p]? *)
+val exists_expr : (Tir.Ast.expr -> bool) -> Tir.Ast.stmt list -> bool
+
+(** Free occurrence of an identifier (as a variable or method receiver) in
+    an expression. *)
+val expr_mentions : string -> Tir.Ast.expr -> bool

@@ -1,0 +1,261 @@
+(* Section III-C: automatic detection of warp-shuffle opportunities.
+
+   Implements the algorithm of the paper's Figure 4. A [for] loop is
+   convertible to warp shuffles when:
+
+   (1) its bounds are based on a Vector primitive member function
+       (e.g. [offset = vthread.MaxSize() / 2]);
+   (2) its iterator decreases by a constant every iteration
+       ([offset /= 2] or [offset -= k]);
+   (3) its body reads a [__shared] array and reduces the value into a
+       local accumulator;
+   (4) the shared-array read index is a function of [Vector.ThreadId()]
+       and the loop iterator;
+   (5, 6) the accumulator is written back to the same shared array;
+   (7) at an index that is a function of [ThreadId()] only.
+
+   A matching loop's body is replaced by a single shuffle statement
+   ([val += __shfl_down(val, offset)] — down-exchange because the iterator
+   moves in the negative direction; an increasing iterator would produce an
+   up-exchange). Afterwards, shared arrays left without any reads are dead
+   — their contents "come directly from the input array" — and are removed
+   together with the stores that fed them (the paper's producer-consumer
+   analysis: in Figure 1(c), [tmp] is disabled but [partial] survives
+   because the second stage still reads it). *)
+
+open Tir
+
+type report = {
+  converted_loops : int;
+  removed_arrays : string list;
+}
+
+(* -------------------------------------------------------------- *)
+(* Pattern pieces                                                  *)
+(* -------------------------------------------------------------- *)
+
+let mentions_vector_member (vec : string) (members : string list) (e : Ast.expr) :
+    bool =
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Method (recv, m, _) -> recv = vec && List.mem m members
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Ident _ -> false
+    | Ast.Binary (_, a, b) -> go a || go b
+    | Ast.Unary (_, a) -> go a
+    | Ast.Ternary (c, a, b) -> go c || go a || go b
+    | Ast.Index (a, i) -> go a || go i
+    | Ast.Call (_, args) -> List.exists go args
+  in
+  go e
+
+(* step (1): the loop initialiser derives from Vector MaxSize()/Size() *)
+let bound_is_vector_based (vec : string) (init : Ast.expr) : bool =
+  mentions_vector_member vec [ "MaxSize"; "Size" ] init
+
+(* step (2): iterator strictly decreases by a constant every iteration *)
+let decreasing_update (iterator : string) (u : Ast.stmt option) : bool =
+  match u with
+  | Some (Ast.Assign (Ast.L_var v, Ast.As_div, Ast.Int_lit k)) -> v = iterator && k >= 2
+  | Some (Ast.Assign (Ast.L_var v, Ast.As_sub, Ast.Int_lit k)) -> v = iterator && k >= 1
+  | Some
+      (Ast.Assign (Ast.L_var v, Ast.As_set, Ast.Binary (Ast.Div, Ast.Ident v', Ast.Int_lit k)))
+    ->
+      v = iterator && v' = iterator && k >= 2
+  | _ -> false
+
+(* all reads [arr[idx]] of shared arrays in a statement list; collected at
+   [Index] nodes, which {!Rewrite.fold_exprs} visits exactly once each *)
+let shared_reads (shared : string list) (body : Ast.stmt list) :
+    (string * Ast.expr) list =
+  Rewrite.fold_exprs
+    (fun acc e ->
+      match e with
+      | Ast.Index (Ast.Ident a, i) when List.mem a shared -> (a, i) :: acc
+      | _ -> acc)
+    [] body
+
+(* index shape checks for steps (4) and (7) *)
+let mentions_thread_id (vec : string) (e : Ast.expr) : bool =
+  mentions_vector_member vec [ "ThreadId" ] e
+
+(* The combining operation performed on the accumulator: addition
+   ([acc += ...]) or the min/max conditional-select idiom. *)
+let combine_op_of (acc_name : string) (s : Ast.stmt) : Ast.assign_op option =
+  match s with
+  | Ast.Assign (Ast.L_var a, Ast.As_add, _) when a = acc_name -> Some Ast.As_add
+  | Ast.Assign
+      ( Ast.L_var a,
+        Ast.As_set,
+        Ast.Ternary (Ast.Binary (cmp, _, Ast.Ident a'), _, Ast.Ident a'') )
+    when a = acc_name && a' = acc_name && a'' = acc_name -> (
+      match cmp with
+      | Ast.Gt | Ast.Ge -> Some Ast.As_max
+      | Ast.Lt | Ast.Le -> Some Ast.As_min
+      | _ -> None)
+  | _ -> None
+
+(* -------------------------------------------------------------- *)
+(* Loop matching                                                   *)
+(* -------------------------------------------------------------- *)
+
+type match_ = {
+  m_acc : string;  (** local accumulator register *)
+  m_iterator : string;
+  m_array : string;  (** the shared array the loop reduces through *)
+  m_op : Ast.assign_op;
+}
+
+(** Try to match one [for] loop against the Figure 4 pattern. *)
+let match_loop ~(vec : string) ~(shared_arrays : string list)
+    (f_init : Ast.stmt option) (f_update : Ast.stmt option)
+    (f_body : Ast.stmt list) : match_ option =
+  (* header: iterator, vector-based bound, decreasing step *)
+  let header =
+    match f_init with
+    | Some (Ast.Decl { d_name; d_init = Some init; _ }) when bound_is_vector_based vec init
+      ->
+        Some d_name
+    | Some (Ast.Assign (Ast.L_var v, Ast.As_set, init)) when bound_is_vector_based vec init
+      ->
+        Some v
+    | _ -> None
+  in
+  match header with
+  | None -> None
+  | Some iterator when not (decreasing_update iterator f_update) -> ignore iterator; None
+  | Some iterator -> (
+      (* body: last statement stores the accumulator back into the shared
+         array at a ThreadId-only index (steps 5-7) *)
+      match List.rev f_body with
+      | Ast.Assign (Ast.L_index (arr, store_idx), Ast.As_set, Ast.Ident acc) :: _rest
+        when List.mem arr shared_arrays
+             && mentions_thread_id vec store_idx
+             && not (Rewrite.expr_mentions iterator store_idx) ->
+          (* step (3)-(4): exactly one read of the same shared array, at an
+             index that involves ThreadId and the iterator *)
+          let reads =
+            List.filter (fun (a, _) -> a = arr) (shared_reads shared_arrays f_body)
+          in
+          (match reads with
+          | [ (_, read_idx) ]
+            when mentions_thread_id vec read_idx
+                 && Rewrite.expr_mentions iterator read_idx ->
+              (* the statement combining into the accumulator determines the
+                 shuffle's reduction operation *)
+              let op =
+                List.fold_left
+                  (fun found s ->
+                    match found with
+                    | Some _ -> found
+                    | None -> combine_op_of acc s)
+                  None f_body
+              in
+              (match op with
+              | Some m_op -> Some { m_acc = acc; m_iterator = iterator; m_array = arr; m_op }
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+
+(* -------------------------------------------------------------- *)
+(* Dead shared-array elimination (producer-consumer analysis)      *)
+(* -------------------------------------------------------------- *)
+
+let array_is_read (name : string) (body : Ast.stmt list) : bool =
+  Rewrite.exists_expr
+    (fun e -> match e with Ast.Index (Ast.Ident a, _) -> a = name | _ -> false)
+    body
+
+let remove_dead_shared (c : Ast.codelet) : Ast.codelet * string list =
+  let removed = ref [] in
+  let rec cleanup (c : Ast.codelet) =
+    let dead =
+      List.filter_map
+        (fun (s : Ast.stmt) ->
+          match s with
+          | Ast.Decl { quals; d_name; d_dims = Some _; _ }
+            when List.mem Ast.Q_shared quals && not (array_is_read d_name c.Ast.c_body)
+            ->
+              Some d_name
+          | _ -> None)
+        c.Ast.c_body
+    in
+    match dead with
+    | [] -> c
+    | _ ->
+        removed := dead @ !removed;
+        let body =
+          Rewrite.rewrite_stmts
+            (fun s ->
+              match s with
+              | Ast.Decl { quals; d_name; d_dims = Some _; _ }
+                when List.mem Ast.Q_shared quals && List.mem d_name dead ->
+                  None
+              | Ast.Assign (Ast.L_index (a, _), _, _) when List.mem a dead -> None
+              | Ast.Atomic_write { aw_lhs = Ast.L_index (a, _); _ } when List.mem a dead
+                ->
+                  None
+              | s -> Some [ s ])
+            c.Ast.c_body
+        in
+        cleanup { c with Ast.c_body = body }
+  in
+  let c = cleanup c in
+  (c, List.sort_uniq compare !removed)
+
+(* -------------------------------------------------------------- *)
+(* The pass                                                        *)
+(* -------------------------------------------------------------- *)
+
+(** Convert every matching loop of [c] to warp shuffles and eliminate
+    shared arrays that became write-only. Returns [None] when no loop
+    matches (there is then no shuffle variant of this codelet). *)
+let apply ((c, info) : Ast.codelet * Check.info) : (Ast.codelet * report) option =
+  match info.Check.ci_vector with
+  | None -> None
+  | Some vec ->
+      let shared_arrays =
+        List.filter_map
+          (fun (name, _, is_array, _) -> if is_array then Some name else None)
+          info.Check.ci_shared
+      in
+      if shared_arrays = [] then None
+      else begin
+        let converted = ref 0 in
+        let body =
+          Rewrite.rewrite_stmts
+            (fun s ->
+              match s with
+              | Ast.For { f_init; f_cond; f_update; f_body } -> (
+                  match match_loop ~vec ~shared_arrays f_init f_update f_body with
+                  | Some m ->
+                      incr converted;
+                      Some
+                        [
+                          Ast.For
+                            {
+                              f_init;
+                              f_cond;
+                              f_update;
+                              f_body =
+                                [
+                                  Ast.Shfl_write
+                                    {
+                                      sw_dst = m.m_acc;
+                                      sw_op = m.m_op;
+                                      sw_v = Ast.Ident m.m_acc;
+                                      sw_delta = Ast.Ident m.m_iterator;
+                                      sw_up = false;
+                                    };
+                                ];
+                            };
+                        ]
+                  | None -> Some [ s ])
+              | s -> Some [ s ])
+            c.Ast.c_body
+        in
+        if !converted = 0 then None
+        else begin
+          let c', removed = remove_dead_shared { c with Ast.c_body = body } in
+          Some (c', { converted_loops = !converted; removed_arrays = removed })
+        end
+      end

@@ -1,0 +1,21 @@
+(** Section III-C: automatic detection of warp-shuffle opportunities —
+    the algorithm of the paper's Figure 4.
+
+    A [for] loop converts when (1) its bounds derive from a Vector member,
+    (2) its iterator decreases by a constant each iteration, (3) its body
+    reads one [__shared] array and reduces into a local accumulator, (4)
+    at an index involving [ThreadId()] and the iterator, and (5-7) writes
+    the accumulator back to the same array at a [ThreadId()]-only index.
+    The body becomes a single shuffle statement; shared arrays left
+    without reads are removed together with their stores (the paper's
+    producer-consumer analysis: [tmp] dies, [partial] survives). *)
+
+type report = {
+  converted_loops : int;
+  removed_arrays : string list;
+}
+
+(** Convert every matching loop; [None] when no loop matches (there is
+    then no shuffle variant of this codelet). *)
+val apply :
+  Tir.Ast.codelet * Tir.Check.info -> (Tir.Ast.codelet * report) option

@@ -1,0 +1,1 @@
+lib/synthesis/compose.ml: Array Ast Device_ir List Lower Option Passes Printf Tir Version

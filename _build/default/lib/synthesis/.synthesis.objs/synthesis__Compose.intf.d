@@ -1,0 +1,1 @@
+lib/synthesis/compose.mli: Device_ir Passes Tir Version

@@ -1,0 +1,1 @@
+lib/synthesis/lower.ml: Ast Device_ir Hashtbl List Passes Printf Tir

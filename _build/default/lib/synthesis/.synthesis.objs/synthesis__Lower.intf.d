@@ -1,0 +1,1 @@
+lib/synthesis/lower.mli: Device_ir Passes Tir

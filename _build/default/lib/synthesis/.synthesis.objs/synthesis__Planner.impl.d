@@ -1,0 +1,1 @@
+lib/synthesis/planner.ml: Array Ast Builtins Check Compose Device_ir Gpusim Hashtbl List Lower Passes Printf String Tir Version

@@ -1,0 +1,1 @@
+lib/synthesis/planner.mli: Device_ir Gpusim Hashtbl Passes Tir Version

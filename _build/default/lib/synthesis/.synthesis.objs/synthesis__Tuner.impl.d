@@ -1,0 +1,1 @@
+lib/synthesis/tuner.ml: Array Device_ir Gpusim List Option

@@ -1,0 +1,1 @@
+lib/synthesis/tuner.mli: Gpusim

@@ -1,0 +1,1 @@
+lib/synthesis/version.ml: Ast List Printf Tir

@@ -1,0 +1,1 @@
+lib/synthesis/version.mli: Tir

@@ -1,0 +1,27 @@
+(** Composition: instantiate a {!Version.t} as a complete device-IR host
+    program (kernels + buffers + launch sequence), mirroring Tangram's
+    grid/block/thread synthesis and the structure of the paper's
+    Listings 1-3. Generated programs expose the [bsize] tunable (threads
+    per block) and, for thread-coarsened versions, [coarsen] (elements per
+    thread). *)
+
+val bsize_candidates : int list
+val coarsen_candidates : int list
+
+(** Instantiate [v] against a codelet unit's pass-generated variants.
+    [primary] is the spectrum being computed; [combiner] (default
+    [primary]) the spectrum that combines partial results — named by
+    [return combiner(map)] in the compound codelets, and distinct from
+    [primary] for reductions like sum-of-squares whose partials must be
+    summed, not squared again; [op] is the combiner's operation; [elem]
+    the element type.
+    @raise Lower.Lower_error when a required variant is missing or has an
+    unsupported shape. *)
+val program :
+  variants:Passes.Driver.variant list ->
+  primary:string ->
+  ?combiner:string ->
+  op:Tir.Ast.atomic_kind ->
+  elem:Device_ir.Ir.scalar ->
+  Version.t ->
+  Device_ir.Ir.program

@@ -1,0 +1,575 @@
+(* Lowering: TIR codelet compositions -> device-IR host programs.
+
+   This stage plays the role of Tangram's code generation (Section II-B.2
+   and Listings 1-4): it instantiates a {!Version.t} composition by
+   inlining the relevant codelet variants at each level of the GPU software
+   hierarchy and emitting a complete host program (kernels + buffers +
+   launches).
+
+   The classical code-generation chores the paper lists in Figure 5 happen
+   here:
+
+   - {b argument linker}: every inlined codelet instance gets a fresh
+     register namespace (a prefix), and its container parameter is linked
+     to the caller's data — a global-memory range for grid/block-level
+     containers, or a per-thread register for finisher codelets reducing
+     per-thread partials;
+   - {b index calculation}: tiled/strided partitions compose into global
+     index expressions ([blockIdx.x * TileSize + j], [blockIdx.x +
+     j * gridDim.x], ...), and every global load is guarded against the
+     input length, loading the reduction's identity out of range;
+   - {b return promotion}: a codelet's [return val] becomes a store of the
+     result register, which the composition then promotes to a per-block
+     partial store (hierarchical versions) or a global atomic
+     (Section III-A versions);
+   - {b barrier insertion}: after any statement that writes shared memory
+     at a block-uniform control-flow level, a [__syncthreads()] is placed
+     (exactly where Listings 3 and 4 have them). Uniformity is decided by
+     a TIR-level taint analysis, mirroring the validator's on device IR.
+
+   Tunables: every generated program exposes [bsize] (threads per block)
+   and, for thread-coarsened versions, [coarsen] (elements per thread);
+   the autotuner sweeps them. *)
+
+module Ir = Device_ir.Ir
+open Tir
+
+exception Lower_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+let ir_atomic_op (k : Ast.atomic_kind) : Ir.atomic_op =
+  match k with
+  | Ast.At_add -> Ir.A_add
+  | Ast.At_sub -> Ir.A_sub
+  | Ast.At_min -> Ir.A_min
+  | Ast.At_max -> Ir.A_max
+
+let combine_exp (op : Ast.atomic_kind) (a : Ir.exp) (b : Ir.exp) : Ir.exp =
+  match op with
+  | Ast.At_add -> Ir.Binop (Ir.Add, a, b)
+  | Ast.At_sub -> Ir.Binop (Ir.Sub, a, b)
+  | Ast.At_min -> Ir.Binop (Ir.Min, a, b)
+  | Ast.At_max -> Ir.Binop (Ir.Max, a, b)
+
+let assign_combine (op : Ast.assign_op) (cur : Ir.exp) (v : Ir.exp) : Ir.exp =
+  match op with
+  | Ast.As_set -> v
+  | Ast.As_add -> Ir.Binop (Ir.Add, cur, v)
+  | Ast.As_sub -> Ir.Binop (Ir.Sub, cur, v)
+  | Ast.As_div -> Ir.Binop (Ir.Div, cur, v)
+  | Ast.As_min -> Ir.Binop (Ir.Min, cur, v)
+  | Ast.As_max -> Ir.Binop (Ir.Max, cur, v)
+
+let tir_binop (op : Ast.binop) : Ir.binop =
+  match op with
+  | Ast.Add -> Ir.Add | Ast.Sub -> Ir.Sub | Ast.Mul -> Ir.Mul | Ast.Div -> Ir.Div
+  | Ast.Mod -> Ir.Rem
+  | Ast.Lt -> Ir.Lt | Ast.Le -> Ir.Le | Ast.Gt -> Ir.Gt | Ast.Ge -> Ir.Ge
+  | Ast.Eq -> Ir.Eq | Ast.Ne -> Ir.Ne
+  | Ast.And -> Ir.Land | Ast.Or -> Ir.Lor
+  | Ast.Band -> Ir.And | Ast.Bor -> Ir.Or | Ast.Bxor -> Ir.Xor
+  | Ast.Shl -> Ir.Shl | Ast.Shr -> Ir.Shr
+
+(* ------------------------------------------------------------------ *)
+(* Codelet lowering environment                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** How the codelet's container parameter is linked to actual data. *)
+type container_binding =
+  | C_global of {
+      global_of : Ir.exp -> Ir.exp;  (** container index -> global index *)
+      bound : Ir.exp;  (** total input length (SourceSize) *)
+    }
+  | C_register of string
+      (** finisher codelets reduce per-thread partials held in a register;
+          only [in\[vthread.ThreadId()\]] accesses are meaningful *)
+
+type shared_binding = {
+  sb_ir_name : string;
+  sb_dynamic : bool;
+  sb_is_array : bool;
+  sb_atomic : Ast.atomic_kind option;
+}
+
+type env = {
+  fresh : string -> string;  (** gensym *)
+  prefix : string;  (** register namespace of this codelet instance *)
+  op : Ast.atomic_kind;
+  elem : Ir.scalar;
+  identity : float;
+  vec : string option;
+  container : string;  (** the container parameter's name *)
+  binding : container_binding;
+  csize : Ir.exp;  (** what [in.Size()] lowers to *)
+  locals : (string, string) Hashtbl.t;  (** TIR local -> IR register *)
+  shared : (string, shared_binding) Hashtbl.t;
+  mutable shared_decls : Ir.shared_decl list;  (** reverse order *)
+  mutable needs_dynamic : bool;
+  mutable divergent : (string, unit) Hashtbl.t option;
+      (** taint set shared across the instance (lazily created) *)
+}
+
+let identity_of (op : Ast.atomic_kind) (elem : Ir.scalar) : float =
+  Ir.identity_value (ir_atomic_op op) elem
+
+(** The identity as a literal of the element type (so integer reductions
+    emit [int] literals, not [0.0f]). *)
+let identity_exp (op : Ast.atomic_kind) (elem : Ir.scalar) : Ir.exp =
+  let v = identity_of op elem in
+  match elem with
+  | Ir.F32 -> Ir.Float v
+  | Ir.I32 | Ir.U32 | Ir.Pred -> Ir.Int (int_of_float v)
+
+let env_identity_exp (env : env) : Ir.exp =
+  match env.elem with
+  | Ir.F32 -> Ir.Float env.identity
+  | Ir.I32 | Ir.U32 | Ir.Pred -> Ir.Int (int_of_float env.identity)
+
+let local_reg (env : env) (x : string) : string =
+  match Hashtbl.find_opt env.locals x with
+  | Some r -> r
+  | None ->
+      let r = env.prefix ^ x in
+      Hashtbl.add env.locals x r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* TIR-level uniformity taint                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A TIR expression is block-uniform when it mentions no thread coordinate
+   ([ThreadId]/[LaneId]/[VectorId]), no tainted local, and no data loaded
+   from memory. Containers and shared cells are conservatively divergent. *)
+let rec tir_uniform (tainted : (string, unit) Hashtbl.t) (env : env) (e : Ast.expr) :
+    bool =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> true
+  | Ast.Ident x ->
+      if Hashtbl.mem env.shared x then false else not (Hashtbl.mem tainted x)
+  | Ast.Binary (_, a, b) -> tir_uniform tainted env a && tir_uniform tainted env b
+  | Ast.Unary (_, a) -> tir_uniform tainted env a
+  | Ast.Ternary (c, a, b) ->
+      tir_uniform tainted env c && tir_uniform tainted env a && tir_uniform tainted env b
+  | Ast.Index (_, _) -> false
+  | Ast.Call (_, _) -> false
+  | Ast.Method (_, ("ThreadId" | "LaneId" | "VectorId"), _) -> false
+  | Ast.Method (_, _, _) -> true  (* Size/MaxSize are uniform *)
+
+let compute_taint (env : env) (body : Ast.stmt list) : (string, unit) Hashtbl.t =
+  match env.divergent with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 16 in
+      (* two passes reach the fixed point: taint only grows *)
+      for _pass = 1 to 2 do
+        let rec go ~under (s : Ast.stmt) =
+          match s with
+          | Ast.Decl { d_name; d_init; _ } ->
+              let div =
+                under
+                || match d_init with Some e -> not (tir_uniform t env e) | None -> false
+              in
+              if div then Hashtbl.replace t d_name ()
+          | Ast.Assign (Ast.L_var x, _, e) | Ast.Shfl_write { sw_dst = x; sw_v = e; _ }
+            ->
+              if under || not (tir_uniform t env e) then Hashtbl.replace t x ()
+          | Ast.Assign (Ast.L_index _, _, _) | Ast.Atomic_write _ -> ()
+          | Ast.If (c, th, el) ->
+              let div = under || not (tir_uniform t env c) in
+              List.iter (go ~under:div) th;
+              List.iter (go ~under:div) el
+          | Ast.For { f_init; f_cond; f_update; f_body } ->
+              (match f_init with Some s -> go ~under s | None -> ());
+              let div = under || not (tir_uniform t env f_cond) in
+              (match f_update with Some s -> go ~under:div s | None -> ());
+              List.iter (go ~under:div) f_body
+          | Ast.Return _ | Ast.Expr_stmt _ | Ast.Vector_decl _ | Ast.Sequence_decl _
+          | Ast.Map_decl _ | Ast.Map_atomic _ ->
+              ()
+        in
+        List.iter (go ~under:false) body
+      done;
+      env.divergent <- Some t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering (A-normalising: loads become statements)        *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr (env : env) (e : Ast.expr) : Ir.stmt list * Ir.exp =
+  match e with
+  | Ast.Int_lit n -> ([], Ir.Int n)
+  | Ast.Float_lit f -> ([], Ir.Float f)
+  | Ast.Bool_lit b -> ([], Ir.Bool b)
+  | Ast.Ident x -> (
+      match Hashtbl.find_opt env.shared x with
+      | Some sb when not sb.sb_is_array ->
+          let r = env.fresh (env.prefix ^ "ld") in
+          ([ Ir.load_shared r sb.sb_ir_name (Ir.Int 0) ], Ir.Reg r)
+      | Some _ -> err "shared array %S used without an index" x
+      | None -> ([], Ir.Reg (local_reg env x)))
+  | Ast.Binary (op, a, b) ->
+      let sa, ea = lower_expr env a in
+      let sb, eb = lower_expr env b in
+      (sa @ sb, Ir.Binop (tir_binop op, ea, eb))
+  | Ast.Unary (Ast.Neg, a) ->
+      let sa, ea = lower_expr env a in
+      (sa, Ir.Unop (Ir.Neg, ea))
+  | Ast.Unary (Ast.Not, a) ->
+      let sa, ea = lower_expr env a in
+      (sa, Ir.Unop (Ir.Lnot, ea))
+  | Ast.Ternary (c, a, b) -> (
+      let sc, ec = lower_expr env c in
+      let sa, ea = lower_expr env a in
+      let sb, eb = lower_expr env b in
+      match (sa, sb) with
+      | [], [] -> (sc, Ir.Select (ec, ea, eb))
+      | _ ->
+          (* a branch performs loads: materialise with a conditional so that
+             guarded accesses (e.g. bounds checks) never execute the
+             out-of-range load *)
+          let r = env.fresh (env.prefix ^ "sel") in
+          ( sc
+            @ [
+                Ir.let_ r (env_identity_exp env);
+                Ir.if_ ec (sa @ [ Ir.let_ r ea ]) (sb @ [ Ir.let_ r eb ]);
+              ],
+            Ir.Reg r ))
+  | Ast.Index (Ast.Ident arr, i) -> (
+      let si, ei = lower_expr env i in
+      match Hashtbl.find_opt env.shared arr with
+      | Some sb when sb.sb_is_array ->
+          let r = env.fresh (env.prefix ^ "ld") in
+          (si @ [ Ir.load_shared r sb.sb_ir_name ei ], Ir.Reg r)
+      | Some _ -> err "shared scalar %S indexed" arr
+      | None ->
+          if arr <> env.container then err "unknown container %S" arr;
+          lower_container_read env ~si ~index:i ~ei)
+  | Ast.Index (_, _) -> err "only named containers can be indexed"
+  | Ast.Call (f, _) -> err "nested spectrum call %S survived planning" f
+  | Ast.Method (recv, m, _) -> (
+      match env.vec with
+      | Some v when recv = v -> (
+          match m with
+          | "ThreadId" -> ([], Ir.tid)
+          | "LaneId" -> ([], Ir.lane_id)
+          | "VectorId" -> ([], Ir.warp_id)
+          | "MaxSize" -> ([], Ir.Int 32)
+          | "Size" -> ([], Ir.warp_size)
+          | _ -> err "unknown Vector member %S" m)
+      | _ ->
+          if recv = env.container && m = "Size" then ([], env.csize)
+          else err "unknown method %s.%s" recv m)
+
+and lower_container_read (env : env) ~(si : Ir.stmt list) ~(index : Ast.expr)
+    ~(ei : Ir.exp) : Ir.stmt list * Ir.exp =
+  match env.binding with
+  | C_register reg -> (
+      (* the container is a per-thread partial: only in[ThreadId()] makes
+         sense, and it is exactly this thread's register *)
+      match (index, env.vec) with
+      | Ast.Method (v, "ThreadId", _), Some v' when v = v' -> (si, Ir.Reg reg)
+      | _ ->
+          err
+            "finisher codelet reads its container at an index other than \
+             ThreadId(); cannot link to per-thread partials")
+  | C_global { global_of; bound } ->
+      let gidx = env.fresh (env.prefix ^ "gi") in
+      let r = env.fresh (env.prefix ^ "in") in
+      ( si
+        @ [
+            Ir.let_ gidx (global_of ei);
+            Ir.let_ r (env_identity_exp env);
+            Ir.if_
+              (Ir.Binop (Ir.Lt, Ir.Reg gidx, bound))
+              [ Ir.load_global r "input_x" (Ir.Reg gidx) ]
+              [];
+          ],
+        Ir.Reg r )
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec wrote_shared_ir (s : Ir.stmt) : bool =
+  match s with
+  | Ir.Store { space = Ir.Shared; _ } | Ir.Atomic { space = Ir.Shared; _ } -> true
+  | Ir.If (_, t, e) -> List.exists wrote_shared_ir t || List.exists wrote_shared_ir e
+  | Ir.For { body; _ } | Ir.While (_, body) -> List.exists wrote_shared_ir body
+  | Ir.Let _ | Ir.Load _ | Ir.Store _ | Ir.Vec_load _ | Ir.Atomic _ | Ir.Shfl _
+  | Ir.Sync | Ir.Comment _ ->
+      false
+
+(** Lower a statement list at a block-uniform control-flow level: after any
+    statement group that wrote shared memory, place a barrier. *)
+let rec lower_stmts_uniform (env : env) ~(taint : (string, unit) Hashtbl.t)
+    ~(result : string) (body : Ast.stmt list) : Ir.stmt list =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      let group = lower_stmt env ~taint ~uniform:true ~result s in
+      if List.exists wrote_shared_ir group then group @ [ Ir.Sync ] else group)
+    body
+
+and lower_stmts_divergent (env : env) ~(taint : (string, unit) Hashtbl.t)
+    ~(result : string) (body : Ast.stmt list) : Ir.stmt list =
+  List.concat_map (lower_stmt env ~taint ~uniform:false ~result) body
+
+and lower_stmt (env : env) ~(taint : (string, unit) Hashtbl.t) ~(uniform : bool)
+    ~(result : string) (s : Ast.stmt) : Ir.stmt list =
+  match s with
+  | Ast.Decl { quals; d_name; d_init; d_dims; d_ty = _ } ->
+      if List.mem Ast.Q_shared quals then begin
+        (* shared declarations were registered in a pre-scan; nothing to
+           emit here (the init prologue is generated separately) *)
+        ignore (d_dims, d_init);
+        []
+      end
+      else begin
+        let r = local_reg env d_name in
+        match d_init with
+        | Some e ->
+            let ss, e' = lower_expr env e in
+            ss @ [ Ir.let_ r e' ]
+        | None -> [ Ir.let_ r (env_identity_exp env) ]
+      end
+  | Ast.Assign (Ast.L_var x, op, e) -> (
+      match Hashtbl.find_opt env.shared x with
+      | Some sb when not sb.sb_is_array ->
+          let ss, e' = lower_expr env e in
+          (match op with
+          | Ast.As_set -> ss @ [ Ir.store_shared sb.sb_ir_name (Ir.Int 0) e' ]
+          | _ ->
+              let r = env.fresh (env.prefix ^ "rmw") in
+              ss
+              @ [
+                  Ir.load_shared r sb.sb_ir_name (Ir.Int 0);
+                  Ir.store_shared sb.sb_ir_name (Ir.Int 0)
+                    (assign_combine op (Ir.Reg r) e');
+                ])
+      | Some _ -> err "shared array %S assigned without index" x
+      | None ->
+          let r = local_reg env x in
+          let ss, e' = lower_expr env e in
+          ss @ [ Ir.let_ r (assign_combine op (Ir.Reg r) e') ])
+  | Ast.Assign (Ast.L_index (arr, i), op, e) -> (
+      match Hashtbl.find_opt env.shared arr with
+      | Some sb when sb.sb_is_array ->
+          let si, ei = lower_expr env i in
+          let se, e' = lower_expr env e in
+          (match op with
+          | Ast.As_set -> si @ se @ [ Ir.store_shared sb.sb_ir_name ei e' ]
+          | _ ->
+              let idx = env.fresh (env.prefix ^ "ix") in
+              let r = env.fresh (env.prefix ^ "rmw") in
+              si @ se
+              @ [
+                  Ir.let_ idx ei;
+                  Ir.load_shared r sb.sb_ir_name (Ir.Reg idx);
+                  Ir.store_shared sb.sb_ir_name (Ir.Reg idx)
+                    (assign_combine op (Ir.Reg r) e');
+                ])
+      | Some _ -> err "shared scalar %S indexed in store" arr
+      | None -> err "store into container %S (containers are read-only)" arr)
+  | Ast.Atomic_write { aw_lhs; aw_op; aw_v } -> (
+      let sv, v' = lower_expr env aw_v in
+      match aw_lhs with
+      | Ast.L_var x | Ast.L_index (x, _) -> (
+          match Hashtbl.find_opt env.shared x with
+          | Some sb ->
+              let si, ei =
+                match aw_lhs with
+                | Ast.L_var _ -> ([], Ir.Int 0)
+                | Ast.L_index (_, i) -> lower_expr env i
+              in
+              sv @ si
+              @ [
+                  Ir.atomic ~space:Ir.Shared ~op:(ir_atomic_op aw_op) sb.sb_ir_name ei
+                    v';
+                ]
+          | None -> err "atomic write to non-shared %S" x))
+  | Ast.Shfl_write { sw_dst; sw_op; sw_v; sw_delta; sw_up } ->
+      let sv, v' = lower_expr env sw_v in
+      let sd, d' = lower_expr env sw_delta in
+      let tmp = env.fresh (env.prefix ^ "shfl") in
+      let dst = local_reg env sw_dst in
+      let shfl =
+        if sw_up then Ir.shfl_up tmp v' d' ~width:32 else Ir.shfl_down tmp v' d' ~width:32
+      in
+      sv @ sd @ [ shfl; Ir.let_ dst (assign_combine sw_op (Ir.Reg dst) (Ir.Reg tmp)) ]
+  | Ast.If (c, t, e) ->
+      let sc, c' = lower_expr env c in
+      let cond_uniform = uniform && tir_uniform taint env c in
+      let lower_branch b =
+        if cond_uniform then lower_stmts_uniform env ~taint ~result b
+        else lower_stmts_divergent env ~taint ~result b
+      in
+      sc @ [ Ir.if_ c' (lower_branch t) (lower_branch e) ]
+  | Ast.For { f_init; f_cond; f_update; f_body } ->
+      let var, init_e =
+        match f_init with
+        | Some (Ast.Decl { d_name; d_init = Some e; _ }) -> (d_name, e)
+        | Some (Ast.Assign (Ast.L_var x, Ast.As_set, e)) -> (x, e)
+        | _ -> err "for-loop initialiser must bind the iterator"
+      in
+      let si, init' = lower_expr env init_e in
+      if si <> [] then err "for-loop initialiser must be load-free";
+      let var_r = local_reg env var in
+      let sc, cond' = lower_expr env f_cond in
+      if sc <> [] then err "for-loop condition must be load-free";
+      let step' =
+        match f_update with
+        | Some (Ast.Assign (Ast.L_var x, op, e)) when x = var ->
+            let ss, e' = lower_expr env e in
+            if ss <> [] then err "for-loop update must be load-free";
+            assign_combine op (Ir.Reg var_r) e'
+        | _ -> err "for-loop update must assign the iterator"
+      in
+      let body_uniform =
+        uniform && tir_uniform taint env init_e && tir_uniform taint env f_cond
+      in
+      let body' =
+        if body_uniform then lower_stmts_uniform env ~taint ~result f_body
+        else lower_stmts_divergent env ~taint ~result f_body
+      in
+      [ Ir.for_ var_r ~init:init' ~cond:cond' ~step:step' body' ]
+  | Ast.Return e ->
+      let ss, e' = lower_expr env e in
+      ss @ [ Ir.let_ result e' ]
+  | Ast.Expr_stmt _ -> []
+  | Ast.Vector_decl _ | Ast.Sequence_decl _ -> []
+  | Ast.Map_decl _ | Ast.Map_atomic _ ->
+      err "Map primitive inside a codelet being lowered directly"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-codelet lowering                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lowered_codelet = {
+  lc_body : Ir.stmt list;  (** includes the shared-init prologue *)
+  lc_shared : Ir.shared_decl list;
+  lc_result : string;  (** register holding [return]'s value *)
+  lc_needs_dynamic : bool;  (** must pass blockDim elements at launch *)
+}
+
+(** Pre-scan the codelet's shared declarations and build their IR homes.
+    [in.Size()]-sized arrays become the (single) dynamically-sized shared
+    array; [MaxSize()]-sized ones a static 32-element array; scalars a
+    static 1-element array. *)
+let scan_shared (env : env) (c : Ast.codelet) : unit =
+  let rec dims_size (e : Ast.expr) : Ir.shared_size =
+    match e with
+    | Ast.Int_lit k -> Ir.Static_size k
+    | Ast.Method (v, "MaxSize", _) when env.vec = Some v -> Ir.Static_size 32
+    | Ast.Method (recv, "Size", _) when recv = env.container -> Ir.Dynamic_size
+    | Ast.Binary (Ast.Div, a, Ast.Int_lit k) -> (
+        match dims_size a with
+        | Ir.Static_size n -> Ir.Static_size (max 1 (n / k))
+        | Ir.Dynamic_size -> Ir.Dynamic_size)
+    | _ -> err "unsupported shared-array size expression"
+  in
+  let scan acc (s : Ast.stmt) =
+    match s with
+    | Ast.Decl { quals; d_name; d_dims; _ } when List.mem Ast.Q_shared quals ->
+        let atomic =
+          List.find_map (function Ast.Q_atomic k -> Some k | _ -> None) quals
+        in
+        let ir_name = env.prefix ^ "sh_" ^ d_name in
+        let size, dynamic, is_array =
+          match d_dims with
+          | None -> (Ir.Static_size 1, false, false)
+          | Some e -> (
+              match dims_size e with
+              | Ir.Dynamic_size -> (Ir.Dynamic_size, true, true)
+              | s -> (s, false, true))
+        in
+        if dynamic then begin
+          if env.needs_dynamic then err "two dynamically-sized shared arrays";
+          env.needs_dynamic <- true
+        end;
+        Hashtbl.replace env.shared d_name
+          { sb_ir_name = ir_name; sb_dynamic = dynamic; sb_is_array = is_array;
+            sb_atomic = atomic };
+        env.shared_decls <-
+          { Ir.sh_name = ir_name; sh_ty = env.elem; sh_size = size } :: env.shared_decls;
+        acc
+    | _ -> acc
+  in
+  ignore (Passes.Rewrite.fold_stmts scan () c.Ast.c_body)
+
+(** Identity-initialisation prologue for the shared arrays (Listing 3
+    lines 5-11): static arrays are initialised by the first [size] threads,
+    the dynamic array by every thread at its own index; one barrier closes
+    the prologue. *)
+let shared_prologue (env : env) : Ir.stmt list =
+  let inits =
+    List.concat_map
+      (fun (d : Ir.shared_decl) ->
+        match d.Ir.sh_size with
+        | Ir.Static_size n ->
+            [
+              Ir.if_
+                (Ir.Binop (Ir.Lt, Ir.tid, Ir.Int n))
+                [ Ir.store_shared d.Ir.sh_name Ir.tid (env_identity_exp env) ]
+                [];
+            ]
+        | Ir.Dynamic_size ->
+            [ Ir.store_shared d.Ir.sh_name Ir.tid (env_identity_exp env) ])
+      (List.rev env.shared_decls)
+  in
+  match inits with [] -> [] | _ -> inits @ [ Ir.Sync ]
+
+(** Lower one codelet instance. [fresh] supplies globally-unique register
+    names; [prefix] namespaces this instance (the argument linker). *)
+let lower_codelet ~(fresh : string -> string) ~(prefix : string)
+    ~(op : Ast.atomic_kind) ~(elem : Ir.scalar) ~(binding : container_binding)
+    ~(csize : Ir.exp) (variant : Passes.Driver.variant) : lowered_codelet =
+  let c = variant.Passes.Driver.v_codelet in
+  let container =
+    match
+      List.find_map
+        (fun (p : Ast.param) ->
+          match p.Ast.p_ty with Ast.TArray _ -> Some p.Ast.p_name | _ -> None)
+        c.Ast.c_params
+    with
+    | Some x -> x
+    | None -> err "%s: codelet has no container parameter" c.Ast.c_name
+  in
+  let vec =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s with Ast.Vector_decl v -> Some v | _ -> None)
+      c.Ast.c_body
+  in
+  let env =
+    {
+      fresh;
+      prefix;
+      op;
+      elem;
+      identity = identity_of op elem;
+      vec;
+      container;
+      binding;
+      csize;
+      locals = Hashtbl.create 16;
+      shared = Hashtbl.create 4;
+      shared_decls = [];
+      needs_dynamic = false;
+      divergent = None;
+    }
+  in
+  scan_shared env c;
+  let taint = compute_taint env c.Ast.c_body in
+  let result = fresh (prefix ^ "ret") in
+  let body =
+    Ir.let_ result (env_identity_exp env)
+    :: shared_prologue env
+    @ lower_stmts_uniform env ~taint ~result c.Ast.c_body
+  in
+  {
+    lc_body = body;
+    lc_shared = List.rev env.shared_decls;
+    lc_result = result;
+    lc_needs_dynamic = env.needs_dynamic;
+  }

@@ -1,0 +1,106 @@
+(* The planner: from a checked codelet unit to runnable code versions.
+
+   The planner is the entry point the public [Tangram] library wraps:
+
+   {[
+     let plan = Planner.create (Tir.Builtins.sum_unit ()) in
+     let program = Planner.program plan (Version.of_figure6 "p") in
+     ...
+   ]}
+
+   It runs the Figure 5 pass pipeline once ({!Passes.Driver.all_variants}),
+   infers the spectrum's combining operation from its autonomous codelet
+   (used by the atomic finishes), and instantiates {!Version.t}
+   compositions on demand, caching compiled programs. *)
+
+module Ir = Device_ir.Ir
+open Tir
+
+type t = {
+  unit_info : (Ast.codelet * Check.info) list;
+  variants : Passes.Driver.variant list;
+  spectrum : string;  (** the primary spectrum (the first codelet's) *)
+  combiner : string;
+      (** the spectrum combining partial results: the consumer named by the
+          primary spectrum's compound codelets ([return sum(map)]), falling
+          back to the primary itself *)
+  op : Ast.atomic_kind;
+  elem : Ir.scalar;
+  cache : (Version.t, Gpusim.Runner.compiled_program) Hashtbl.t;
+}
+
+exception Plan_error of string
+
+(** Build a planner for a checked unit. The element type defaults to [F32];
+    the combining operation is inferred from the unit's autonomous codelet
+    (addition if inference fails, which matches CUDA's default atomic). *)
+let create ?(elem = Ir.F32) (unit_info : (Ast.codelet * Check.info) list) : t =
+  (match unit_info with
+  | [] -> raise (Plan_error "empty codelet unit")
+  | _ -> ());
+  let spectrum = (fst (List.hd unit_info)).Ast.c_name in
+  let variants = Passes.Driver.all_variants unit_info in
+  (* the combiner is whatever spectrum the primary's compound codelets call
+     on their Map's partial results *)
+  let combiner =
+    let consumers =
+      List.filter_map
+        (fun ((c : Ast.codelet), (i : Check.info)) ->
+          if c.Ast.c_name = spectrum then
+            List.find_map (fun (_, mb) -> mb.Check.mb_consumer) i.Check.ci_maps
+          else None)
+        unit_info
+    in
+    match List.sort_uniq compare consumers with
+    | [ one ] -> one
+    | [] -> spectrum
+    | several ->
+        raise
+          (Plan_error
+             (Printf.sprintf "spectrum %S combines through several spectra (%s)"
+                spectrum (String.concat ", " several)))
+  in
+  let op =
+    match Passes.Atomic_global.infer_spectrum_op unit_info combiner with
+    | Some op -> op
+    | None -> Ast.At_add
+  in
+  { unit_info; variants; spectrum; combiner; op; elem; cache = Hashtbl.create 32 }
+
+let sum () = create (Builtins.sum_unit ())
+let max_reduction () = create (Builtins.max_unit ())
+let min_reduction () = create (Builtins.min_unit ())
+let int_sum () = create ~elem:Ir.I32 (Builtins.int_sum_unit ())
+
+(** The device-IR program implementing [v] (uncompiled). *)
+let program (t : t) (v : Version.t) : Ir.program =
+  Compose.program ~variants:t.variants ~primary:t.spectrum ~combiner:t.combiner
+    ~op:t.op ~elem:t.elem v
+
+(** Validated and compiled, ready for {!Gpusim.Runner.run_compiled}; cached
+    per version. *)
+let compiled (t : t) (v : Version.t) : Gpusim.Runner.compiled_program =
+  match Hashtbl.find_opt t.cache v with
+  | Some cp -> cp
+  | None ->
+      let cp = Gpusim.Runner.compile (program t v) in
+      Hashtbl.add t.cache v cp;
+      cp
+
+(** The CUDA C rendering of a version (the paper's actual output path). *)
+let cuda_source ?(options = Device_ir.Cuda.default_options) (t : t) (v : Version.t) :
+    string =
+  Device_ir.Cuda.emit_program ~options (program t v)
+
+(** Reference result computed on the host, for checking simulated runs. *)
+let reference (t : t) (input : float array) : float =
+  let op = Lower.ir_atomic_op t.op in
+  Array.fold_left
+    (fun acc x -> Ir.combine op acc x)
+    (Ir.identity_value op t.elem) input
+
+(** Run one version end to end on a simulated architecture. *)
+let run ?(opts = Gpusim.Interp.exact) ~(arch : Gpusim.Arch.t)
+    ?(tunables : (string * int) list option) (t : t)
+    ~(input : Gpusim.Runner.input) (v : Version.t) : Gpusim.Runner.outcome =
+  Gpusim.Runner.run_compiled ~opts ~arch ?tunables ~input (compiled t v)

@@ -1,0 +1,59 @@
+(** The planner: from a checked codelet unit to runnable code versions.
+
+    Runs the Figure 5 pass pipeline once, infers the spectrum's combining
+    operation from its autonomous codelet, and instantiates {!Version.t}
+    compositions on demand (with compiled-program caching). *)
+
+type t = {
+  unit_info : (Tir.Ast.codelet * Tir.Check.info) list;
+  variants : Passes.Driver.variant list;
+  spectrum : string;  (** the primary spectrum (the first codelet's) *)
+  combiner : string;
+      (** the spectrum combining partial results (the consumer named by the
+          primary's compound codelets; equals [spectrum] for self-combining
+          reductions) *)
+  op : Tir.Ast.atomic_kind;
+  elem : Device_ir.Ir.scalar;
+  cache : (Version.t, Gpusim.Runner.compiled_program) Hashtbl.t;
+}
+
+exception Plan_error of string
+
+(** Build a planner for a checked unit. The element type defaults to
+    [F32]; the combining operation defaults to addition when inference
+    fails. @raise Plan_error on an empty unit. *)
+val create : ?elem:Device_ir.Ir.scalar -> (Tir.Ast.codelet * Tir.Check.info) list -> t
+
+(** Planner over the built-in [sum] spectrum. *)
+val sum : unit -> t
+
+(** Planner over the built-in [max] spectrum. *)
+val max_reduction : unit -> t
+
+(** Planner over the built-in [min] spectrum. *)
+val min_reduction : unit -> t
+
+(** Planner over the built-in integer sum spectrum (element type I32). *)
+val int_sum : unit -> t
+
+(** The device-IR program implementing [v] (uncompiled). *)
+val program : t -> Version.t -> Device_ir.Ir.program
+
+(** Validated and compiled, cached per version. *)
+val compiled : t -> Version.t -> Gpusim.Runner.compiled_program
+
+(** The CUDA C rendering of a version (the paper's output path). *)
+val cuda_source : ?options:Device_ir.Cuda.options -> t -> Version.t -> string
+
+(** Host-side reference reduction, for checking simulated runs. *)
+val reference : t -> float array -> float
+
+(** Run one version end to end on a simulated architecture. *)
+val run :
+  ?opts:Gpusim.Interp.options ->
+  arch:Gpusim.Arch.t ->
+  ?tunables:(string * int) list ->
+  t ->
+  input:Gpusim.Runner.input ->
+  Version.t ->
+  Gpusim.Runner.outcome

@@ -1,0 +1,63 @@
+(* The autotuner: Section IV-C's "simple script that runs all versions with
+   different tuning parameters for the biggest problem size".
+
+   Tunables are declared by the generated programs ([bsize], and [coarsen]
+   for thread-coarsened versions); the tuner sweeps the Cartesian product
+   of candidate values on the simulator in fast sampled mode and returns
+   the fastest assignment. Obviously-redundant configurations (tiles more
+   than twice the input when a smaller tile of the same shape exists) are
+   skipped. *)
+
+type outcome = {
+  best : (string * int) list;
+  best_time_us : float;
+  evaluated : int;
+  sweep : ((string * int) list * float) list;  (** every configuration tried *)
+}
+
+let tuning_opts : Gpusim.Interp.options =
+  { Gpusim.Interp.max_blocks = Some 8; loop_cap = Some 12; check_uniform = false }
+
+let rec cartesian (candidates : (string * int list) list) : (string * int) list list =
+  match candidates with
+  | [] -> [ [] ]
+  | (name, values) :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun v -> List.map (fun tl -> (name, v) :: tl) tails) values
+
+let tile_of (assignment : (string * int) list) : int =
+  let get name = Option.value ~default:1 (List.assoc_opt name assignment) in
+  get "bsize" * get "coarsen"
+
+(** Sweep a compiled program's tunables on [arch] for input size [n].
+    [opts] defaults to a heavily-sampled fast mode. *)
+let tune ?(opts = tuning_opts) ~(arch : Gpusim.Arch.t) ~(n : int)
+    (cp : Gpusim.Runner.compiled_program) : outcome =
+  let pattern = Array.init 1024 (fun i -> float_of_int (i land 15)) in
+  let input = Gpusim.Runner.Synthetic { n; pattern } in
+  let candidates = cp.Gpusim.Runner.cp_program.Device_ir.Ir.p_tunables in
+  let assignments = cartesian candidates in
+  (* skip configurations whose tile is gratuitously larger than the input:
+     they all degenerate to a single partially-filled block *)
+  let assignments =
+    List.filter (fun a -> tile_of a <= 2 * n || tile_of a <= 2048) assignments
+  in
+  let sweep =
+    List.filter_map
+      (fun assignment ->
+        match
+          Gpusim.Runner.run_compiled ~opts ~arch ~tunables:assignment ~input cp
+        with
+        | outcome -> Some (assignment, outcome.Gpusim.Runner.time_us)
+        | exception Gpusim.Interp.Sim_error _ -> None)
+      assignments
+  in
+  match sweep with
+  | [] -> invalid_arg "Tuner.tune: no configuration survived"
+  | (a0, t0) :: rest ->
+      let best, best_time_us =
+        List.fold_left
+          (fun ((_, bt) as b) ((_, t) as x) -> if t < bt then x else b)
+          (a0, t0) rest
+      in
+      { best; best_time_us; evaluated = List.length sweep; sweep }

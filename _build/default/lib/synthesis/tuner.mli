@@ -1,0 +1,28 @@
+(** The autotuner: Section IV-C's "simple script that runs all versions
+    with different tuning parameters for the biggest problem size".
+
+    Sweeps the Cartesian product of the program's tunable candidates on
+    the simulator in fast sampled mode; configurations whose tile is
+    gratuitously larger than the input are skipped. *)
+
+type outcome = {
+  best : (string * int) list;
+  best_time_us : float;
+  evaluated : int;
+  sweep : ((string * int) list * float) list;  (** every configuration tried *)
+}
+
+(** The default fast sampled execution mode used for sweeps. *)
+val tuning_opts : Gpusim.Interp.options
+
+(** All assignments of the candidate lists. *)
+val cartesian : (string * int list) list -> (string * int) list list
+
+(** Sweep a compiled program's tunables on [arch] for input size [n].
+    @raise Invalid_argument when no configuration survives. *)
+val tune :
+  ?opts:Gpusim.Interp.options ->
+  arch:Gpusim.Arch.t ->
+  n:int ->
+  Gpusim.Runner.compiled_program ->
+  outcome

@@ -1,0 +1,1 @@
+lib/tir/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tir/builtins.pp.ml: Ast Check Hashtbl List Parser Printf

@@ -1,0 +1,1 @@
+lib/tir/builtins.pp.mli: Ast Check

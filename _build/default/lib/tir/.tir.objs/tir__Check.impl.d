@@ -1,0 +1,1 @@
+lib/tir/check.pp.ml: Ast Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/tir/check.pp.mli: Ast

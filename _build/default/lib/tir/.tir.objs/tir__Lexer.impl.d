@@ -1,0 +1,1 @@
+lib/tir/lexer.pp.ml: Ast Format List Printf String

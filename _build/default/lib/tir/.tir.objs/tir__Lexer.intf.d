@@ -1,0 +1,1 @@
+lib/tir/lexer.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/tir/parser.pp.ml: Array Ast Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/tir/parser.pp.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/tir/pp.pp.ml: Ast Float List Printf String

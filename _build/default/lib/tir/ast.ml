@@ -1,0 +1,191 @@
+(* Tangram IR: the abstract syntax of the high-level codelet language.
+
+   The surface syntax follows the paper's Figures 1 and 3: codelets are
+   C-like function definitions marked [__codelet], optionally [__coop]
+   (cooperative) and [__tag(name)], over [Array<1,T>] containers, with the
+   Tangram primitives:
+
+   - [Vector vthread();] declares the SIMD thread group handle whose member
+     functions ([Size], [MaxSize], [ThreadId], [LaneId], [VectorId]) appear
+     in expressions (Figure 2);
+   - [Sequence s(tiled);] / [Sequence s(strided);] declare access-pattern
+     sequences fed to [partition];
+   - [Map m(f, partition(c, n, start, inc, end));] applies codelet [f] to
+     every sub-container of the partition;
+   - [m.atomicAdd();] — the paper's new Map atomic API (Section III-A);
+   - [__shared] and the new [_atomicAdd]/... qualifiers on declarations
+     (Section III-B);
+   - [__tunable unsigned p;] declares an autotuned parameter. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Band | Bor | Bxor | Shl | Shr
+[@@deriving show { with_path = false }, eq]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq]
+
+type ty =
+  | TInt
+  | TUnsigned
+  | TFloat
+  | TBool
+  | TVoid
+  | TArray of ty  (** [Array<1,T>]; only one-dimensional containers *)
+[@@deriving show { with_path = false }, eq]
+
+type atomic_kind = At_add | At_sub | At_min | At_max
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Ident of string
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Ternary of expr * expr * expr
+  | Index of expr * expr  (** [c[i]] *)
+  | Call of string * expr list  (** spectrum call, e.g. [sum(map)] *)
+  | Method of string * string * expr list
+      (** [receiver.Method(args)]: Vector/Array/Map member functions *)
+[@@deriving show { with_path = false }, eq]
+
+type access_pattern = Tiled | Strided [@@deriving show { with_path = false }, eq]
+
+type decl_qual = Q_shared | Q_tunable | Q_atomic of atomic_kind
+[@@deriving show { with_path = false }, eq]
+
+type assign_op = As_set | As_add | As_sub | As_div | As_min | As_max
+[@@deriving show { with_path = false }, eq]
+
+type lhs =
+  | L_var of string
+  | L_index of string * expr
+[@@deriving show { with_path = false }, eq]
+
+(** [partition(src, n, start, inc, end)]: split container [src] into [n]
+    sub-containers following the access pattern carried by the three
+    sequences (all three must agree, checked by {!Check}). *)
+type partition = {
+  part_src : string;
+  part_n : expr;
+  part_seqs : string * string * string;  (** start, inc, end sequence names *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Decl of {
+      quals : decl_qual list;
+      d_ty : ty;
+      d_name : string;
+      d_dims : expr option;  (** array declarator [name\[e\]] *)
+      d_init : expr option;
+    }
+  | Vector_decl of string  (** [Vector vthread();] *)
+  | Sequence_decl of string * access_pattern  (** [Sequence start(tiled);] *)
+  | Map_decl of { m_name : string; m_func : string; m_part : partition }
+      (** [Map m(f, partition(...));] *)
+  | Map_atomic of { m_map : string; m_op : atomic_kind }
+      (** [m.atomicAdd();] — Section III-A API *)
+  | Assign of lhs * assign_op * expr
+  | If of expr * stmt list * stmt list
+  | For of {
+      f_init : stmt option;
+      f_cond : expr;
+      f_update : stmt option;
+      f_body : stmt list;
+    }
+  | Return of expr
+  | Expr_stmt of expr
+  (* The two constructors below are internal: they are introduced by the
+     AST transformation passes (Sections III-B and III-C) and never come out
+     of the parser. *)
+  | Shfl_write of {
+      sw_dst : string;
+      sw_op : assign_op;
+      sw_v : expr;
+      sw_delta : expr;
+      sw_up : bool;  (** shift direction: up vs down exchange *)
+    }
+      (** [dst op= __shfl_down(v, delta)] — result of the warp-shuffle
+          detection pass replacing a tree-reduction loop body *)
+  | Atomic_write of { aw_lhs : lhs; aw_op : atomic_kind; aw_v : expr }
+      (** [atomicOp(&lhs, v)] — result of the shared-atomic qualifier pass
+          rewriting a plain write to an atomic-qualified variable *)
+[@@deriving show { with_path = false }, eq]
+
+type param = { p_const : bool; p_ty : ty; p_name : string }
+[@@deriving show { with_path = false }, eq]
+
+type codelet = {
+  c_name : string;  (** the spectrum this codelet implements *)
+  c_coop : bool;  (** declared [__coop] *)
+  c_tag : string option;  (** [__tag(...)] disambiguator *)
+  c_ret : ty;
+  c_params : param list;
+  c_body : stmt list;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** A parse unit: a list of codelets. Codelets sharing a name implement the
+    same spectrum. *)
+type unit_ = codelet list [@@deriving show { with_path = false }, eq]
+
+(** Codelet classification (Section II-B.1): {i atomic autonomous} codelets
+    represent one thread's computation; {i compound} codelets decompose into
+    Map over a partition; {i atomic cooperative} codelets coordinate the
+    threads of a Vector. *)
+type codelet_kind = Autonomous | Compound | Cooperative
+[@@deriving show { with_path = false }, eq]
+
+let rec stmt_uses_vector (s : stmt) : bool =
+  match s with
+  | Vector_decl _ -> true
+  | If (_, t, e) -> List.exists stmt_uses_vector t || List.exists stmt_uses_vector e
+  | For { f_body; f_init; f_update; _ } ->
+      List.exists stmt_uses_vector f_body
+      || (match f_init with Some s -> stmt_uses_vector s | None -> false)
+      || (match f_update with Some s -> stmt_uses_vector s | None -> false)
+  | Decl _ | Sequence_decl _ | Map_decl _ | Map_atomic _ | Assign _ | Return _
+  | Expr_stmt _ | Shfl_write _ | Atomic_write _ ->
+      false
+
+let rec stmt_uses_map (s : stmt) : bool =
+  match s with
+  | Map_decl _ -> true
+  | If (_, t, e) -> List.exists stmt_uses_map t || List.exists stmt_uses_map e
+  | For { f_body; _ } -> List.exists stmt_uses_map f_body
+  | Decl _ | Vector_decl _ | Sequence_decl _ | Map_atomic _ | Assign _ | Return _
+  | Expr_stmt _ | Shfl_write _ | Atomic_write _ ->
+      false
+
+(** Classify a codelet per the paper's taxonomy. [__coop] forces
+    cooperative; a Map primitive makes it compound; otherwise it is a
+    single-thread autonomous codelet. *)
+let classify (c : codelet) : codelet_kind =
+  if c.c_coop || List.exists stmt_uses_vector c.c_body then Cooperative
+  else if List.exists stmt_uses_map c.c_body then Compound
+  else Autonomous
+
+let atomic_kind_name = function
+  | At_add -> "atomicAdd"
+  | At_sub -> "atomicSub"
+  | At_min -> "atomicMin"
+  | At_max -> "atomicMax"
+
+let atomic_kind_of_name = function
+  | "atomicAdd" -> Some At_add
+  | "atomicSub" -> Some At_sub
+  | "atomicMin" -> Some At_min
+  | "atomicMax" -> Some At_max
+  | _ -> None
+
+(** The assignment operator matching an atomic kind: a write [x op= v]
+    commutes with atomic accumulation of the same kind. *)
+let assign_op_of_atomic = function
+  | At_add -> As_add
+  | At_sub -> As_sub
+  | At_min -> As_min
+  | At_max -> As_max

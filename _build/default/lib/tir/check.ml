@@ -1,0 +1,434 @@
+(* Semantic analysis for Tangram codelets.
+
+   Beyond ordinary scoping/typing (C-like, with implicit arithmetic
+   conversions), the checker validates the Tangram-specific rules the
+   paper's passes rely on:
+
+   - the three sequences of a [partition] must carry the same access
+     pattern, which becomes the partition's pattern (Figure 1(b));
+   - [m.atomicAdd()] (Section III-A) only applies to a declared Map, at
+     most once, and with an operation matching the codelet's element type;
+   - [_atomicAdd]-style qualifiers (Section III-B) require [__shared];
+   - [__tunable] declarations must be integer scalars with no initialiser;
+   - Vector member functions ([Size], [MaxSize], [ThreadId], [LaneId],
+     [VectorId]) and Array member functions ([Size]) are arity-checked;
+   - a spectrum call's argument must be a Map or an Array.
+
+   The checker returns a {!info} summary per codelet that the synthesis
+   planner consumes: which Maps are declared (and whether the atomic API
+   marks them), which spectrum call consumes each Map, shared declarations
+   with their atomic qualifiers, tunables, and the codelet's kind. *)
+
+exception Check_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Check_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Value categories                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type map_binding = {
+  mb_func : string;
+  mb_src : string;
+  mb_n : Ast.expr;
+  mb_pattern : Ast.access_pattern;
+  mutable mb_atomic : Ast.atomic_kind option;
+  mutable mb_consumer : string option;
+      (** name of the spectrum call applied to this map, if any *)
+}
+
+type binding =
+  | B_scalar of Ast.ty * bool  (** type, is-const *)
+  | B_array of Ast.ty * bool  (** element type, is-const *)
+  | B_shared of Ast.ty * bool * Ast.atomic_kind option
+      (** element type, is-array, atomic qualifier *)
+  | B_tunable
+  | B_vector
+  | B_sequence of Ast.access_pattern
+  | B_map of map_binding
+
+module Env = Map.Make (String)
+
+type env = binding Env.t
+
+(* ------------------------------------------------------------------ *)
+(* Expression typing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type ety = E_int | E_float | E_bool
+
+let ety_of_ty ~what (t : Ast.ty) : ety =
+  match t with
+  | Ast.TInt | Ast.TUnsigned -> E_int
+  | Ast.TFloat -> E_float
+  | Ast.TBool -> E_bool
+  | Ast.TVoid -> err "%s: void has no value" what
+  | Ast.TArray _ -> err "%s: array type where a scalar is required" what
+
+let join (a : ety) (b : ety) : ety =
+  match (a, b) with
+  | E_float, _ | _, E_float -> E_float
+  | E_int, _ | _, E_int -> E_int
+  | E_bool, E_bool -> E_bool
+
+let vector_members = [ "Size"; "MaxSize"; "ThreadId"; "LaneId"; "VectorId" ]
+let array_members = [ "Size" ]
+
+type ctx = {
+  codelet : string;
+  spectra : string list;  (** all spectrum names in the unit *)
+  elem : Ast.ty;  (** the codelet's element type (its return type) *)
+}
+
+let rec type_expr (ctx : ctx) (env : env) (e : Ast.expr) : ety =
+  let where = ctx.codelet in
+  match e with
+  | Ast.Int_lit _ -> E_int
+  | Ast.Float_lit _ -> E_float
+  | Ast.Bool_lit _ -> E_bool
+  | Ast.Ident x -> (
+      match Env.find_opt x env with
+      | Some (B_scalar (t, _)) -> ety_of_ty ~what:(where ^ ": " ^ x) t
+      | Some (B_shared (t, false, _)) -> ety_of_ty ~what:(where ^ ": " ^ x) t
+      | Some (B_shared (_, true, _)) ->
+          err "%s: shared array %S used without an index" where x
+      | Some B_tunable -> E_int
+      | Some (B_array _) -> err "%s: container %S used as a scalar" where x
+      | Some B_vector -> err "%s: Vector handle %S used as a value" where x
+      | Some (B_sequence _) -> err "%s: Sequence %S used as a value" where x
+      | Some (B_map _) -> err "%s: Map %S used as a value (call a spectrum on it)" where x
+      | None -> err "%s: unbound identifier %S" where x)
+  | Ast.Binary (op, a, b) -> (
+      let ta = type_expr ctx env a and tb = type_expr ctx env b in
+      match op with
+      | Ast.And | Ast.Or ->
+          if ta = E_float || tb = E_float then
+            err "%s: logical operator on float operands" where;
+          E_bool
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+          ignore (join ta tb);
+          E_bool
+      | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+          if ta = E_float || tb = E_float then
+            err "%s: bitwise operator on float operands" where;
+          E_int
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+          match join ta tb with
+          | E_bool -> E_int  (* bools promote to int under arithmetic *)
+          | t ->
+              if op = Ast.Mod && t = E_float then
+                err "%s: %% requires integer operands" where;
+              t))
+  | Ast.Unary (Ast.Neg, a) -> (
+      match type_expr ctx env a with E_bool -> E_int | t -> t)
+  | Ast.Unary (Ast.Not, a) ->
+      ignore (type_expr ctx env a);
+      E_bool
+  | Ast.Ternary (c, a, b) ->
+      ignore (type_expr ctx env c);
+      join (type_expr ctx env a) (type_expr ctx env b)
+  | Ast.Index (arr, i) -> (
+      (match type_expr ctx env i with
+      | E_int | E_bool -> ()
+      | E_float -> err "%s: array index must be integral" where);
+      match arr with
+      | Ast.Ident x -> (
+          match Env.find_opt x env with
+          | Some (B_array (t, _)) -> ety_of_ty ~what:(where ^ ": " ^ x) t
+          | Some (B_shared (t, true, _)) -> ety_of_ty ~what:(where ^ ": " ^ x) t
+          | Some (B_shared (_, false, _)) ->
+              err "%s: %S is a shared scalar, not an array" where x
+          | Some _ -> err "%s: %S is not indexable" where x
+          | None -> err "%s: unbound identifier %S" where x)
+      | _ -> err "%s: only named containers can be indexed" where)
+  | Ast.Call (f, args) -> (
+      if not (List.mem f ctx.spectra) then
+        err "%s: call of unknown spectrum %S" where f;
+      match args with
+      | [ Ast.Ident x ] -> (
+          match Env.find_opt x env with
+          | Some (B_map mb) ->
+              (match mb.mb_consumer with
+              | Some prev when prev <> f ->
+                  err "%s: map %S consumed by two different spectra (%s, %s)" where x
+                    prev f
+              | _ -> ());
+              mb.mb_consumer <- Some f;
+              ety_of_ty ~what:where ctx.elem
+          | Some (B_array _) -> ety_of_ty ~what:where ctx.elem
+          | Some _ -> err "%s: spectrum %S applied to non-container %S" where f x
+          | None -> err "%s: unbound identifier %S" where x)
+      | _ -> err "%s: spectrum call %S must take exactly one container" where f)
+  | Ast.Method (recv, m, args) -> (
+      match Env.find_opt recv env with
+      | Some B_vector ->
+          if not (List.mem m vector_members) then
+            err "%s: unknown Vector member %S (expected one of %s)" where m
+              (String.concat ", " vector_members);
+          if args <> [] then err "%s: Vector member %S takes no arguments" where m;
+          E_int
+      | Some (B_array _) ->
+          if not (List.mem m array_members) then
+            err "%s: unknown Array member %S" where m;
+          if args <> [] then err "%s: Array member %S takes no arguments" where m;
+          E_int
+      | Some (B_map _) ->
+          err "%s: Map member %S used in expression position (the atomic API is a \
+               statement)" where m
+      | Some _ -> err "%s: %S has no member functions" where recv
+      | None -> err "%s: unbound identifier %S" where recv)
+
+(* ------------------------------------------------------------------ *)
+(* Statement checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type info = {
+  ci_kind : Ast.codelet_kind;
+  ci_maps : (string * map_binding) list;  (** in declaration order *)
+  ci_tunables : string list;
+  ci_shared : (string * Ast.ty * bool * Ast.atomic_kind option) list;
+      (** name, element type, is-array, atomic qualifier *)
+  ci_vector : string option;
+}
+
+type acc = {
+  mutable a_maps : (string * map_binding) list;
+  mutable a_tunables : string list;
+  mutable a_shared : (string * Ast.ty * bool * Ast.atomic_kind option) list;
+  mutable a_vector : string option;
+  mutable a_returns : int;
+}
+
+let scalar_ty ~where (t : Ast.ty) : unit =
+  match t with
+  | Ast.TInt | Ast.TUnsigned | Ast.TFloat | Ast.TBool -> ()
+  | Ast.TVoid | Ast.TArray _ -> err "%s: expected a scalar type" where
+
+let rec check_stmt (ctx : ctx) (acc : acc) (env : env) (s : Ast.stmt) : env =
+  let where = ctx.codelet in
+  let bind name b env =
+    if Env.mem name env then err "%s: redeclaration of %S" where name;
+    Env.add name b env
+  in
+  match s with
+  | Ast.Decl { quals; d_ty; d_name; d_dims; d_init } ->
+      let tunable = List.mem Ast.Q_tunable quals in
+      let shared = List.mem Ast.Q_shared quals in
+      let atomic =
+        List.filter_map (function Ast.Q_atomic k -> Some k | _ -> None) quals
+      in
+      let atomic =
+        match atomic with
+        | [] -> None
+        | [ k ] -> Some k
+        | _ -> err "%s: %S has multiple atomic qualifiers" where d_name
+      in
+      if atomic <> None && not shared then
+        err "%s: atomic qualifier on %S requires __shared (Section III-B)" where d_name;
+      if tunable && shared then err "%s: %S cannot be both tunable and shared" where d_name;
+      (match d_dims with
+      | Some e -> (
+          match type_expr ctx env e with
+          | E_int | E_bool -> ()
+          | E_float -> err "%s: array size of %S must be integral" where d_name)
+      | None -> ());
+      (match d_init with
+      | Some e -> ignore (type_expr ctx env e)
+      | None -> ());
+      if tunable then begin
+        (match d_ty with
+        | Ast.TInt | Ast.TUnsigned -> ()
+        | _ -> err "%s: tunable %S must be an integer" where d_name);
+        if d_init <> None then err "%s: tunable %S cannot have an initialiser" where d_name;
+        if d_dims <> None then err "%s: tunable %S cannot be an array" where d_name;
+        acc.a_tunables <- d_name :: acc.a_tunables;
+        bind d_name B_tunable env
+      end
+      else if shared then begin
+        scalar_ty ~where d_ty;
+        if d_init <> None then
+          err "%s: shared %S cannot have an initialiser (all threads would race)" where
+            d_name;
+        let is_array = d_dims <> None in
+        if atomic <> None && is_array then
+          err "%s: atomic-qualified shared %S must be a scalar accumulator" where d_name;
+        acc.a_shared <- (d_name, d_ty, is_array, atomic) :: acc.a_shared;
+        bind d_name (B_shared (d_ty, is_array, atomic)) env
+      end
+      else begin
+        scalar_ty ~where d_ty;
+        if d_dims <> None then
+          err "%s: local arrays are not supported; use __shared for %S" where d_name;
+        bind d_name (B_scalar (d_ty, false)) env
+      end
+  | Ast.Vector_decl v ->
+      if acc.a_vector <> None then err "%s: multiple Vector declarations" where;
+      acc.a_vector <- Some v;
+      bind v B_vector env
+  | Ast.Sequence_decl (n, p) -> bind n (B_sequence p) env
+  | Ast.Map_decl { m_name; m_func; m_part = { part_src; part_n; part_seqs = (s1, s2, s3) } } ->
+      if not (List.mem m_func ctx.spectra) then
+        err "%s: Map applies unknown spectrum %S" where m_func;
+      (match Env.find_opt part_src env with
+      | Some (B_array _) -> ()
+      | Some _ -> err "%s: partition source %S is not a container" where part_src
+      | None -> err "%s: unbound partition source %S" where part_src);
+      (match type_expr ctx env part_n with
+      | E_int | E_bool -> ()
+      | E_float -> err "%s: partition count must be integral" where);
+      let pat name =
+        match Env.find_opt name env with
+        | Some (B_sequence p) -> p
+        | Some _ -> err "%s: %S is not a Sequence" where name
+        | None -> err "%s: unbound Sequence %S" where name
+      in
+      let p1 = pat s1 and p2 = pat s2 and p3 = pat s3 in
+      if p1 <> p2 || p2 <> p3 then
+        err "%s: partition sequences %S, %S, %S disagree on the access pattern" where s1
+          s2 s3;
+      let mb =
+        {
+          mb_func = m_func;
+          mb_src = part_src;
+          mb_n = part_n;
+          mb_pattern = p1;
+          mb_atomic = None;
+          mb_consumer = None;
+        }
+      in
+      acc.a_maps <- (m_name, mb) :: acc.a_maps;
+      bind m_name (B_map mb) env
+  | Ast.Map_atomic { m_map; m_op } -> (
+      match Env.find_opt m_map env with
+      | Some (B_map mb) ->
+          (match mb.mb_atomic with
+          | Some _ -> err "%s: map %S already has an atomic API applied" where m_map
+          | None -> ());
+          (match (m_op, ctx.elem) with
+          | (Ast.At_min | Ast.At_max), Ast.TBool ->
+              err "%s: %s on bool elements" where (Ast.atomic_kind_name m_op)
+          | _ -> ());
+          mb.mb_atomic <- Some m_op;
+          env
+      | Some _ -> err "%s: %S is not a Map (atomic API is a Map extension)" where m_map
+      | None -> err "%s: unbound Map %S" where m_map)
+  | Ast.Assign (l, _op, e) ->
+      ignore (type_expr ctx env e);
+      (match l with
+      | Ast.L_var x -> (
+          match Env.find_opt x env with
+          | Some (B_scalar (_, true)) -> err "%s: assignment to const %S" where x
+          | Some (B_scalar _ | B_shared (_, false, _)) -> ()
+          | Some (B_shared (_, true, _)) ->
+              err "%s: shared array %S assigned without an index" where x
+          | Some B_tunable -> err "%s: assignment to tunable %S" where x
+          | Some _ -> err "%s: %S is not assignable" where x
+          | None -> err "%s: unbound identifier %S" where x)
+      | Ast.L_index (x, i) -> (
+          (match type_expr ctx env i with
+          | E_int | E_bool -> ()
+          | E_float -> err "%s: store index must be integral" where);
+          match Env.find_opt x env with
+          | Some (B_shared (_, true, _)) -> ()
+          | Some (B_array (_, true)) -> err "%s: store into const container %S" where x
+          | Some (B_array (_, false)) -> ()
+          | Some (B_shared (_, false, _)) ->
+              err "%s: shared scalar %S indexed in a store" where x
+          | Some _ -> err "%s: %S is not an indexable store target" where x
+          | None -> err "%s: unbound identifier %S" where x));
+      env
+  | Ast.If (c, t, e) ->
+      ignore (type_expr ctx env c);
+      ignore (check_stmts ctx acc env t);
+      ignore (check_stmts ctx acc env e);
+      env
+  | Ast.For { f_init; f_cond; f_update; f_body } ->
+      let env' =
+        match f_init with Some s -> check_stmt ctx acc env s | None -> env
+      in
+      ignore (type_expr ctx env' f_cond);
+      (match f_update with
+      | Some s -> ignore (check_stmt ctx acc env' s)
+      | None -> ());
+      ignore (check_stmts ctx acc env' f_body);
+      env
+  | Ast.Return e ->
+      let t = type_expr ctx env e in
+      let rt = ety_of_ty ~what:(where ^ ": return") ctx.elem in
+      (match (t, rt) with
+      | E_float, E_int -> err "%s: returning float from an integer codelet" where
+      | _ -> ());
+      acc.a_returns <- acc.a_returns + 1;
+      env
+  | Ast.Expr_stmt e ->
+      ignore (type_expr ctx env e);
+      env
+  | Ast.Shfl_write _ | Ast.Atomic_write _ ->
+      err "%s: internal pass-introduced statement in source code" where
+
+and check_stmts ctx acc env (body : Ast.stmt list) : env =
+  List.fold_left (check_stmt ctx acc) env body
+
+(* ------------------------------------------------------------------ *)
+(* Codelets and units                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let initial_env (c : Ast.codelet) : env =
+  List.fold_left
+    (fun env (p : Ast.param) ->
+      if Env.mem p.Ast.p_name env then
+        err "%s: duplicate parameter %S" c.Ast.c_name p.Ast.p_name;
+      let b =
+        match p.Ast.p_ty with
+        | Ast.TArray elt -> B_array (elt, p.Ast.p_const)
+        | t -> B_scalar (t, p.Ast.p_const)
+      in
+      Env.add p.Ast.p_name b env)
+    Env.empty c.Ast.c_params
+
+(** Check one codelet against the set of spectrum names in scope and return
+    its summary. *)
+let check_codelet ~(spectra : string list) (c : Ast.codelet) : info =
+  let ctx = { codelet = c.Ast.c_name; spectra; elem = c.Ast.c_ret } in
+  (match c.Ast.c_ret with
+  | Ast.TVoid -> err "%s: codelets must return the reduced value" c.Ast.c_name
+  | _ -> ());
+  let acc =
+    { a_maps = []; a_tunables = []; a_shared = []; a_vector = None; a_returns = 0 }
+  in
+  ignore (check_stmts ctx acc (initial_env c) c.Ast.c_body);
+  if acc.a_returns = 0 then err "%s: codelet never returns" c.Ast.c_name;
+  (* every Map must be finished: either consumed by a spectrum call or
+     marked with the atomic API (Section III-A allows both to be present;
+     they are then mutually exclusive alternatives for code generation) *)
+  List.iter
+    (fun (name, mb) ->
+      if mb.mb_consumer = None && mb.mb_atomic = None then
+        err "%s: map %S is neither consumed by a spectrum call nor atomic" c.Ast.c_name
+          name)
+    acc.a_maps;
+  {
+    ci_kind = Ast.classify c;
+    ci_maps = List.rev acc.a_maps;
+    ci_tunables = List.rev acc.a_tunables;
+    ci_shared = List.rev acc.a_shared;
+    ci_vector = acc.a_vector;
+  }
+
+(** Check a whole unit; codelets may reference any spectrum defined in the
+    unit (including their own, for recursive decomposition). Returns the
+    codelets paired with their summaries. *)
+let check_unit (u : Ast.unit_) : (Ast.codelet * info) list =
+  let spectra = List.sort_uniq compare (List.map (fun c -> c.Ast.c_name) u) in
+  (* codelets of one spectrum must agree on signature *)
+  let signatures = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Ast.codelet) ->
+      let sig_ = (c.Ast.c_ret, List.map (fun p -> p.Ast.p_ty) c.Ast.c_params) in
+      match Hashtbl.find_opt signatures c.Ast.c_name with
+      | None -> Hashtbl.add signatures c.Ast.c_name sig_
+      | Some s when s = sig_ -> ()
+      | Some _ ->
+          err "spectrum %S: codelets disagree on the signature" c.Ast.c_name)
+    u;
+  List.map (fun c -> (c, check_codelet ~spectra c)) u

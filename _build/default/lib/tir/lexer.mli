@@ -1,0 +1,52 @@
+(** Hand-written lexer for the Tangram codelet surface syntax. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW_codelet
+  | KW_coop
+  | KW_tag
+  | KW_shared
+  | KW_tunable
+  | KW_atomic of Ast.atomic_kind
+  | KW_const
+  | KW_int
+  | KW_unsigned
+  | KW_float
+  | KW_bool
+  | KW_void
+  | KW_if
+  | KW_else
+  | KW_for
+  | KW_return
+  | KW_true
+  | KW_false
+  | KW_array
+  | KW_vector
+  | KW_sequence
+  | KW_map
+  | KW_partition
+  | KW_tiled
+  | KW_strided
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | DOT | QUESTION | COLON
+  | LT | GT | LE | GE | EQEQ | NE
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | SHL | SHR
+  | ASSIGN | PLUSEQ | MINUSEQ | DIVEQ | PLUSPLUS
+  | EOF
+
+(** Human-readable token description for diagnostics. *)
+val token_to_string : token -> string
+
+exception Lex_error of pos * string
+
+(** Tokenise a complete source string (ending with [EOF]). Comments are
+    C-style. @raise Lex_error on malformed input. *)
+val tokenize : string -> (token * pos) list

@@ -1,0 +1,541 @@
+(* Recursive-descent parser for the Tangram codelet language.
+
+   Expression parsing uses the classic precedence-climbing layering; the
+   statement grammar is predictive (one or two tokens of lookahead decide
+   every production). Parse errors carry the offending position and an
+   explanation of what was expected. *)
+
+open Lexer
+
+exception Parse_error of Lexer.pos * string
+
+type state = { toks : (token * pos) array; mutable i : int }
+
+let peek st = fst st.toks.(st.i)
+let peek2 st = if st.i + 1 < Array.length st.toks then fst st.toks.(st.i + 1) else EOF
+let pos st = snd st.toks.(st.i)
+let advance st = st.i <- st.i + 1
+
+let fail st what =
+  raise
+    (Parse_error
+       (pos st, Printf.sprintf "expected %s, found %s" what (token_to_string (peek st))))
+
+let expect st (t : token) (what : string) =
+  if peek st = t then advance st else fail st what
+
+let ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | _ -> fail st "an identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st : Ast.ty =
+  match peek st with
+  | KW_int -> advance st; Ast.TInt
+  | KW_unsigned ->
+      advance st;
+      (* accept both "unsigned" and "unsigned int" *)
+      if peek st = KW_int then advance st;
+      Ast.TUnsigned
+  | KW_float -> advance st; Ast.TFloat
+  | KW_bool -> advance st; Ast.TBool
+  | KW_void -> advance st; Ast.TVoid
+  | KW_array ->
+      advance st;
+      expect st LT "'<' after Array";
+      (match peek st with
+      | INT 1 -> advance st
+      | INT d ->
+          raise (Parse_error (pos st, Printf.sprintf "only Array<1,_> is supported, got dimension %d" d))
+      | _ -> fail st "the dimension 1");
+      expect st COMMA "',' in Array<1,T>";
+      let elt = parse_type st in
+      expect st GT "'>' closing Array<1,T>";
+      Ast.TArray elt
+  | _ -> fail st "a type"
+
+let is_type_start = function
+  | KW_int | KW_unsigned | KW_float | KW_bool | KW_void | KW_array -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_or st in
+  if peek st = QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    expect st COLON "':' in conditional expression";
+    let b = parse_ternary st in
+    Ast.Ternary (c, a, b)
+  end
+  else c
+
+and parse_or st =
+  let rec go acc =
+    if peek st = PIPEPIPE then begin
+      advance st;
+      go (Ast.Binary (Ast.Or, acc, parse_and st))
+    end
+    else acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    if peek st = AMPAMP then begin
+      advance st;
+      go (Ast.Binary (Ast.And, acc, parse_bitor st))
+    end
+    else acc
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go acc =
+    if peek st = PIPE then begin
+      advance st;
+      go (Ast.Binary (Ast.Bor, acc, parse_bitxor st))
+    end
+    else acc
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go acc =
+    if peek st = CARET then begin
+      advance st;
+      go (Ast.Binary (Ast.Bxor, acc, parse_bitand st))
+    end
+    else acc
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go acc =
+    if peek st = AMP then begin
+      advance st;
+      go (Ast.Binary (Ast.Band, acc, parse_equality st))
+    end
+    else acc
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go acc =
+    match peek st with
+    | EQEQ -> advance st; go (Ast.Binary (Ast.Eq, acc, parse_relational st))
+    | NE -> advance st; go (Ast.Binary (Ast.Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go acc =
+    match peek st with
+    | LT -> advance st; go (Ast.Binary (Ast.Lt, acc, parse_shift st))
+    | LE -> advance st; go (Ast.Binary (Ast.Le, acc, parse_shift st))
+    | GT -> advance st; go (Ast.Binary (Ast.Gt, acc, parse_shift st))
+    | GE -> advance st; go (Ast.Binary (Ast.Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | SHL -> advance st; go (Ast.Binary (Ast.Shl, acc, parse_additive st))
+    | SHR -> advance st; go (Ast.Binary (Ast.Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go acc =
+    match peek st with
+    | PLUS -> advance st; go (Ast.Binary (Ast.Add, acc, parse_multiplicative st))
+    | MINUS -> advance st; go (Ast.Binary (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go acc =
+    match peek st with
+    | STAR -> advance st; go (Ast.Binary (Ast.Mul, acc, parse_unary st))
+    | SLASH -> advance st; go (Ast.Binary (Ast.Div, acc, parse_unary st))
+    | PERCENT -> advance st; go (Ast.Binary (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS -> advance st; Ast.Unary (Ast.Neg, parse_unary st)
+  | BANG -> advance st; Ast.Unary (Ast.Not, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec go e =
+    match peek st with
+    | LBRACKET ->
+        advance st;
+        let i = parse_expr st in
+        expect st RBRACKET "']' closing index";
+        go (Ast.Index (e, i))
+    | DOT -> (
+        match e with
+        | Ast.Ident recv ->
+            advance st;
+            let m = ident st in
+            expect st LPAREN "'(' opening method arguments";
+            let args = parse_args st in
+            expect st RPAREN "')' closing method arguments";
+            go (Ast.Method (recv, m, args))
+        | _ -> raise (Parse_error (pos st, "method receiver must be a simple name")))
+    | _ -> e
+  in
+  go e
+
+and parse_args st : Ast.expr list =
+  if peek st = RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if peek st = COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+and parse_primary st =
+  match peek st with
+  | INT n -> advance st; Ast.Int_lit n
+  | FLOAT f -> advance st; Ast.Float_lit f
+  | KW_true -> advance st; Ast.Bool_lit true
+  | KW_false -> advance st; Ast.Bool_lit false
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')' closing parenthesised expression";
+      e
+  | IDENT name ->
+      advance st;
+      if peek st = LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        expect st RPAREN "')' closing call arguments";
+        Ast.Call (name, args)
+      end
+      else Ast.Ident name
+  | _ -> fail st "an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_atomic_qual st : Ast.decl_qual option =
+  match peek st with
+  | KW_atomic k -> advance st; Some (Ast.Q_atomic k)
+  | _ -> None
+
+let parse_lhs_and_op st : (Ast.lhs * Ast.assign_op) option =
+  (* lookahead-based: IDENT (op | '[' expr ']' op) *)
+  match peek st with
+  | IDENT name -> (
+      match peek2 st with
+      | ASSIGN -> advance st; advance st; Some (Ast.L_var name, Ast.As_set)
+      | PLUSEQ -> advance st; advance st; Some (Ast.L_var name, Ast.As_add)
+      | MINUSEQ -> advance st; advance st; Some (Ast.L_var name, Ast.As_sub)
+      | DIVEQ -> advance st; advance st; Some (Ast.L_var name, Ast.As_div)
+      | PLUSPLUS -> None  (* handled as increment statement *)
+      | LBRACKET ->
+          (* could be an indexed store; tentatively parse and backtrack if
+             no assignment operator follows *)
+          let saved = st.i in
+          advance st;
+          advance st;
+          let idx = parse_expr st in
+          if peek st = RBRACKET then begin
+            advance st;
+            match peek st with
+            | ASSIGN -> advance st; Some (Ast.L_index (name, idx), Ast.As_set)
+            | PLUSEQ -> advance st; Some (Ast.L_index (name, idx), Ast.As_add)
+            | MINUSEQ -> advance st; Some (Ast.L_index (name, idx), Ast.As_sub)
+            | DIVEQ -> advance st; Some (Ast.L_index (name, idx), Ast.As_div)
+            | _ -> st.i <- saved; None
+          end
+          else begin
+            st.i <- saved;
+            None
+          end
+      | _ -> None)
+  | _ -> None
+
+(** Parse a declaration or assignment without the trailing ';' (the common
+    part of plain statements and for-headers). *)
+let rec parse_simple_stmt st : Ast.stmt =
+  match peek st with
+  | KW_tunable ->
+      advance st;
+      let ty = parse_type st in
+      let name = ident st in
+      (* initialisers are a semantic error, but parse them so the checker
+         can point at the right problem *)
+      let init =
+        if peek st = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Ast.Decl { quals = [ Ast.Q_tunable ]; d_ty = ty; d_name = name; d_dims = None; d_init = init }
+  | KW_shared ->
+      advance st;
+      let atomic = parse_atomic_qual st in
+      let ty = parse_type st in
+      let name = ident st in
+      let dims =
+        if peek st = LBRACKET then begin
+          advance st;
+          let e = parse_expr st in
+          expect st RBRACKET "']' closing shared array size";
+          Some e
+        end
+        else None
+      in
+      let init =
+        if peek st = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      let quals = Ast.Q_shared :: (match atomic with Some q -> [ q ] | None -> []) in
+      Ast.Decl { quals; d_ty = ty; d_name = name; d_dims = dims; d_init = init }
+  | KW_atomic k ->
+      (* an atomic qualifier without __shared parses but is rejected by the
+         checker with a pointed diagnostic (Section III-B requires both) *)
+      advance st;
+      let ty = parse_type st in
+      let name = ident st in
+      Ast.Decl { quals = [ Ast.Q_atomic k ]; d_ty = ty; d_name = name; d_dims = None; d_init = None }
+  | KW_vector ->
+      advance st;
+      let name = ident st in
+      expect st LPAREN "'(' in Vector declaration";
+      expect st RPAREN "')' in Vector declaration";
+      Ast.Vector_decl name
+  | KW_sequence ->
+      advance st;
+      let name = ident st in
+      expect st LPAREN "'(' in Sequence declaration";
+      let pat =
+        match peek st with
+        | KW_tiled -> advance st; Ast.Tiled
+        | KW_strided -> advance st; Ast.Strided
+        | _ -> fail st "an access pattern ('tiled' or 'strided')"
+      in
+      expect st RPAREN "')' in Sequence declaration";
+      Ast.Sequence_decl (name, pat)
+  | KW_map ->
+      advance st;
+      let m_name = ident st in
+      expect st LPAREN "'(' in Map declaration";
+      let m_func = ident st in
+      expect st COMMA "',' separating Map arguments";
+      expect st KW_partition "'partition'";
+      expect st LPAREN "'(' in partition";
+      let part_src = ident st in
+      expect st COMMA "',' in partition";
+      let part_n = parse_expr st in
+      expect st COMMA "',' in partition";
+      let s1 = ident st in
+      expect st COMMA "',' in partition";
+      let s2 = ident st in
+      expect st COMMA "',' in partition";
+      let s3 = ident st in
+      expect st RPAREN "')' closing partition";
+      expect st RPAREN "')' closing Map declaration";
+      Ast.Map_decl { m_name; m_func; m_part = { part_src; part_n; part_seqs = (s1, s2, s3) } }
+  | t when is_type_start t ->
+      let ty = parse_type st in
+      let name = ident st in
+      let dims =
+        if peek st = LBRACKET then begin
+          advance st;
+          let e = parse_expr st in
+          expect st RBRACKET "']' closing array size";
+          Some e
+        end
+        else None
+      in
+      let init =
+        if peek st = ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Ast.Decl { quals = []; d_ty = ty; d_name = name; d_dims = dims; d_init = init }
+  | IDENT name when peek2 st = PLUSPLUS ->
+      advance st;
+      advance st;
+      Ast.Assign (Ast.L_var name, Ast.As_add, Ast.Int_lit 1)
+  | _ -> (
+      match parse_lhs_and_op st with
+      | Some (lhs, op) -> Ast.Assign (lhs, op, parse_expr st)
+      | None -> (
+          let e = parse_expr st in
+          (* [m.atomicAdd()] becomes the Map atomic API marker *)
+          match e with
+          | Ast.Method (recv, m, []) when Ast.atomic_kind_of_name m <> None ->
+              let op = Option.get (Ast.atomic_kind_of_name m) in
+              Ast.Map_atomic { m_map = recv; m_op = op }
+          | e -> Ast.Expr_stmt e))
+
+and parse_stmt st : Ast.stmt =
+  match peek st with
+  | KW_if ->
+      advance st;
+      expect st LPAREN "'(' after if";
+      let c = parse_expr st in
+      expect st RPAREN "')' closing if condition";
+      let t = parse_block st in
+      let e =
+        if peek st = KW_else then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      Ast.If (c, t, e)
+  | KW_for ->
+      advance st;
+      expect st LPAREN "'(' after for";
+      let init = if peek st = SEMI then None else Some (parse_simple_stmt st) in
+      expect st SEMI "';' after for-init";
+      let cond = parse_expr st in
+      expect st SEMI "';' after for-condition";
+      let update = if peek st = RPAREN then None else Some (parse_simple_stmt st) in
+      expect st RPAREN "')' closing for header";
+      let body = parse_block st in
+      Ast.For { f_init = init; f_cond = cond; f_update = update; f_body = body }
+  | KW_return ->
+      advance st;
+      let e = parse_expr st in
+      expect st SEMI "';' after return";
+      Ast.Return e
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st SEMI "';' after statement";
+      s
+
+and parse_block st : Ast.stmt list =
+  if peek st = LBRACE then begin
+    advance st;
+    let rec go acc =
+      if peek st = RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else go (parse_stmt st :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Codelets                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param st : Ast.param =
+  let const =
+    if peek st = KW_const then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let ty = parse_type st in
+  let name = ident st in
+  { Ast.p_const = const; p_ty = ty; p_name = name }
+
+let parse_codelet st : Ast.codelet =
+  expect st KW_codelet "'__codelet'";
+  let coop = ref false and tag = ref None in
+  let rec quals () =
+    match peek st with
+    | KW_coop ->
+        advance st;
+        coop := true;
+        quals ()
+    | KW_tag ->
+        advance st;
+        expect st LPAREN "'(' after __tag";
+        tag := Some (ident st);
+        expect st RPAREN "')' closing __tag";
+        quals ()
+    | _ -> ()
+  in
+  quals ();
+  let ret = parse_type st in
+  let name = ident st in
+  expect st LPAREN "'(' opening parameter list";
+  let params =
+    if peek st = RPAREN then []
+    else
+      let rec go acc =
+        let p = parse_param st in
+        if peek st = COMMA then begin
+          advance st;
+          go (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      go []
+  in
+  expect st RPAREN "')' closing parameter list";
+  expect st LBRACE "'{' opening codelet body";
+  let rec body acc =
+    if peek st = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else body (parse_stmt st :: acc)
+  in
+  let stmts = body [] in
+  {
+    Ast.c_name = name;
+    c_coop = !coop;
+    c_tag = !tag;
+    c_ret = ret;
+    c_params = params;
+    c_body = stmts;
+  }
+
+(** Parse a whole source unit (a sequence of codelets). *)
+let parse_unit (src : string) : Ast.unit_ =
+  let st = { toks = Array.of_list (Lexer.tokenize src); i = 0 } in
+  let rec go acc =
+    if peek st = EOF then List.rev acc else go (parse_codelet st :: acc)
+  in
+  go []
+
+(** Parse a single expression (used by tests and the REPL-ish tools). *)
+let parse_expr_string (src : string) : Ast.expr =
+  let st = { toks = Array.of_list (Lexer.tokenize src); i = 0 } in
+  let e = parse_expr st in
+  if peek st <> EOF then fail st "end of input";
+  e

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the Tangram codelet language.
+
+    Expression parsing uses precedence climbing; the statement grammar is
+    predictive with one or two tokens of lookahead. Errors carry the
+    offending position and what was expected. *)
+
+exception Parse_error of Lexer.pos * string
+
+(** Parse a whole source unit (a sequence of [__codelet] definitions).
+    @raise Parse_error and re-raises {!Lexer.Lex_error}. *)
+val parse_unit : string -> Ast.unit_
+
+(** Parse a single expression; the input must be consumed entirely. *)
+val parse_expr_string : string -> Ast.expr

@@ -1,0 +1,159 @@
+(* Pretty-printer for the Tangram codelet language.
+
+   Prints the surface syntax back out; [Parser.parse_unit (Pp.unit_ u)]
+   round-trips to an AST equal to [u] (a qcheck property in the test
+   suite). Binary expressions are parenthesised according to precedence, so
+   printing is minimal but unambiguous. *)
+
+let binop_str (op : Ast.binop) : string =
+  match op with
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Mod -> "%"
+  | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.Eq -> "=="
+  | Ast.Ne -> "!=" | Ast.And -> "&&" | Ast.Or -> "||"
+  | Ast.Band -> "&" | Ast.Bor -> "|" | Ast.Bxor -> "^" | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+
+(* precedence levels matching the parser's layering; higher binds tighter *)
+let binop_prec (op : Ast.binop) : int =
+  match op with
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Band -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let rec ty (t : Ast.ty) : string =
+  match t with
+  | Ast.TInt -> "int"
+  | Ast.TUnsigned -> "unsigned"
+  | Ast.TFloat -> "float"
+  | Ast.TBool -> "bool"
+  | Ast.TVoid -> "void"
+  | Ast.TArray elt -> Printf.sprintf "Array<1,%s>" (ty elt)
+
+let float_lit (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let rec expr ?(prec = 0) (e : Ast.expr) : string =
+  match e with
+  | Ast.Int_lit n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Ast.Float_lit f -> float_lit f
+  | Ast.Bool_lit b -> if b then "true" else "false"
+  | Ast.Ident s -> s
+  | Ast.Binary (op, a, b) ->
+      let p = binop_prec op in
+      let s =
+        Printf.sprintf "%s %s %s" (expr ~prec:p a) (binop_str op) (expr ~prec:(p + 1) b)
+      in
+      if p < prec then "(" ^ s ^ ")" else s
+  | Ast.Unary (Ast.Neg, a) -> Printf.sprintf "-%s" (expr ~prec:11 a)
+  | Ast.Unary (Ast.Not, a) -> Printf.sprintf "!%s" (expr ~prec:11 a)
+  | Ast.Ternary (c, a, b) ->
+      let s = Printf.sprintf "%s ? %s : %s" (expr ~prec:1 c) (expr a) (expr b) in
+      if prec > 0 then "(" ^ s ^ ")" else s
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr ~prec:11 a) (expr i)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Ast.Method (recv, m, args) ->
+      Printf.sprintf "%s.%s(%s)" recv m (String.concat ", " (List.map expr args))
+
+let assign_op (op : Ast.assign_op) : string =
+  match op with
+  | Ast.As_set -> "="
+  | Ast.As_add -> "+="
+  | Ast.As_sub -> "-="
+  | Ast.As_div -> "/="
+  | Ast.As_min -> "=" (* printed via min(...) rewriting, see [assign] *)
+  | Ast.As_max -> "="
+
+let lhs (l : Ast.lhs) : string =
+  match l with
+  | Ast.L_var v -> v
+  | Ast.L_index (v, i) -> Printf.sprintf "%s[%s]" v (expr i)
+
+let assign (l : Ast.lhs) (op : Ast.assign_op) (e : Ast.expr) : string =
+  match op with
+  | Ast.As_min | Ast.As_max ->
+      (* no surface syntax for min/max compound assignment; print the
+         ternary expansion *)
+      let cmp = if op = Ast.As_min then "<" else ">" in
+      let l' = lhs l in
+      Printf.sprintf "%s = %s %s %s ? %s : %s;" l' (expr e) cmp l' (expr e) l'
+  | _ -> Printf.sprintf "%s %s %s;" (lhs l) (assign_op op) (expr e)
+
+let quals (qs : Ast.decl_qual list) : string =
+  String.concat ""
+    (List.map
+       (function
+         | Ast.Q_shared -> "__shared "
+         | Ast.Q_tunable -> "__tunable "
+         | Ast.Q_atomic k -> "_" ^ Ast.atomic_kind_name k ^ " ")
+       qs)
+
+let rec stmt ~indent (s : Ast.stmt) : string =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Decl { quals = qs; d_ty; d_name; d_dims; d_init } ->
+      let dims = match d_dims with Some e -> Printf.sprintf "[%s]" (expr e) | None -> "" in
+      let init = match d_init with Some e -> " = " ^ expr e | None -> "" in
+      Printf.sprintf "%s%s%s %s%s%s;" pad (quals qs) (ty d_ty) d_name dims init
+  | Ast.Vector_decl v -> Printf.sprintf "%sVector %s();" pad v
+  | Ast.Sequence_decl (n, p) ->
+      Printf.sprintf "%sSequence %s(%s);" pad n
+        (match p with Ast.Tiled -> "tiled" | Ast.Strided -> "strided")
+  | Ast.Map_decl { m_name; m_func; m_part = { part_src; part_n; part_seqs = (a, b, c) } } ->
+      Printf.sprintf "%sMap %s(%s, partition(%s, %s, %s, %s, %s));" pad m_name m_func
+        part_src (expr part_n) a b c
+  | Ast.Map_atomic { m_map; m_op } ->
+      Printf.sprintf "%s%s.%s();" pad m_map (Ast.atomic_kind_name m_op)
+  | Ast.Assign (l, op, e) -> pad ^ assign l op e
+  | Ast.If (c, t, []) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr c) (stmts ~indent:(indent + 2) t) pad
+  | Ast.If (c, t, e) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr c)
+        (stmts ~indent:(indent + 2) t) pad (stmts ~indent:(indent + 2) e) pad
+  | Ast.For { f_init; f_cond; f_update; f_body } ->
+      let part = function
+        | None -> ""
+        | Some s ->
+            (* reuse statement printing, then strip padding and ';' *)
+            let raw = String.trim (stmt ~indent:0 s) in
+            if String.length raw > 0 && raw.[String.length raw - 1] = ';' then
+              String.sub raw 0 (String.length raw - 1)
+            else raw
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) {\n%s\n%s}" pad (part f_init) (expr f_cond)
+        (part f_update) (stmts ~indent:(indent + 2) f_body) pad
+  | Ast.Return e -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.Expr_stmt e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Shfl_write { sw_dst; sw_op; sw_v; sw_delta; sw_up } ->
+      (* pass-introduced pseudo-statement: printed as the CUDA it becomes *)
+      Printf.sprintf "%s%s %s __shfl_%s(%s, %s);" pad sw_dst
+        (match sw_op with Ast.As_set -> "=" | _ -> assign_op sw_op)
+        (if sw_up then "up" else "down")
+        (expr sw_v) (expr sw_delta)
+  | Ast.Atomic_write { aw_lhs; aw_op; aw_v } ->
+      Printf.sprintf "%s%s(&%s, %s);" pad (Ast.atomic_kind_name aw_op) (lhs aw_lhs)
+        (expr aw_v)
+
+and stmts ~indent (body : Ast.stmt list) : string =
+  String.concat "\n" (List.map (stmt ~indent) body)
+
+let param (p : Ast.param) : string =
+  Printf.sprintf "%s%s %s" (if p.Ast.p_const then "const " else "") (ty p.Ast.p_ty)
+    p.Ast.p_name
+
+let codelet (c : Ast.codelet) : string =
+  Printf.sprintf "__codelet %s%s\n%s %s(%s) {\n%s\n}\n"
+    (if c.Ast.c_coop then "__coop " else "")
+    (match c.Ast.c_tag with Some t -> Printf.sprintf "__tag(%s)" t | None -> "")
+    (ty c.Ast.c_ret) c.Ast.c_name
+    (String.concat ", " (List.map param c.Ast.c_params))
+    (stmts ~indent:2 c.Ast.c_body)
+
+let unit_ (u : Ast.unit_) : string = String.concat "\n" (List.map codelet u)

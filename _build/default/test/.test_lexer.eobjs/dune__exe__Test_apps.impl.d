@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Gpusim List Printf

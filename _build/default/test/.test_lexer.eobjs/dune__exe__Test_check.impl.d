@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Ast Builtins Check List Option Parser String Tir

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Device_ir Gpusim List

@@ -1,0 +1,1 @@
+test/test_device_ir.ml: Alcotest Array Device_ir Gpusim List Printf String Synthesis

@@ -1,0 +1,1 @@
+test/test_device_ir.mli:

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Device_ir Lazy String Synthesis

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Device_ir Gpusim

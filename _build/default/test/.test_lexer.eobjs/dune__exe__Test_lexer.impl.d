@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Ast Lexer List Option Tir

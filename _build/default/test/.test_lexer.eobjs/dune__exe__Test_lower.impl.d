@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Ast Builtins Check Device_ir List Parser Passes Printf Synthesis Tir

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Builtins Fmt List Parser Pp Printf Tir

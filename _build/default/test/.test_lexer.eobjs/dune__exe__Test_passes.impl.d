@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Builtins Check List Parser Passes Tir

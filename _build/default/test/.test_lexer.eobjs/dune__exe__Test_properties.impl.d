@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Device_ir Float Gpusim Int32 Lazy List Passes Printf QCheck QCheck_alcotest String Synthesis Tir

@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Device_ir Hashtbl Lazy List String Synthesis Tir

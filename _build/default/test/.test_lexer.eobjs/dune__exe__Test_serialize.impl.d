@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Device_ir Gpusim Lazy List Synthesis

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Device_ir Float Gpusim Lazy List String Synthesis Tir

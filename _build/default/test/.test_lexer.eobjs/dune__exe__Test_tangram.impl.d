@@ -1,0 +1,1 @@
+test/test_tangram.ml: Alcotest Array Float Gpusim Lazy List String Synthesis Tangram

@@ -1,0 +1,84 @@
+(* Application-layer tests: the scan and histogram workloads built on the
+   simulator substrate (the paper's motivating use-cases). *)
+
+let archs = Gpusim.Arch.presets
+let maxwell = Gpusim.Arch.maxwell_gtx980
+let kepler = Gpusim.Arch.kepler_k40c
+
+let fa = Alcotest.(array (float 1e-9))
+
+let scan_tests =
+  [
+    Alcotest.test_case "inclusive scan matches the reference" `Quick (fun () ->
+        let input = Array.init 10_000 (fun i -> float_of_int ((i mod 11) - 5)) in
+        let o = Apps.Scan.inclusive ~arch:maxwell input in
+        Alcotest.check fa "scan" (Apps.Scan.reference input) o.Apps.Scan.scanned);
+    Alcotest.test_case "edge sizes" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let input = Array.init n (fun i -> float_of_int (i mod 5)) in
+            let o = Apps.Scan.inclusive ~arch:maxwell input in
+            Alcotest.check fa (Printf.sprintf "n=%d" n) (Apps.Scan.reference input)
+              o.Apps.Scan.scanned)
+          [ 1; 2; 31; 32; 33; 255; 256; 257; 511; 513; 4097 ]);
+    Alcotest.test_case "all architectures agree" `Quick (fun () ->
+        let input = Array.init 3000 (fun i -> float_of_int ((i * 7 mod 13) - 6)) in
+        let expected = Apps.Scan.reference input in
+        List.iter
+          (fun arch ->
+            let o = Apps.Scan.inclusive ~arch input in
+            Alcotest.check fa arch.Gpusim.Arch.generation expected o.Apps.Scan.scanned)
+          archs);
+    Alcotest.test_case "exclusive scan shifts" `Quick (fun () ->
+        let input = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+        let o = Apps.Scan.exclusive ~arch:maxwell input in
+        Alcotest.check fa "exclusive" [| 0.0; 3.0; 4.0; 8.0; 9.0 |] o.Apps.Scan.scanned);
+    Alcotest.test_case "scan of ones is the iota" `Quick (fun () ->
+        let input = Array.make 1000 1.0 in
+        let o = Apps.Scan.inclusive ~arch:kepler input in
+        Alcotest.(check (float 0.0)) "last" 1000.0 o.Apps.Scan.scanned.(999);
+        Alcotest.(check (float 0.0)) "first" 1.0 o.Apps.Scan.scanned.(0));
+    Alcotest.test_case "empty input rejected" `Quick (fun () ->
+        match Apps.Scan.inclusive ~arch:maxwell [||] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "histogram matches the reference" `Quick (fun () ->
+        let data = Array.init 50_000 (fun i -> float_of_int ((i * 131) land 255)) in
+        let o = Apps.Histogram.run ~arch:maxwell data in
+        Alcotest.check fa "hist" (Apps.Histogram.reference data)
+          o.Apps.Histogram.histogram);
+    Alcotest.test_case "skewed input stays correct" `Quick (fun () ->
+        let data = Array.make 10_000 42.0 in
+        let o = Apps.Histogram.run ~arch:kepler data in
+        Alcotest.(check (float 0.0)) "bin 42" 10_000.0 o.Apps.Histogram.histogram.(42);
+        Alcotest.(check (float 0.0)) "bin 0" 0.0 o.Apps.Histogram.histogram.(0));
+    Alcotest.test_case "kepler pays for skewed shared atomics" `Quick (fun () ->
+        let n = 200_000 in
+        let uniform = Array.init n (fun i -> float_of_int (i land 255)) in
+        let skewed = Array.make n 7.0 in
+        let t data arch = (Apps.Histogram.run ~arch data).Apps.Histogram.time_us in
+        let k_penalty = t skewed kepler /. t uniform kepler in
+        let m_penalty = t skewed maxwell /. t uniform maxwell in
+        Alcotest.(check bool) "kepler suffers more under skew" true
+          (k_penalty > m_penalty));
+    Alcotest.test_case "all sizes and architectures" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let data = Array.init n (fun i -> float_of_int ((i * 7) land 255)) in
+            let expected = Apps.Histogram.reference data in
+            List.iter
+              (fun arch ->
+                let o = Apps.Histogram.run ~arch data in
+                Alcotest.check fa
+                  (Printf.sprintf "%s n=%d" arch.Gpusim.Arch.generation n)
+                  expected o.Apps.Histogram.histogram)
+              archs)
+          [ 1; 257; 10_000 ]);
+  ]
+
+let () =
+  Alcotest.run "apps" [ ("scan", scan_tests); ("histogram", histogram_tests) ]

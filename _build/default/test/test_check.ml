@@ -1,0 +1,157 @@
+(* Semantic checker tests: the builtins pass; each diagnostic fires. *)
+
+open Tir
+
+let check_src (src : string) = Check.check_unit (Parser.parse_unit src)
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (check_src src))
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let rejects name ~(containing : string) src =
+  Alcotest.test_case name `Quick (fun () ->
+      match check_src src with
+      | _ -> Alcotest.fail "expected a semantic error"
+      | exception Check.Check_error msg ->
+          if not (string_contains msg containing) then
+            Alcotest.failf "error %S does not mention %S" msg containing)
+
+let acceptance_tests =
+  [
+    accepts "sum builtins" Builtins.sum_source;
+    accepts "max builtins" Builtins.max_source;
+    accepts "plain scalar codelet"
+      "__codelet float f(const Array<1,float> in) { float a = 0.0; a += in[0]; return a; }";
+    accepts "bool promoted under arithmetic"
+      "__codelet int f() { int a = 1 + (2 < 3); return a; }";
+    accepts "map with both finishes"
+      "__codelet float g(const Array<1,float> in) { float a = 0.0; a += in[0]; return a; }\n\
+       __codelet float g(const Array<1,float> in) { __tunable unsigned p; Sequence \
+       s(tiled); Sequence i(tiled); Sequence e(tiled); Map m(g, partition(in, p, s, \
+       i, e)); m.atomicAdd(); return g(m); }";
+  ]
+
+let classification_tests =
+  [
+    Alcotest.test_case "kinds of the sum unit" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let kind tag = (snd (Builtins.find_tag u ~tag)).Check.ci_kind in
+        Alcotest.(check bool) "scalar" true (kind "scalar" = Ast.Autonomous);
+        Alcotest.(check bool) "compound tiled" true (kind "compound_tiled" = Ast.Compound);
+        Alcotest.(check bool) "coop tree" true (kind "coop_tree" = Ast.Cooperative);
+        Alcotest.(check bool) "shared v1" true (kind "shared_v1" = Ast.Cooperative));
+    Alcotest.test_case "map info collected" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let _, info = Builtins.find_tag u ~tag:"compound_strided" in
+        match info.Check.ci_maps with
+        | [ (_, mb) ] ->
+            Alcotest.(check bool) "pattern" true (mb.Check.mb_pattern = Ast.Strided);
+            Alcotest.(check bool) "atomic" true (mb.Check.mb_atomic = Some Ast.At_add);
+            Alcotest.(check (option string)) "consumer" (Some "sum") mb.Check.mb_consumer
+        | _ -> Alcotest.fail "expected one map");
+    Alcotest.test_case "shared info collected" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let _, info = Builtins.find_tag u ~tag:"shared_v2" in
+        let atomics =
+          List.filter_map
+            (fun (n, _, _, q) -> Option.map (fun k -> (n, k)) q)
+            info.Check.ci_shared
+        in
+        Alcotest.(check int) "one atomic shared" 1 (List.length atomics);
+        Alcotest.(check bool) "is add" true (List.assoc "partial" atomics = Ast.At_add));
+    Alcotest.test_case "tunables collected" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let _, info = Builtins.find_tag u ~tag:"compound_tiled" in
+        Alcotest.(check (list string)) "tunables" [ "p" ] info.Check.ci_tunables);
+  ]
+
+let rejection_tests =
+  [
+    rejects "unbound identifier" ~containing:"unbound"
+      "__codelet int f() { return x; }";
+    rejects "redeclaration" ~containing:"redeclaration"
+      "__codelet int f() { int a = 0; int a = 1; return a; }";
+    rejects "void codelet" ~containing:"return"
+      "__codelet void f() { int a = 0; }";
+    rejects "missing return" ~containing:"never returns"
+      "__codelet int f() { int a = 0; }";
+    rejects "float returned from int codelet" ~containing:"float"
+      "__codelet int f() { return 1.5; }";
+    rejects "atomic qualifier without shared" ~containing:"__shared"
+      "__codelet int f() { _atomicAdd int a; return 0; }";
+    rejects "tunable with initialiser" ~containing:"initialiser"
+      "__codelet int f() { __tunable unsigned p = 4; return 0; }";
+    rejects "tunable must be integer" ~containing:"integer"
+      "__codelet int f() { __tunable float p; return 0; }";
+    rejects "shared scalar with initialiser" ~containing:"race"
+      "__codelet int f() { __shared int a = 0; return 0; }";
+    rejects "atomic shared array" ~containing:"scalar accumulator"
+      "__codelet int f() { __shared _atomicAdd int a[32]; return 0; }";
+    rejects "local array" ~containing:"__shared"
+      "__codelet int f() { int a[8]; return 0; }";
+    rejects "assignment to const param" ~containing:"const"
+      "__codelet int f(const int x) { x = 3; return x; }";
+    rejects "assignment to tunable" ~containing:"tunable"
+      "__codelet int f() { __tunable unsigned p; p = 2; return 0; }";
+    rejects "store into const container" ~containing:"const"
+      "__codelet float f(const Array<1,float> in) { in[0] = 1.0; return 0.0; }";
+    rejects "indexing a scalar" ~containing:"not"
+      "__codelet int f() { int a = 0; return a[0]; }";
+    rejects "float array index" ~containing:"integral"
+      "__codelet float f(const Array<1,float> in) { return in[1.5]; }";
+    rejects "modulo on floats" ~containing:"integer"
+      "__codelet float f() { float a = 1.0; return a % 2.0; }";
+    rejects "bitwise on floats" ~containing:"float"
+      "__codelet float f() { float a = 1.0; return a & 2.0; }";
+    rejects "unknown vector member" ~containing:"Vector member"
+      "__codelet int f() { Vector v(); return v.WarpCount(); }";
+    rejects "vector member with arguments" ~containing:"no arguments"
+      "__codelet int f() { Vector v(); return v.Size(1); }";
+    rejects "unknown array member" ~containing:"Array member"
+      "__codelet float f(const Array<1,float> in) { return in.Stride(); }";
+    rejects "call of unknown spectrum" ~containing:"unknown spectrum"
+      "__codelet float f(const Array<1,float> in) { return g(in); }";
+    rejects "partition of non-container" ~containing:"container"
+      "__codelet int f() { __tunable unsigned p; int x = 0; Sequence a(tiled); \
+       Sequence b(tiled); Sequence c(tiled); Map m(f, partition(x, p, a, b, c)); \
+       return f(m); }";
+    rejects "sequences disagree" ~containing:"disagree"
+      "__codelet float f(const Array<1,float> in) { __tunable unsigned p; Sequence \
+       a(tiled); Sequence b(strided); Sequence c(tiled); Map m(f, partition(in, p, \
+       a, b, c)); return f(m); }";
+    rejects "atomic API on non-map" ~containing:"not a Map"
+      "__codelet float f(const Array<1,float> in) { float m = 0.0; m.atomicAdd(); \
+       return m; }";
+    rejects "double atomic API" ~containing:"already"
+      "__codelet float f(const Array<1,float> in) { __tunable unsigned p; Sequence \
+       a(tiled); Sequence b(tiled); Sequence c(tiled); Map m(f, partition(in, p, a, \
+       b, c)); m.atomicAdd(); m.atomicAdd(); return f(m); }";
+    rejects "dangling map" ~containing:"neither"
+      "__codelet float f(const Array<1,float> in) { __tunable unsigned p; Sequence \
+       a(tiled); Sequence b(tiled); Sequence c(tiled); Map m(f, partition(in, p, a, \
+       b, c)); return 0.0; }";
+    rejects "map used as value" ~containing:"Map"
+      "__codelet float f(const Array<1,float> in) { __tunable unsigned p; Sequence \
+       a(tiled); Sequence b(tiled); Sequence c(tiled); Map m(f, partition(in, p, a, \
+       b, c)); m.atomicAdd(); return m + 1.0; }";
+    rejects "two vector declarations" ~containing:"multiple Vector"
+      "__codelet int f() { Vector v(); Vector w(); return 0; }";
+    rejects "signature mismatch across codelets" ~containing:"signature"
+      "__codelet int f() { return 0; } __codelet float f() { return 0.0; }";
+    rejects "duplicate parameter" ~containing:"duplicate"
+      "__codelet int f(int x, int x) { return x; }";
+    rejects "spectrum call with two arguments" ~containing:"exactly one"
+      "__codelet float f(const Array<1,float> in) { return f(in, in); }";
+  ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ("acceptance", acceptance_tests);
+      ("classification", classification_tests);
+      ("rejection", rejection_tests);
+    ]

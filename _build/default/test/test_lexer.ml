@@ -1,0 +1,93 @@
+(* Lexer unit tests: token classification, positions, comments, errors. *)
+
+open Tir
+
+let tokens_of (src : string) : Lexer.token list =
+  List.map fst (Lexer.tokenize src) |> List.filter (fun t -> t <> Lexer.EOF)
+
+let check_tokens name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = tokens_of src in
+      Alcotest.(check int) "token count" (List.length expected) (List.length got);
+      List.iter2
+        (fun e g ->
+          Alcotest.(check string) "token" (Lexer.token_to_string e)
+            (Lexer.token_to_string g))
+        expected got)
+
+let lex_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Lexer.tokenize src with
+      | _ -> Alcotest.fail "expected a lex error"
+      | exception Lexer.Lex_error _ -> ())
+
+let basic_tests =
+  let open Lexer in
+  [
+    check_tokens "identifiers" "foo bar_baz Foo_9" [ IDENT "foo"; IDENT "bar_baz"; IDENT "Foo_9" ];
+    check_tokens "integers" "0 42 1048576" [ INT 0; INT 42; INT 1048576 ];
+    check_tokens "floats" "0.0 3.5 1e3 2.5e-2 1.0f" [ FLOAT 0.0; FLOAT 3.5; FLOAT 1000.0; FLOAT 0.025; FLOAT 1.0 ];
+    check_tokens "negative float literal splits" "-3.0e38" [ MINUS; FLOAT 3.0e38 ];
+    check_tokens "keywords" "__codelet __coop __tag __shared __tunable"
+      [ KW_codelet; KW_coop; KW_tag; KW_shared; KW_tunable ];
+    check_tokens "atomic qualifiers" "_atomicAdd _atomicSub _atomicMin _atomicMax"
+      [ KW_atomic Ast.At_add; KW_atomic Ast.At_sub; KW_atomic Ast.At_min; KW_atomic Ast.At_max ];
+    check_tokens "types" "const unsigned int float bool void Array"
+      [ KW_const; KW_unsigned; KW_int; KW_float; KW_bool; KW_void; KW_array ];
+    check_tokens "primitives" "Vector Sequence Map partition tiled strided"
+      [ KW_vector; KW_sequence; KW_map; KW_partition; KW_tiled; KW_strided ];
+    check_tokens "control" "if else for return true false"
+      [ KW_if; KW_else; KW_for; KW_return; KW_true; KW_false ];
+    check_tokens "operators" "+ - * / % < <= > >= == != && || ! & | ^ << >>"
+      [ PLUS; MINUS; STAR; SLASH; PERCENT; LT; LE; GT; GE; EQEQ; NE; AMPAMP; PIPEPIPE;
+        BANG; AMP; PIPE; CARET; SHL; SHR ];
+    check_tokens "assignment operators" "= += -= /= ++"
+      [ ASSIGN; PLUSEQ; MINUSEQ; DIVEQ; PLUSPLUS ];
+    check_tokens "punctuation" "( ) { } [ ] , ; . ? :"
+      [ LPAREN; RPAREN; LBRACE; RBRACE; LBRACKET; RBRACKET; COMMA; SEMI; DOT;
+        QUESTION; COLON ];
+    check_tokens "line comment" "a // comment here\nb" [ IDENT "a"; IDENT "b" ];
+    check_tokens "block comment" "a /* x\ny */ b" [ IDENT "a"; IDENT "b" ];
+    check_tokens "no space needed" "a+b" [ IDENT "a"; PLUS; IDENT "b" ];
+    check_tokens "method call shape" "in.Size()"
+      [ IDENT "in"; DOT; IDENT "Size"; LPAREN; RPAREN ];
+    check_tokens "empty input" "" [];
+    check_tokens "whitespace only" "  \t \r\n " [];
+    lex_fails "unterminated comment" "a /* b";
+    lex_fails "stray character" "a $ b";
+    lex_fails "stray hash" "#define x";
+  ]
+
+let position_tests =
+  [
+    Alcotest.test_case "line and column tracking" `Quick (fun () ->
+        let toks = Lexer.tokenize "ab\n  cd\n e" in
+        let pos_of_ident name =
+          List.find_map
+            (fun (t, p) -> if t = Lexer.IDENT name then Some p else None)
+            toks
+          |> Option.get
+        in
+        let p1 = pos_of_ident "ab" and p2 = pos_of_ident "cd" and p3 = pos_of_ident "e" in
+        Alcotest.(check (pair int int)) "ab" (1, 1) (p1.Lexer.line, p1.Lexer.col);
+        Alcotest.(check (pair int int)) "cd" (2, 3) (p2.Lexer.line, p2.Lexer.col);
+        Alcotest.(check (pair int int)) "e" (3, 2) (p3.Lexer.line, p3.Lexer.col));
+    Alcotest.test_case "comments advance lines" `Quick (fun () ->
+        let toks = Lexer.tokenize "/* a\nb\nc */ x" in
+        let p =
+          List.find_map
+            (fun (t, p) -> if t = Lexer.IDENT "x" then Some p else None)
+            toks
+          |> Option.get
+        in
+        Alcotest.(check int) "line" 3 p.Lexer.line);
+    Alcotest.test_case "EOF is last token" `Quick (fun () ->
+        let toks = Lexer.tokenize "a b" in
+        match List.rev toks with
+        | (Lexer.EOF, _) :: _ -> ()
+        | _ -> Alcotest.fail "missing EOF");
+  ]
+
+let () =
+  Alcotest.run "lexer"
+    [ ("tokens", basic_tests); ("positions", position_tests) ]

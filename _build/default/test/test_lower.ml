@@ -1,0 +1,237 @@
+(* Lowering tests: direct unit tests of the TIR -> device-IR compiler core
+   (Lower/Compose), including its error paths. *)
+
+module Ir = Device_ir.Ir
+module L = Synthesis.Lower
+open Tir
+
+let fresh_counter () =
+  let c = ref 0 in
+  fun base -> incr c; Printf.sprintf "%s_%d" base !c
+
+let variant_of_src ?(name = None) src : Passes.Driver.variant =
+  let u = Check.check_unit (Parser.parse_unit src) in
+  let vs = Passes.Driver.all_variants u in
+  match name with
+  | Some n -> Passes.Driver.find_variant vs ~name:n
+  | None -> List.hd vs
+
+let lower ?(binding = L.C_register "tval") ?(csize = Ir.bdim) v =
+  L.lower_codelet ~fresh:(fresh_counter ()) ~prefix:"x" ~op:Ast.At_add ~elem:Ir.F32
+    ~binding ~csize v
+
+let lower_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match lower (variant_of_src src) with
+      | _ -> Alcotest.fail "expected Lower_error"
+      | exception L.Lower_error _ -> ())
+
+let count_ir pred (stmts : Ir.stmt list) : int =
+  let rec go acc (s : Ir.stmt) =
+    let acc = if pred s then acc + 1 else acc in
+    match s with
+    | Ir.If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
+    | Ir.For { body; _ } | Ir.While (_, body) -> List.fold_left go acc body
+    | _ -> acc
+  in
+  List.fold_left go 0 stmts
+
+let helpers_tests =
+  [
+    Alcotest.test_case "atomic op mapping" `Quick (fun () ->
+        Alcotest.(check bool) "add" true (L.ir_atomic_op Ast.At_add = Ir.A_add);
+        Alcotest.(check bool) "min" true (L.ir_atomic_op Ast.At_min = Ir.A_min));
+    Alcotest.test_case "identities per element type" `Quick (fun () ->
+        Alcotest.(check bool) "float add" true
+          (L.identity_exp Ast.At_add Ir.F32 = Ir.Float 0.0);
+        Alcotest.(check bool) "int add" true
+          (L.identity_exp Ast.At_add Ir.I32 = Ir.Int 0);
+        Alcotest.(check bool) "int max" true
+          (L.identity_exp Ast.At_max Ir.I32 = Ir.Int (-2147483648)));
+    Alcotest.test_case "assign_combine shapes" `Quick (fun () ->
+        let x = Ir.Reg "x" and v = Ir.Int 2 in
+        Alcotest.(check bool) "set" true (L.assign_combine Ast.As_set x v = v);
+        Alcotest.(check bool) "add" true
+          (L.assign_combine Ast.As_add x v = Ir.Binop (Ir.Add, x, v));
+        Alcotest.(check bool) "max" true
+          (L.assign_combine Ast.As_max x v = Ir.Binop (Ir.Max, x, v)));
+  ]
+
+let coop_src =
+  {|__codelet __coop float f(const Array<1,float> in) {
+      Vector v();
+      __shared _atomicAdd float acc;
+      float val = 0.0;
+      val = v.ThreadId() < in.Size() ? in[v.ThreadId()] : 0.0;
+      acc = val;
+      return acc;
+    }|}
+
+let structure_tests =
+  [
+    Alcotest.test_case "register binding links the container" `Quick (fun () ->
+        let lc = lower (variant_of_src coop_src) in
+        (* no global loads: in[ThreadId()] became the partial register *)
+        Alcotest.(check int) "no loads" 0
+          (count_ir
+             (function Ir.Load { space = Ir.Global; _ } -> true | _ -> false)
+             lc.L.lc_body);
+        Alcotest.(check bool) "not dynamic" true (not lc.L.lc_needs_dynamic));
+    Alcotest.test_case "global binding guards every load" `Quick (fun () ->
+        let binding =
+          L.C_global { global_of = (fun e -> Ir.(bid *: Int 256 +: e)); bound = Ir.Param "n" }
+        in
+        ignore binding;
+        (* lower the scalar serial codelet against a global range *)
+        let v =
+          variant_of_src
+            "__codelet float f(const Array<1,float> in) { unsigned len = in.Size(); \
+             float a = 0.0; for (unsigned i = 0; i < len; i++) { a += in[i]; } \
+             return a; }"
+        in
+        let lc =
+          L.lower_codelet ~fresh:(fresh_counter ()) ~prefix:"t" ~op:Ast.At_add
+            ~elem:Ir.F32
+            ~binding:
+              (L.C_global
+                 { global_of = (fun e -> Ir.(bid *: Int 256 +: e));
+                   bound = Ir.Param "SourceSize" })
+            ~csize:(Ir.Param "Coarsen") v
+        in
+        let loads =
+          count_ir (function Ir.Load { space = Ir.Global; _ } -> true | _ -> false)
+            lc.L.lc_body
+        in
+        let guards =
+          count_ir
+            (function
+              | Ir.If (Ir.Binop (Ir.Lt, _, Ir.Param "SourceSize"), _, _) -> true
+              | _ -> false)
+            lc.L.lc_body
+        in
+        Alcotest.(check int) "one load" 1 loads;
+        Alcotest.(check int) "one guard" 1 guards);
+    Alcotest.test_case "shared accumulator becomes a one-cell array with init"
+      `Quick (fun () ->
+        let lc = lower (variant_of_src coop_src) in
+        match lc.L.lc_shared with
+        | [ { Ir.sh_size = Ir.Static_size 1; _ } ] ->
+            (* prologue: init + barrier before the atomic *)
+            Alcotest.(check bool) "has sync" true
+              (count_ir (function Ir.Sync -> true | _ -> false) lc.L.lc_body >= 1);
+            Alcotest.(check int) "one shared atomic" 1
+              (count_ir
+                 (function Ir.Atomic { space = Ir.Shared; _ } -> true | _ -> false)
+                 lc.L.lc_body)
+        | _ -> Alcotest.fail "expected one static shared cell");
+    Alcotest.test_case "in.Size()-sized shared array is dynamic" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let vs = Passes.Driver.all_variants u in
+        let v = Passes.Driver.find_variant vs ~name:"coop_tree" in
+        let lc = lower ~binding:(L.C_register "tval") v in
+        Alcotest.(check bool) "dynamic" true lc.L.lc_needs_dynamic;
+        Alcotest.(check bool) "two shared homes" true (List.length lc.L.lc_shared = 2));
+    Alcotest.test_case "barriers follow shared writes at uniform level" `Quick
+      (fun () ->
+        let u = Builtins.sum_unit () in
+        let vs = Passes.Driver.all_variants u in
+        let v = Passes.Driver.find_variant vs ~name:"shared_v2" in
+        let lc = lower v in
+        (* the divergent lane-0 atomic is followed by a barrier at the outer
+           level; validator must accept the whole body *)
+        Device_ir.Validate.check_kernel_exn
+          {
+            Ir.k_name = "probe";
+            k_params = [];
+            k_arrays = [];
+            k_shared = lc.L.lc_shared;
+            k_body = [ Ir.let_ "tval" (Ir.Float 1.0) ] @ lc.L.lc_body;
+          });
+    Alcotest.test_case "shuffle variants need no shared tree array" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let vs = Passes.Driver.all_variants u in
+        let v = Passes.Driver.find_variant vs ~name:"coop_tree+shfl" in
+        let lc = lower v in
+        Alcotest.(check bool) "static partial only" true (not lc.L.lc_needs_dynamic);
+        Alcotest.(check bool) "shuffles present" true
+          (count_ir (function Ir.Shfl _ -> true | _ -> false) lc.L.lc_body > 0));
+  ]
+
+let error_tests =
+  [
+    lower_fails "finisher reading a non-ThreadId index"
+      {|__codelet __coop float f(const Array<1,float> in) {
+          Vector v();
+          float val = 0.0;
+          val = in[v.ThreadId() + 1];
+          return val;
+        }|};
+    lower_fails "unsupported shared size expression"
+      {|__codelet __coop float f(const Array<1,float> in) {
+          Vector v();
+          __shared float t[v.ThreadId()];
+          float val = 0.0;
+          t[0] = val;
+          return val;
+        }|};
+    lower_fails "two dynamically-sized shared arrays"
+      {|__codelet __coop float f(const Array<1,float> in) {
+          Vector v();
+          __shared float t1[in.Size()];
+          __shared float t2[in.Size()];
+          float val = 0.0;
+          t1[0] = val;
+          t2[0] = val;
+          return val;
+        }|};
+    Alcotest.test_case "codelet without a container parameter" `Quick (fun () ->
+        match
+          lower (variant_of_src "__codelet int f() { return 1; }")
+        with
+        | _ -> Alcotest.fail "expected Lower_error"
+        | exception L.Lower_error _ -> ());
+  ]
+
+let compose_tests =
+  [
+    Alcotest.test_case "every version's kernels carry its tunables" `Quick (fun () ->
+        let plan = Synthesis.Planner.sum () in
+        List.iter
+          (fun v ->
+            let p = Synthesis.Planner.program plan v in
+            let names = List.map fst p.Ir.p_tunables in
+            Alcotest.(check bool) (Synthesis.Version.name v) true
+              (List.mem "bsize" names))
+          (Synthesis.Version.enumerate_pruned ()));
+    Alcotest.test_case "atomic-finish programs have a single launch" `Quick (fun () ->
+        let plan = Synthesis.Planner.sum () in
+        List.iter
+          (fun v ->
+            let p = Synthesis.Planner.program plan v in
+            Alcotest.(check int)
+              (Synthesis.Version.name v)
+              (if Synthesis.Version.needs_second_kernel v then 2 else 1)
+              (List.length p.Ir.p_launches))
+          (Synthesis.Version.enumerate ()));
+    Alcotest.test_case "extension version A1g lowers and validates" `Quick (fun () ->
+        let plan = Synthesis.Planner.sum () in
+        let v =
+          { Synthesis.Version.grid_pattern = Ast.Tiled;
+            grid_finish = Synthesis.Version.Atomic;
+            block = Synthesis.Version.Direct Synthesis.Version.A1g }
+        in
+        Device_ir.Validate.check_program_exn (Synthesis.Planner.program plan v));
+    Alcotest.test_case "extension enumeration is a superset" `Quick (fun () ->
+        let base = List.length (Synthesis.Version.enumerate ()) in
+        let ext = List.length (Synthesis.Version.enumerate ~extensions:true ()) in
+        Alcotest.(check bool) "more versions" true (ext > base));
+  ]
+
+let () =
+  Alcotest.run "lower"
+    [
+      ("helpers", helpers_tests);
+      ("structure", structure_tests);
+      ("errors", error_tests);
+      ("composition", compose_tests);
+    ]

@@ -1,0 +1,227 @@
+(* Parser unit tests: expression precedence and associativity, statement
+   forms, codelet headers, and error reporting. *)
+
+open Tir
+
+let expr = Alcotest.testable (Fmt.of_to_string Ast.show_expr) Ast.equal_expr
+
+let parse_e = Parser.parse_expr_string
+
+let check_expr name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check expr "expression" expected (parse_e src))
+
+let parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parser.parse_unit src with
+      | _ -> Alcotest.fail "expected a parse error"
+      | exception Parser.Parse_error _ -> ())
+
+let e_parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse_e src with
+      | _ -> Alcotest.fail "expected a parse error"
+      | exception Parser.Parse_error _ -> ())
+
+open Ast
+
+let expression_tests =
+  [
+    check_expr "int literal" "42" (Int_lit 42);
+    check_expr "float literal" "2.5" (Float_lit 2.5);
+    check_expr "booleans" "true" (Bool_lit true);
+    check_expr "mul binds tighter than add" "1 + 2 * 3"
+      (Binary (Add, Int_lit 1, Binary (Mul, Int_lit 2, Int_lit 3)));
+    check_expr "left associativity of sub" "1 - 2 - 3"
+      (Binary (Sub, Binary (Sub, Int_lit 1, Int_lit 2), Int_lit 3));
+    check_expr "parentheses override" "(1 + 2) * 3"
+      (Binary (Mul, Binary (Add, Int_lit 1, Int_lit 2), Int_lit 3));
+    check_expr "comparison below arithmetic" "a + 1 < b * 2"
+      (Binary (Lt, Binary (Add, Ident "a", Int_lit 1), Binary (Mul, Ident "b", Int_lit 2)));
+    check_expr "logical and below comparison" "a < b && c > d"
+      (Binary (And, Binary (Lt, Ident "a", Ident "b"), Binary (Gt, Ident "c", Ident "d")));
+    check_expr "or below and" "a && b || c"
+      (Binary (Or, Binary (And, Ident "a", Ident "b"), Ident "c"));
+    check_expr "shift between compare and add" "a << 1 + 2"
+      (Binary (Shl, Ident "a", Binary (Add, Int_lit 1, Int_lit 2)));
+    check_expr "bitand chain" "a & b & c"
+      (Binary (Band, Binary (Band, Ident "a", Ident "b"), Ident "c"));
+    check_expr "unary minus" "-a + b" (Binary (Add, Unary (Neg, Ident "a"), Ident "b"));
+    check_expr "logical not" "!a && b" (Binary (And, Unary (Not, Ident "a"), Ident "b"));
+    check_expr "ternary" "a ? b : c" (Ternary (Ident "a", Ident "b", Ident "c"));
+    check_expr "ternary right assoc" "a ? b : c ? d : e"
+      (Ternary (Ident "a", Ident "b", Ternary (Ident "c", Ident "d", Ident "e")));
+    check_expr "ternary condition binds ops" "a < b ? x : y"
+      (Ternary (Binary (Lt, Ident "a", Ident "b"), Ident "x", Ident "y"));
+    check_expr "index" "in[i + 1]" (Index (Ident "in", Binary (Add, Ident "i", Int_lit 1)));
+    check_expr "nested index exprs" "tmp[vthread.ThreadId() + offset]"
+      (Index
+         ( Ident "tmp",
+           Binary (Add, Method ("vthread", "ThreadId", []), Ident "offset") ));
+    check_expr "call" "sum(map)" (Call ("sum", [ Ident "map" ]));
+    check_expr "method no args" "in.Size()" (Method ("in", "Size", []));
+    check_expr "method in arithmetic" "vthread.MaxSize() / 2"
+      (Binary (Div, Method ("vthread", "MaxSize", []), Int_lit 2));
+    check_expr "modulo" "a % 32" (Binary (Mod, Ident "a", Int_lit 32));
+    e_parse_fails "dangling operator" "1 +";
+    e_parse_fails "unclosed paren" "(1 + 2";
+    e_parse_fails "trailing garbage" "1 2";
+    e_parse_fails "method on expression" "(a + b).Size()";
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Statements and codelets                                         *)
+(* -------------------------------------------------------------- *)
+
+let parse_single_codelet src =
+  match Parser.parse_unit src with
+  | [ c ] -> c
+  | cs -> Alcotest.failf "expected one codelet, got %d" (List.length cs)
+
+let wrap_stmts stmts =
+  parse_single_codelet
+    (Printf.sprintf "__codelet float f(const Array<1,float> in) { %s return 0.0; }"
+       stmts)
+
+let stmt_tests =
+  [
+    Alcotest.test_case "empty parameter list" `Quick (fun () ->
+        let c = parse_single_codelet "__codelet int f() { return 0; }" in
+        Alcotest.(check int) "params" 0 (List.length c.c_params));
+    Alcotest.test_case "qualifiers parsed" `Quick (fun () ->
+        let c =
+          parse_single_codelet
+            "__codelet __coop __tag(xyz) float f(const Array<1,float> in) { return 0.0; }"
+        in
+        Alcotest.(check bool) "coop" true c.c_coop;
+        Alcotest.(check (option string)) "tag" (Some "xyz") c.c_tag);
+    Alcotest.test_case "const array param" `Quick (fun () ->
+        let c = parse_single_codelet "__codelet float f(const Array<1,float> in) { return 0.0; }" in
+        match c.c_params with
+        | [ { p_const = true; p_ty = TArray TFloat; p_name = "in" } ] -> ()
+        | _ -> Alcotest.fail "bad param");
+    Alcotest.test_case "unsigned int is TUnsigned" `Quick (fun () ->
+        let c = parse_single_codelet "__codelet int f(unsigned int x) { return x; }" in
+        match c.c_params with
+        | [ { p_ty = TUnsigned; _ } ] -> ()
+        | _ -> Alcotest.fail "bad param type");
+    Alcotest.test_case "tunable declaration" `Quick (fun () ->
+        let c = wrap_stmts "__tunable unsigned p;" in
+        match c.c_body with
+        | Decl { quals = [ Q_tunable ]; d_ty = TUnsigned; d_name = "p"; _ } :: _ -> ()
+        | _ -> Alcotest.fail "bad tunable");
+    Alcotest.test_case "shared atomic declaration" `Quick (fun () ->
+        let c = wrap_stmts "__shared _atomicAdd float acc;" in
+        match c.c_body with
+        | Decl { quals = [ Q_shared; Q_atomic At_add ]; d_name = "acc"; _ } :: _ -> ()
+        | _ -> Alcotest.fail "bad shared atomic");
+    Alcotest.test_case "shared array declaration" `Quick (fun () ->
+        let c = wrap_stmts "__shared float tmp[in.Size()];" in
+        match c.c_body with
+        | Decl { quals = [ Q_shared ]; d_dims = Some (Method ("in", "Size", [])); _ } :: _
+          ->
+            ()
+        | _ -> Alcotest.fail "bad shared array");
+    Alcotest.test_case "vector declaration" `Quick (fun () ->
+        let c = wrap_stmts "Vector vt();" in
+        match c.c_body with
+        | Vector_decl "vt" :: _ -> ()
+        | _ -> Alcotest.fail "bad Vector");
+    Alcotest.test_case "sequence declarations" `Quick (fun () ->
+        let c = wrap_stmts "Sequence s(tiled); Sequence t(strided);" in
+        match c.c_body with
+        | Sequence_decl ("s", Tiled) :: Sequence_decl ("t", Strided) :: _ -> ()
+        | _ -> Alcotest.fail "bad Sequence");
+    Alcotest.test_case "map declaration" `Quick (fun () ->
+        let c =
+          wrap_stmts
+            "__tunable unsigned p; Sequence a(tiled); Sequence b(tiled); Sequence \
+             c(tiled); Map m(f, partition(in, p, a, b, c));"
+        in
+        match List.nth c.c_body 4 with
+        | Map_decl { m_name = "m"; m_func = "f"; m_part = { part_src = "in"; _ } } -> ()
+        | _ -> Alcotest.fail "bad Map");
+    Alcotest.test_case "map atomic API statement" `Quick (fun () ->
+        let c =
+          wrap_stmts
+            "__tunable unsigned p; Sequence a(tiled); Sequence b(tiled); Sequence \
+             c(tiled); Map m(f, partition(in, p, a, b, c)); m.atomicMax();"
+        in
+        match List.nth c.c_body 5 with
+        | Map_atomic { m_map = "m"; m_op = At_max } -> ()
+        | _ -> Alcotest.fail "bad Map atomic");
+    Alcotest.test_case "compound assignments" `Quick (fun () ->
+        let c = wrap_stmts "float a = 0.0; a += 1.0; a -= 2.0; a /= 2.0;" in
+        let ops =
+          List.filter_map
+            (function Assign (L_var "a", op, _) -> Some op | _ -> None)
+            c.c_body
+        in
+        Alcotest.(check int) "ops" 3 (List.length ops);
+        Alcotest.(check bool) "order" true (ops = [ As_add; As_sub; As_div ]));
+    Alcotest.test_case "indexed store" `Quick (fun () ->
+        let c = wrap_stmts "__shared float t[32]; t[3] = 1.0;" in
+        match List.nth c.c_body 1 with
+        | Assign (L_index ("t", Int_lit 3), As_set, Float_lit 1.0) -> ()
+        | _ -> Alcotest.fail "bad indexed store");
+    Alcotest.test_case "for with increment" `Quick (fun () ->
+        let c = wrap_stmts "float s = 0.0; for (unsigned i = 0; i < 10; i++) { s += 1.0; }" in
+        match List.nth c.c_body 1 with
+        | For { f_update = Some (Assign (L_var "i", As_add, Int_lit 1)); _ } -> ()
+        | _ -> Alcotest.fail "bad for");
+    Alcotest.test_case "for with halving" `Quick (fun () ->
+        let c = wrap_stmts "for (int o = 16; o > 0; o /= 2) { float q = 0.0; }" in
+        match List.hd c.c_body with
+        | For { f_update = Some (Assign (L_var "o", As_div, Int_lit 2)); _ } -> ()
+        | _ -> Alcotest.fail "bad halving for");
+    Alcotest.test_case "if else" `Quick (fun () ->
+        let c = wrap_stmts "float a = 0.0; if (a > 1.0) { a = 1.0; } else { a = 2.0; }" in
+        match List.nth c.c_body 1 with
+        | If (_, [ _ ], [ _ ]) -> ()
+        | _ -> Alcotest.fail "bad if");
+    Alcotest.test_case "if without braces" `Quick (fun () ->
+        let c = wrap_stmts "float a = 0.0; if (a > 1.0) a = 1.0;" in
+        match List.nth c.c_body 1 with
+        | If (_, [ Assign _ ], []) -> ()
+        | _ -> Alcotest.fail "bad braceless if");
+    Alcotest.test_case "multiple codelets share a unit" `Quick (fun () ->
+        let u =
+          Parser.parse_unit
+            "__codelet int f() { return 0; } __codelet int f() { return 1; }"
+        in
+        Alcotest.(check int) "count" 2 (List.length u));
+    parse_fails "missing semicolon" "__codelet int f() { return 0 }";
+    parse_fails "Array dimension 2 rejected" "__codelet int f(const Array<2,int> x) { return 0; }";
+    parse_fails "bad sequence pattern" "__codelet int f() { Sequence s(diagonal); return 0; }";
+    parse_fails "unclosed body" "__codelet int f() { return 0;";
+    parse_fails "missing codelet keyword" "int f() { return 0; }";
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Round trips through the pretty printer                          *)
+(* -------------------------------------------------------------- *)
+
+let roundtrip_tests =
+  let rt name src =
+    Alcotest.test_case name `Quick (fun () ->
+        let u = Parser.parse_unit src in
+        let printed = Pp.unit_ u in
+        let reparsed = Parser.parse_unit printed in
+        if not (List.for_all2 Ast.equal_codelet u reparsed) then
+          Alcotest.failf "round-trip mismatch:\n%s" printed)
+  in
+  [
+    rt "sum builtins round-trip" Builtins.sum_source;
+    rt "max builtins round-trip" Builtins.max_source;
+    rt "nested control flow"
+      "__codelet float f(const Array<1,float> in) { float a = 0.0; if (a < 1.0) { \
+       for (int i = 0; i < 4; i++) { if (i == 2) { a += in[i]; } } } return a; }";
+  ]
+
+let () =
+  Alcotest.run "parser"
+    [
+      ("expressions", expression_tests);
+      ("statements", stmt_tests);
+      ("round-trips", roundtrip_tests);
+    ]

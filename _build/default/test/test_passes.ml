@@ -1,0 +1,391 @@
+(* AST transformation pass tests: Section III-A (global atomics via the Map
+   API), III-B (shared-atomic qualifiers), III-C (warp-shuffle detection,
+   Figure 4), constant folding, and the Figure 5 driver. *)
+
+open Tir
+
+let check_src src = Check.check_unit (Parser.parse_unit src)
+
+let count_stmts pred (c : Ast.codelet) : int =
+  Passes.Rewrite.fold_stmts (fun n s -> if pred s then n + 1 else n) 0 c.Ast.c_body
+
+let has_map_atomic = function Ast.Map_atomic _ -> true | _ -> false
+let has_atomic_write = function Ast.Atomic_write _ -> true | _ -> false
+let has_shfl_write = function Ast.Shfl_write _ -> true | _ -> false
+
+let shared_array_decls (c : Ast.codelet) : string list =
+  Passes.Rewrite.fold_stmts
+    (fun acc s ->
+      match s with
+      | Ast.Decl { quals; d_name; d_dims = Some _; _ } when List.mem Ast.Q_shared quals
+        ->
+          d_name :: acc
+      | _ -> acc)
+    [] c.Ast.c_body
+
+(* -------------------------------------------------------------- *)
+(* Section III-A: atomics on global memory                         *)
+(* -------------------------------------------------------------- *)
+
+let atomic_global_tests =
+  [
+    Alcotest.test_case "spectrum op inference: sum" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        Alcotest.(check bool) "add" true
+          (Passes.Atomic_global.infer_spectrum_op u "sum" = Some Ast.At_add));
+    Alcotest.test_case "spectrum op inference: max" `Quick (fun () ->
+        let u = Builtins.max_unit () in
+        Alcotest.(check bool) "max" true
+          (Passes.Atomic_global.infer_spectrum_op u "maxval" = Some Ast.At_max));
+    Alcotest.test_case "inference ignores loop iterator updates" `Quick (fun () ->
+        (* i++ is an As_add assignment but must not be read as the combine op *)
+        let u =
+          check_src
+            "__codelet float g(const Array<1,float> in) { float a = 0.0; for \
+             (unsigned i = 0; i < in.Size(); i++) { a = in[i] > a ? in[i] : a; } \
+             return a; }"
+        in
+        Alcotest.(check bool) "max inferred" true
+          (Passes.Atomic_global.infer_spectrum_op u "g" = Some Ast.At_max));
+    Alcotest.test_case "inference of subtraction" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet float g(const Array<1,float> in) { float a = 0.0; a -= in[0]; \
+             return a; }"
+        in
+        Alcotest.(check bool) "sub" true
+          (Passes.Atomic_global.infer_spectrum_op u "g" = Some Ast.At_sub));
+    Alcotest.test_case "non-atomic variant drops the API statement" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let c, _ = Builtins.find_tag u ~tag:"compound_tiled" in
+        let c' = Passes.Atomic_global.non_atomic_variant c in
+        Alcotest.(check int) "no Map_atomic" 0 (count_stmts has_map_atomic c');
+        (* the spectrum call stays *)
+        Alcotest.(check bool) "return sum(map)" true
+          (List.exists
+             (function Ast.Return (Ast.Call ("sum", _)) -> true | _ -> false)
+             c'.Ast.c_body));
+    Alcotest.test_case "atomic variant disables the spectrum call" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"compound_tiled" in
+        match Passes.Atomic_global.atomic_variant u ci with
+        | None -> Alcotest.fail "expected an atomic variant"
+        | Some c' ->
+            Alcotest.(check int) "Map_atomic kept" 1 (count_stmts has_map_atomic c');
+            Alcotest.(check bool) "call gone" true
+              (List.exists
+                 (function Ast.Return (Ast.Ident "map") -> true | _ -> false)
+                 c'.Ast.c_body));
+    Alcotest.test_case "mismatched computation refuses atomic variant" `Quick
+      (fun () ->
+        (* atomicAdd applied, but the consuming spectrum computes a max *)
+        let u =
+          check_src
+            "__codelet float g(const Array<1,float> in) { float a = 0.0; a = in[0] > \
+             a ? in[0] : a; return a; }\n\
+             __codelet float g(const Array<1,float> in) { __tunable unsigned p; \
+             Sequence s(tiled); Sequence i(tiled); Sequence e(tiled); Map m(g, \
+             partition(in, p, s, i, e)); m.atomicAdd(); return g(m); }"
+        in
+        let ci =
+          List.find (fun ((c : Ast.codelet), _) -> Ast.classify c = Ast.Compound) u
+        in
+        Alcotest.(check bool) "refused" true
+          (Passes.Atomic_global.atomic_variant u ci = None));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Section III-B: atomics on shared memory                         *)
+(* -------------------------------------------------------------- *)
+
+let atomic_shared_tests =
+  [
+    Alcotest.test_case "plain write becomes atomic (Figure 3a)" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v1" in
+        let c', n = Passes.Atomic_shared.apply ci in
+        Alcotest.(check int) "one conversion" 1 n;
+        Alcotest.(check int) "one Atomic_write" 1 (count_stmts has_atomic_write c'));
+    Alcotest.test_case "Figure 3b converts the leader write" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v2" in
+        let c', n = Passes.Atomic_shared.apply ci in
+        Alcotest.(check int) "one conversion" 1 n;
+        (* writes to the non-atomic array tmp stay plain *)
+        let plain_stores =
+          count_stmts
+            (function Ast.Assign (Ast.L_index ("tmp", _), _, _) -> true | _ -> false)
+            c'
+        in
+        Alcotest.(check bool) "tmp stores remain" true (plain_stores >= 2));
+    Alcotest.test_case "codelets without qualifiers unchanged" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"coop_tree" in
+        let c', n = Passes.Atomic_shared.apply ci in
+        Alcotest.(check int) "no conversions" 0 n;
+        Alcotest.(check bool) "same codelet" true (Ast.equal_codelet (fst ci) c'));
+    Alcotest.test_case "max qualifier produces atomicMax" `Quick (fun () ->
+        let u = Builtins.max_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v1" in
+        let c', _ = Passes.Atomic_shared.apply ci in
+        let ok =
+          count_stmts
+            (function Ast.Atomic_write { aw_op = Ast.At_max; _ } -> true | _ -> false)
+            c'
+        in
+        Alcotest.(check int) "atomicMax" 1 ok);
+    Alcotest.test_case "clashing compound write raises" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); \
+             __shared _atomicAdd float acc; float x = 0.0; acc -= x; return acc; }"
+        in
+        let ci = List.hd u in
+        match Passes.Atomic_shared.apply ci with
+        | _ -> Alcotest.fail "expected Mismatch"
+        | exception Passes.Atomic_shared.Mismatch _ -> ());
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Section III-C: warp shuffle detection (Figure 4)                *)
+(* -------------------------------------------------------------- *)
+
+let apply_shuffle tag =
+  let u = Builtins.sum_unit () in
+  let c, info = Builtins.find_tag u ~tag in
+  Passes.Shuffle.apply (Passes.Fold.fold_codelet c, info)
+
+let shuffle_tests =
+  [
+    Alcotest.test_case "coop_tree: both loops convert, tmp dies" `Quick (fun () ->
+        match apply_shuffle "coop_tree" with
+        | None -> Alcotest.fail "expected a shuffle variant"
+        | Some (c', report) ->
+            Alcotest.(check int) "loops" 2 report.Passes.Shuffle.converted_loops;
+            Alcotest.(check (list string)) "removed" [ "tmp" ]
+              report.Passes.Shuffle.removed_arrays;
+            Alcotest.(check (list string)) "partial survives" [ "partial" ]
+              (shared_array_decls c');
+            Alcotest.(check int) "two Shfl_write" 2 (count_stmts has_shfl_write c'));
+    Alcotest.test_case "shared_v2: one loop converts after atomic pass" `Quick
+      (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v2" in
+        let c1, _ = Passes.Atomic_shared.apply ci in
+        match Passes.Shuffle.apply (Passes.Fold.fold_codelet c1, snd ci) with
+        | None -> Alcotest.fail "expected a shuffle variant"
+        | Some (c', report) ->
+            Alcotest.(check int) "loops" 1 report.Passes.Shuffle.converted_loops;
+            Alcotest.(check (list string)) "tmp removed" [ "tmp" ]
+              report.Passes.Shuffle.removed_arrays;
+            (* the atomic write to partial must survive *)
+            Alcotest.(check int) "atomic stays" 1 (count_stmts has_atomic_write c'));
+    Alcotest.test_case "shared_v1 has no shuffle opportunity" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (apply_shuffle "shared_v1" = None));
+    Alcotest.test_case "scalar codelet has no shuffle opportunity" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let c, info = Builtins.find_tag u ~tag:"scalar" in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (c, info) = None));
+    Alcotest.test_case "max codelet converts with As_max combine" `Quick (fun () ->
+        let u = Builtins.max_unit () in
+        let c, info = Builtins.find_tag u ~tag:"coop_tree" in
+        match Passes.Shuffle.apply (Passes.Fold.fold_codelet c, info) with
+        | None -> Alcotest.fail "expected a shuffle variant"
+        | Some (c', _) ->
+            let ok =
+              count_stmts
+                (function
+                  | Ast.Shfl_write { sw_op = Ast.As_max; _ } -> true | _ -> false)
+                c'
+            in
+            Alcotest.(check int) "max shuffles" 2 ok);
+    (* Negative cases: each breaks one step of the Figure 4 algorithm. *)
+    Alcotest.test_case "increasing iterator rejected (step 2)" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = 1; o < v.MaxSize(); o += \
+             1) { a += t[v.ThreadId() + o]; t[v.ThreadId()] = a; } return a; }"
+        in
+        (* bound is in the condition, not the initialiser: not matched *)
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+    Alcotest.test_case "non-vector bound rejected (step 1)" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = 16; o > 0; o /= 2) { a \
+             += t[v.ThreadId() + o]; t[v.ThreadId()] = a; } return a; }"
+        in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+    Alcotest.test_case "missing writeback rejected (steps 5-7)" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = v.MaxSize() / 2; o > 0; \
+             o /= 2) { a += t[v.ThreadId() + o]; } return a; }"
+        in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+    Alcotest.test_case "iterator-dependent store index rejected (step 7)" `Quick
+      (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = v.MaxSize() / 2; o > 0; \
+             o /= 2) { a += t[v.ThreadId() + o]; t[v.ThreadId() + o] = a; } return a; \
+             }"
+        in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+    Alcotest.test_case "read without iterator rejected (step 4)" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = v.MaxSize() / 2; o > 0; \
+             o /= 2) { a += t[v.ThreadId()]; t[v.ThreadId()] = a; } return a; }"
+        in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+    Alcotest.test_case "two shared reads rejected (step 3)" `Quick (fun () ->
+        let u =
+          check_src
+            "__codelet __coop float g(const Array<1,float> in) { Vector v(); __shared \
+             float t[in.Size()]; float a = 0.0; for (int o = v.MaxSize() / 2; o > 0; \
+             o /= 2) { a += t[v.ThreadId() + o] + t[v.ThreadId() + o + 1]; \
+             t[v.ThreadId()] = a; } return a; }"
+        in
+        Alcotest.(check bool) "none" true (Passes.Shuffle.apply (List.hd u) = None));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Warp-aggregated atomics (Section III-D future work)             *)
+(* -------------------------------------------------------------- *)
+
+let aggregate_tests =
+  [
+    Alcotest.test_case "shared_v1 aggregates into shuffle + leader atomic" `Quick
+      (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v1" in
+        let c1, _ = Passes.Atomic_shared.apply ci in
+        match Passes.Aggregate.apply (c1, snd ci) with
+        | None -> Alcotest.fail "expected an aggregated variant"
+        | Some (c', report) ->
+            Alcotest.(check int) "one aggregation" 1 report.Passes.Aggregate.aggregated;
+            Alcotest.(check int) "shuffle loop added" 1 (count_stmts has_shfl_write c');
+            (* the atomic survives, but under a lane-0 guard *)
+            let guarded =
+              count_stmts
+                (function
+                  | Ast.If
+                      ( Ast.Binary (Ast.Eq, Ast.Method (_, "LaneId", []), Ast.Int_lit 0),
+                        [ Ast.Atomic_write _ ],
+                        [] ) ->
+                      true
+                  | _ -> false)
+                c'
+            in
+            Alcotest.(check int) "guarded atomic" 1 guarded);
+    Alcotest.test_case "shared_v2's guarded atomic is left alone" `Quick (fun () ->
+        (* its atomic is already once-per-warp: nothing to aggregate *)
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v2" in
+        let c1, _ = Passes.Atomic_shared.apply ci in
+        Alcotest.(check bool) "none" true (Passes.Aggregate.apply (c1, snd ci) = None));
+    Alcotest.test_case "codelets without a Vector cannot aggregate" `Quick (fun () ->
+        let u = Builtins.sum_unit () in
+        let ci = Builtins.find_tag u ~tag:"scalar" in
+        Alcotest.(check bool) "none" true (Passes.Aggregate.apply ci = None));
+    Alcotest.test_case "max aggregation uses a max shuffle" `Quick (fun () ->
+        let u = Builtins.max_unit () in
+        let ci = Builtins.find_tag u ~tag:"shared_v1" in
+        let c1, _ = Passes.Atomic_shared.apply ci in
+        match Passes.Aggregate.apply (c1, snd ci) with
+        | None -> Alcotest.fail "expected an aggregated variant"
+        | Some (c', _) ->
+            let ok =
+              count_stmts
+                (function
+                  | Ast.Shfl_write { sw_op = Ast.As_max; _ } -> true | _ -> false)
+                c'
+            in
+            Alcotest.(check int) "max shuffle" 1 ok);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Constant folding                                                *)
+(* -------------------------------------------------------------- *)
+
+let fold_expr_src src = Passes.Fold.fold_expr (Parser.parse_expr_string src)
+
+let fold_tests =
+  let check_fold name src expected =
+    Alcotest.test_case name `Quick (fun () ->
+        let e = fold_expr_src src in
+        if not (Ast.equal_expr e expected) then
+          Alcotest.failf "folded to %s" (Ast.show_expr e))
+  in
+  [
+    check_fold "integer arithmetic" "32 / 2 + 1" (Ast.Int_lit 17);
+    check_fold "float arithmetic" "1.5 + 2.5" (Ast.Float_lit 4.0);
+    check_fold "identity add" "x + 0" (Ast.Ident "x");
+    check_fold "identity mul" "1 * x" (Ast.Ident "x");
+    check_fold "zero mul" "x * 0" (Ast.Int_lit 0);
+    check_fold "division by one" "x / 1" (Ast.Ident "x");
+    check_fold "comparison" "3 < 4" (Ast.Bool_lit true);
+    check_fold "ternary true" "1 == 1 ? a : b" (Ast.Ident "a");
+    check_fold "ternary false" "1 == 2 ? a : b" (Ast.Ident "b");
+    check_fold "and short circuit" "false && x" (Ast.Bool_lit false);
+    check_fold "or identity" "false || x" (Ast.Ident "x");
+    check_fold "no division by zero" "x / 0"
+      (Ast.Binary (Ast.Div, Ast.Ident "x", Ast.Int_lit 0));
+    check_fold "nested" "(2 * 3) + (8 / 2)" (Ast.Int_lit 10);
+    check_fold "negation" "-(3)" (Ast.Int_lit (-3));
+    check_fold "not" "!true" (Ast.Bool_lit false);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* The Figure 5 driver                                             *)
+(* -------------------------------------------------------------- *)
+
+let driver_tests =
+  [
+    Alcotest.test_case "sum unit yields eleven variants" `Quick (fun () ->
+        let vs = Passes.Driver.all_variants (Builtins.sum_unit ()) in
+        Alcotest.(check int) "count" 11 (List.length vs));
+    Alcotest.test_case "max unit yields eleven variants" `Quick (fun () ->
+        let vs = Passes.Driver.all_variants (Builtins.max_unit ()) in
+        Alcotest.(check int) "count" 11 (List.length vs));
+    Alcotest.test_case "expected variant names" `Quick (fun () ->
+        let vs = Passes.Driver.all_variants (Builtins.sum_unit ()) in
+        let names = List.map (fun v -> v.Passes.Driver.v_name) vs in
+        List.iter
+          (fun n ->
+            if not (List.mem n names) then Alcotest.failf "missing variant %s" n)
+          [
+            "scalar"; "compound_tiled"; "compound_tiled(atomic)"; "compound_strided";
+            "compound_strided(atomic)"; "coop_tree"; "coop_tree+shfl"; "shared_v1";
+            "shared_v1+agg"; "shared_v2"; "shared_v2+shfl";
+          ]);
+    Alcotest.test_case "feature flags are consistent" `Quick (fun () ->
+        let vs = Passes.Driver.all_variants (Builtins.sum_unit ()) in
+        let v = Passes.Driver.find_variant vs ~name:"shared_v2+shfl" in
+        Alcotest.(check bool) "shuffle" true (Passes.Driver.has_shuffle v);
+        Alcotest.(check bool) "shared atomic" true (Passes.Driver.has_shared_atomic v);
+        Alcotest.(check bool) "not map atomic" false (Passes.Driver.has_map_atomic v);
+        let v2 = Passes.Driver.find_variant vs ~name:"compound_tiled(atomic)" in
+        Alcotest.(check bool) "map atomic" true (Passes.Driver.has_map_atomic v2));
+    Alcotest.test_case "compound variants carry the access pattern" `Quick (fun () ->
+        let vs = Passes.Driver.all_variants (Builtins.sum_unit ()) in
+        let v = Passes.Driver.find_variant vs ~name:"compound_strided" in
+        Alcotest.(check bool) "strided" true
+          (v.Passes.Driver.v_pattern = Some Ast.Strided));
+  ]
+
+let () =
+  Alcotest.run "passes"
+    [
+      ("atomic-global (III-A)", atomic_global_tests);
+      ("atomic-shared (III-B)", atomic_shared_tests);
+      ("shuffle (III-C)", shuffle_tests);
+      ("aggregate (III-D extension)", aggregate_tests);
+      ("constant folding", fold_tests);
+      ("driver (Fig. 5)", driver_tests);
+    ]

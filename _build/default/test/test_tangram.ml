@@ -1,0 +1,58 @@
+(* Facade tests: the public Tangram API (context creation, selection
+   caching, one-call reduction, CUDA emission, custom sources). *)
+
+let arch = Gpusim.Arch.maxwell_gtx980
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* one shared context: selection/tuning caches carry across test cases,
+   which is also what exercises the caching behaviour *)
+let shared_ctx = lazy (Tangram.create ())
+
+let facade_tests =
+  [
+    Alcotest.test_case "reduce returns the host sum" `Slow (fun () ->
+        let ctx = Lazy.force shared_ctx in
+        let input = Array.init 10_000 (fun i -> float_of_int (i mod 13) -. 6.0) in
+        let expected = Array.fold_left ( +. ) 0.0 input in
+        Alcotest.(check (float 1e-2)) "sum" expected (Tangram.reduce ctx ~arch input));
+    Alcotest.test_case "selection is cached per size bucket" `Slow (fun () ->
+        let ctx = Lazy.force shared_ctx in
+        let v1, t1 = Tangram.select ctx ~arch ~n:5000 in
+        let v2, t2 = Tangram.select ctx ~arch ~n:5001 in
+        Alcotest.(check bool) "same version" true (v1 = v2);
+        Alcotest.(check bool) "same tunables" true (t1 = t2));
+    Alcotest.test_case "selected version survives pruning" `Slow (fun () ->
+        let ctx = Lazy.force shared_ctx in
+        let v, _ = Tangram.select ctx ~arch ~n:4096 in
+        Alcotest.(check bool) "pruned" true (List.mem v (Tangram.pruned_versions ())));
+    Alcotest.test_case "tuned parameters respect candidate sets" `Slow (fun () ->
+        let ctx = Lazy.force shared_ctx in
+        let tn =
+          Tangram.tuned_parameters ctx ~arch (Tangram.Version.of_figure6 "a")
+        in
+        Alcotest.(check bool) "bsize" true
+          (List.mem (List.assoc "bsize" tn) Synthesis.Compose.bsize_candidates));
+    Alcotest.test_case "cuda_source emits a kernel" `Quick (fun () ->
+        let ctx = Lazy.force shared_ctx in
+        let src = Tangram.cuda_source ctx (Tangram.Version.of_figure6 "p") in
+        Alcotest.(check bool) "global" true (string_contains src "__global__"));
+    Alcotest.test_case "custom source contexts work end to end" `Slow (fun () ->
+        let ctx = Tangram.create ~source:Tangram.Builtins.max_source () in
+        let input = Array.init 4096 (fun i -> float_of_int ((i * 37) mod 1000)) in
+        let expected = Array.fold_left Float.max neg_infinity input in
+        Alcotest.(check (float 0.0)) "max" expected (Tangram.reduce ctx ~arch input));
+    Alcotest.test_case "version catalogue sizes" `Quick (fun () ->
+        Alcotest.(check int) "all" 88 (List.length (Tangram.all_versions ()));
+        Alcotest.(check int) "pruned" 30 (List.length (Tangram.pruned_versions ())));
+    Alcotest.test_case "size buckets group powers of two" `Quick (fun () ->
+        Alcotest.(check bool) "1024 and 1500 share" true
+          (Tangram.size_bucket 1024 = Tangram.size_bucket 1500);
+        Alcotest.(check bool) "1024 and 4096 differ" true
+          (Tangram.size_bucket 1024 <> Tangram.size_bucket 4096));
+  ]
+
+let () = Alcotest.run "tangram" [ ("facade", facade_tests) ]
