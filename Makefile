@@ -1,0 +1,20 @@
+# Convenience targets; CI runs `make check`.
+
+.PHONY: all build test check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build && dune runtest
+
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -10,6 +10,8 @@
      dune exec bench/main.exe fig7            -- best-version speedups, 3 GPUs
      dune exec bench/main.exe fig8|fig9|fig10 -- per-architecture detail
      dune exec bench/main.exe tuning          -- the Section IV-C tuning sweep
+     dune exec bench/main.exe service         -- plan-cache service throughput,
+                                                 warm vs cold
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
@@ -440,6 +442,32 @@ let ablation () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput: plan-cache warm vs cold                         *)
+(* ------------------------------------------------------------------ *)
+
+let service () =
+  print_endline
+    "=== Reduction service: trace-replay throughput, cold vs warm plan cache ===";
+  let requests = 1000 and batch = 256 in
+  let spec = Runtime.Trace.default ~requests ~seed:7 () in
+  let trace = Runtime.Trace.generate spec in
+  let svc = Runtime.Service.create (P.sum ()) in
+  Printf.printf
+    "trace: %d requests, sizes 64..268M, %d architectures, batch size %d\n\n"
+    requests (List.length spec.Runtime.Trace.t_archs) batch;
+  let cold = Runtime.Trace.replay ~batch_size:batch svc trace in
+  Printf.printf "cold (every bucket planned + tuned on first touch):\n  %s\n"
+    (Format.asprintf "%a" Runtime.Trace.pp_summary cold);
+  let warm = Runtime.Trace.replay ~batch_size:batch svc trace in
+  Printf.printf "warm (same trace, fully-populated cache):\n  %s\n"
+    (Format.asprintf "%a" Runtime.Trace.pp_summary warm);
+  Printf.printf
+    "\nwarm/cold throughput: %.1fx  (tune sweeps so far in this process: %d)\n\n"
+    (warm.Runtime.Trace.s_rps /. cold.Runtime.Trace.s_rps)
+    (Synthesis.Tuner.invocations ());
+  print_string (Runtime.Service.report svc)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -517,6 +545,7 @@ let all () =
   fig10 ();
   tuning ();
   ablation ();
+  service ();
   micro ()
 
 let () =
@@ -535,10 +564,11 @@ let () =
           | "fig10" -> fig10 ()
           | "tuning" -> tuning ()
           | "ablation" -> ablation ()
+          | "service" -> service ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|micro)\n"
                 other;
               exit 1)
         args

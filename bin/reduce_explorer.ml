@@ -44,6 +44,33 @@ let tune_arg =
   let doc = "Sweep tunables for each version at this size (default: tuned at 16M)." in
   Arg.(value & flag & info [ "tune" ] ~doc)
 
+let service_arg =
+  let doc =
+    "Run as a reduction service: replay a synthetic mixed-size request trace \
+     (the paper's 64..268M sweep) through the plan cache and print the \
+     service metrics report."
+  in
+  Arg.(value & flag & info [ "service" ] ~doc)
+
+let requests_arg =
+  let doc = "Number of requests in the --service trace." in
+  Arg.(value & opt int 1000 & info [ "requests" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed of the --service trace." in
+  Arg.(value & opt int 42 & info [ "trace-seed" ] ~doc)
+
+let batch_arg =
+  let doc = "Batch size of the --service replay (1 disables coalescing)." in
+  Arg.(value & opt int 64 & info [ "batch" ] ~doc)
+
+let cache_file_arg =
+  let doc =
+    "Plan-cache file for --service: loaded before the replay when it exists \
+     (warm start) and saved back afterwards."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-file" ] ~doc ~docv:"FILE")
+
 let lookup_arch (s : string) : Tangram.Arch.t =
   match Tangram.Arch.by_name s with
   | Some a -> a
@@ -110,8 +137,45 @@ let run_saved_program ~arch ~n ~events path =
       in
       print_outcome ~events (Printf.sprintf "%s (saved program)" path) o
 
-let run arch_name n version all baselines events tune program_file =
+let run_service ~arch ~requests ~seed ~batch ~cache_file =
+  if batch < 1 then begin
+    Printf.eprintf "--batch must be at least 1\n";
+    exit 1
+  end;
+  let plan = Tangram.plan (Tangram.create ()) in
+  let cache =
+    match cache_file with
+    | Some path when Sys.file_exists path -> (
+        match Tangram.Plan_cache.load path with
+        | c ->
+            Printf.printf "loaded %d cached plans from %s\n"
+              (Tangram.Plan_cache.length c) path;
+            Some c
+        | exception Tangram.Serialize.Parse_error msg ->
+            Printf.eprintf "cannot parse cache %s: %s\n" path msg;
+            exit 1)
+    | _ -> None
+  in
+  let svc = Tangram.Service.create ?cache plan in
+  let spec = Tangram.Trace.default ~requests ~seed ~archs:[ arch ] () in
+  let trace = Tangram.Trace.generate spec in
+  Printf.printf "replaying %d mixed-size requests on %s (batch %d)...\n" requests
+    arch.Tangram.Arch.name batch;
+  let summary = Tangram.Trace.replay ~batch_size:batch svc trace in
+  Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
+  print_string (Tangram.Service.report svc);
+  match cache_file with
+  | Some path ->
+      Tangram.Plan_cache.save (Tangram.Service.cache svc) path;
+      Printf.printf "\nsaved %d cached plans to %s\n"
+        (Tangram.Plan_cache.length (Tangram.Service.cache svc))
+        path
+  | None -> ()
+
+let run arch_name n version all baselines events tune program_file service
+    requests seed batch cache_file =
   let arch = lookup_arch arch_name in
+  if service then (run_service ~arch ~requests ~seed ~batch ~cache_file; exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
   let opts = opts_for n and input = input_for n in
@@ -176,6 +240,7 @@ let () =
   let term =
     Term.(
       const run $ arch_arg $ n_arg $ version_arg $ all_arg $ baselines_arg
-      $ events_arg $ tune_arg $ program_arg)
+      $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
+      $ seed_arg $ batch_arg $ cache_file_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -8,7 +8,9 @@
                 (or print) the discovered codelet variants;
    - [versions] enumerate the code-version search space and its census
                 (Section IV-B: 10 original -> 88 -> 30 after pruning);
-   - [check]    parse and semantically check a codelet source file. *)
+   - [check]    parse and semantically check a codelet source file;
+   - [serve]    run the reduction service against a synthetic request
+                trace and print the plan-cache metrics report. *)
 
 open Cmdliner
 
@@ -221,9 +223,99 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Parse and semantically check a codelet source file")
     Term.(const run $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let requests_arg =
+    let doc = "Number of requests in the synthetic trace." in
+    Arg.(value & opt int 1000 & info [ "requests" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Deterministic trace seed." in
+    Arg.(value & opt int 42 & info [ "trace-seed" ] ~doc)
+  in
+  let batch_arg =
+    let doc = "Replay batch size (1 disables same-shape coalescing)." in
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc)
+  in
+  let arch_arg =
+    let doc =
+      "Serve only this architecture (kepler|maxwell|pascal|volta); default: \
+       the three paper testbeds, mixed."
+    in
+    Arg.(value & opt (some string) None & info [ "arch"; "a" ] ~doc)
+  in
+  let cache_file_arg =
+    let doc =
+      "Plan-cache file: loaded before the replay when it exists (warm start) \
+       and saved back afterwards, so a warmed cache persists across runs."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-file" ] ~doc ~docv:"FILE")
+  in
+  let run spectrum source requests seed batch arch_name cache_file =
+    if batch < 1 then begin
+      Printf.eprintf "--batch must be at least 1\n";
+      exit 1
+    end;
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let archs =
+          match arch_name with
+          | None -> Tangram.Arch.presets
+          | Some name -> (
+              match Tangram.Arch.by_name name with
+              | Some a -> [ a ]
+              | None ->
+                  Printf.eprintf "unknown architecture %S\n" name;
+                  exit 1)
+        in
+        let cache =
+          match cache_file with
+          | Some path when Sys.file_exists path -> (
+              match Tangram.Plan_cache.load path with
+              | c ->
+                  Printf.printf "loaded %d cached plans from %s\n"
+                    (Tangram.Plan_cache.length c) path;
+                  Some c
+              | exception Tangram.Serialize.Parse_error msg ->
+                  Printf.eprintf "cannot parse cache %s: %s\n" path msg;
+                  exit 1)
+          | _ -> None
+        in
+        let svc = Tangram.Service.create ?cache plan in
+        let spec = Tangram.Trace.default ~requests ~seed ~archs () in
+        let trace = Tangram.Trace.generate spec in
+        Printf.printf "replaying %d mixed-size requests over %d architecture(s)...\n"
+          requests (List.length archs);
+        let summary = Tangram.Trace.replay ~batch_size:batch svc trace in
+        Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
+        print_string (Tangram.Service.report svc);
+        match cache_file with
+        | Some path ->
+            Tangram.Plan_cache.save (Tangram.Service.cache svc) path;
+            Printf.printf "\nsaved %d cached plans to %s\n"
+              (Tangram.Plan_cache.length (Tangram.Service.cache svc))
+              path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the reduction service: replay a synthetic mixed-size request \
+          trace through the plan cache and report service metrics")
+    Term.(
+      const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
+      $ arch_arg $ cache_file_arg)
+
 let () =
   let info =
     Cmd.info "tangramc" ~version:"1.0.0"
       ~doc:"Tangram-style kernel synthesis for GPU parallel reduction (CGO 2019)"
   in
-  exit (Cmd.eval (Cmd.group info [ emit_cmd; variants_cmd; versions_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ emit_cmd; variants_cmd; versions_cmd; check_cmd; serve_cmd ]))

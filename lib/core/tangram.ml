@@ -47,6 +47,10 @@ module Vectorize = Device_ir.Vectorize
 module Ptx = Device_ir.Ptx
 module Serialize = Device_ir.Serialize
 module Ir_analysis = Device_ir.Analysis
+module Plan_cache = Runtime.Plan_cache
+module Service = Runtime.Service
+module Stats = Runtime.Stats
+module Trace = Runtime.Trace
 module Scan = Apps.Scan
 module Histogram = Apps.Histogram
 module Cub = Baselines.Cub

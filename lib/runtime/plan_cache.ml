@@ -1,0 +1,249 @@
+(* The plan cache: memoized outcomes of version selection and tuning.
+
+   Keyed by (architecture, operation, element type, size bucket) — the
+   quadruple Figures 7-10 show the winning version actually depends on.
+   Bounded LRU with eviction counting; persists to an s-expression file
+   (versions by stable name, tunables inline, compiled programs dropped
+   and lazily rebuilt by the service after a load). *)
+
+module V = Synthesis.Version
+module S = Device_ir.Serialize
+
+(* ------------------------------------------------------------------ *)
+(* Size buckets                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_of_size (n : int) : int =
+  let rec go b k = if k <= 1 then b else go (b + 1) (k lsr 1) in
+  go 0 n
+
+let bucket_lo (b : int) : int = 1 lsl b
+let bucket_hi (b : int) : int = (1 lsl (b + 1)) - 1
+let representative_size = bucket_lo
+
+(* ------------------------------------------------------------------ *)
+(* Keys and entries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type key = { k_arch : string; k_op : string; k_elem : string; k_bucket : int }
+
+let key ~arch ~op ~elem ~n =
+  { k_arch = arch; k_op = op; k_elem = elem; k_bucket = bucket_of_size n }
+
+let key_name (k : key) : string =
+  Printf.sprintf "%s/%s/%s/#%d" k.k_arch k.k_op k.k_elem k.k_bucket
+
+type entry = {
+  e_version : V.t;
+  e_tunables : (string * int) list;
+  e_compiled : Gpusim.Runner.compiled_program option;
+  e_tuned_n : int;
+  e_tune_time_us : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The LRU table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type slot = { mutable s_entry : entry; mutable s_stamp : int }
+
+type t = {
+  cap : int;
+  table : (key, slot) Hashtbl.t;
+  mutable tick : int;
+  mutable evicted : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () : t =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); tick = 0; evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let evictions t = t.evicted
+
+let touch (t : t) (s : slot) : unit =
+  t.tick <- t.tick + 1;
+  s.s_stamp <- t.tick
+
+let find (t : t) (k : key) : entry option =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some s ->
+      touch t s;
+      Some s.s_entry
+
+let evict_lru (t : t) : unit =
+  let victim =
+    Hashtbl.fold
+      (fun k s acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= s.s_stamp -> acc
+        | _ -> Some (k, s.s_stamp))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evicted <- t.evicted + 1
+
+let add (t : t) (k : key) (e : entry) : unit =
+  (match Hashtbl.find_opt t.table k with
+  | Some s ->
+      s.s_entry <- e;
+      touch t s
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.table k { s_entry = e; s_stamp = t.tick });
+  ()
+
+let entries (t : t) : (key * entry) list =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare a.s_stamp b.s_stamp)
+  |> List.map (fun (k, s) -> (k, s.s_entry))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (S.Parse_error s)) fmt
+
+let sexp_of_entry (k : key) (e : entry) : S.sexp =
+  S.List
+    [
+      S.Atom "entry";
+      S.List [ S.Atom "arch"; S.Atom k.k_arch ];
+      S.List [ S.Atom "op"; S.Atom k.k_op ];
+      S.List [ S.Atom "elem"; S.Atom k.k_elem ];
+      S.List [ S.Atom "bucket"; S.Atom (string_of_int k.k_bucket) ];
+      S.List [ S.Atom "version"; S.Atom (V.name e.e_version) ];
+      S.List [ S.Atom "tuned-n"; S.Atom (string_of_int e.e_tuned_n) ];
+      S.List
+        [ S.Atom "tune-time-us"; S.Atom (Printf.sprintf "%.17g" e.e_tune_time_us) ];
+      S.List
+        (S.Atom "tunables"
+        :: List.map
+             (fun (name, v) -> S.List [ S.Atom name; S.Atom (string_of_int v) ])
+             e.e_tunables);
+    ]
+
+let to_string (t : t) : string =
+  let body =
+    S.List
+      (S.Atom "plan-cache"
+      :: S.List [ S.Atom "capacity"; S.Atom (string_of_int t.cap) ]
+      :: List.map (fun (k, e) -> sexp_of_entry k e) (entries t))
+  in
+  S.sexp_to_string body ^ "\n"
+
+(* the full search space (extensions included), indexed by stable name *)
+let version_by_name : (string, V.t) Hashtbl.t Lazy.t =
+  lazy
+    (let tbl = Hashtbl.create 128 in
+     List.iter (fun v -> Hashtbl.replace tbl (V.name v) v)
+       (V.enumerate ~extensions:true ());
+     tbl)
+
+let resolve_version (name : string) : V.t =
+  match Hashtbl.find_opt (Lazy.force version_by_name) name with
+  | Some v -> v
+  | None -> fail "plan-cache: unknown version %S" name
+
+let field (fields : S.sexp list) (name : string) : S.sexp list option =
+  List.find_map
+    (function
+      | S.List (S.Atom n :: rest) when n = name -> Some rest
+      | _ -> None)
+    fields
+
+let atom_field (fields : S.sexp list) (name : string) : string =
+  match field fields name with
+  | Some [ S.Atom a ] -> a
+  | _ -> fail "plan-cache: missing or malformed field %S" name
+
+let int_field fields name =
+  match int_of_string_opt (atom_field fields name) with
+  | Some i -> i
+  | None -> fail "plan-cache: field %S is not an integer" name
+
+let float_field fields name =
+  match float_of_string_opt (atom_field fields name) with
+  | Some f -> f
+  | None -> fail "plan-cache: field %S is not a number" name
+
+let entry_of_sexp (sexp : S.sexp) : key * entry =
+  match sexp with
+  | S.List (S.Atom "entry" :: fields) ->
+      let k =
+        {
+          k_arch = atom_field fields "arch";
+          k_op = atom_field fields "op";
+          k_elem = atom_field fields "elem";
+          k_bucket = int_field fields "bucket";
+        }
+      in
+      let tunables =
+        match field fields "tunables" with
+        | None -> fail "plan-cache: entry without tunables"
+        | Some items ->
+            List.map
+              (function
+                | S.List [ S.Atom name; S.Atom v ] -> (
+                    match int_of_string_opt v with
+                    | Some i -> (name, i)
+                    | None -> fail "plan-cache: tunable %S is not an integer" name)
+                | _ -> fail "plan-cache: malformed tunable binding")
+              items
+      in
+      let e =
+        {
+          e_version = resolve_version (atom_field fields "version");
+          e_tunables = tunables;
+          e_compiled = None;
+          e_tuned_n = int_field fields "tuned-n";
+          e_tune_time_us = float_field fields "tune-time-us";
+        }
+      in
+      (k, e)
+  | _ -> fail "plan-cache: expected an (entry ...) form"
+
+let of_string ?capacity (src : string) : t =
+  match S.parse_sexp src with
+  | S.List (S.Atom "plan-cache" :: fields) ->
+      let saved_cap =
+        match field fields "capacity" with
+        | Some [ S.Atom a ] -> int_of_string_opt a
+        | _ -> None
+      in
+      let capacity =
+        match (capacity, saved_cap) with
+        | Some c, _ -> c
+        | None, Some c -> c
+        | None, None -> default_capacity
+      in
+      let t = create ~capacity () in
+      List.iter
+        (function
+          | S.List (S.Atom "entry" :: _) as s ->
+              let k, e = entry_of_sexp s in
+              add t k e
+          | _ -> ())
+        fields;
+      t
+  | _ -> fail "plan-cache: expected a (plan-cache ...) form"
+
+let save (t : t) (path : string) : unit =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load ?capacity (path : string) : t =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  of_string ?capacity src

@@ -1,0 +1,95 @@
+(** The plan cache: memoized outcomes of version selection and tuning.
+
+    The paper's decisive observation (Figures 7-10) is that the winning
+    code version depends on the architecture, the combining operation,
+    the element type and the input size — and on nothing else. The cache
+    therefore keys on exactly that quadruple, with input sizes folded
+    into power-of-two buckets: planning and tuning run once per key, and
+    every later request in the same bucket reuses the stored winner.
+
+    Entries hold the winning {!Synthesis.Version.t}, its tuned tunables
+    and (in memory only) the compiled program. A bounded LRU policy
+    evicts the least-recently-used key once [capacity] is exceeded. A
+    warmed cache saves to and loads from an s-expression file, so a
+    service restart skips the cold path entirely. *)
+
+(** {1 Size buckets} *)
+
+(** The power-of-two bucket of a size: [bucket_of_size n = floor(log2 n)]
+    (0 for [n <= 1]). Sizes within one bucket are within 2x of each
+    other, close enough to share tuned parameters. *)
+val bucket_of_size : int -> int
+
+(** Inclusive lower bound of a bucket ([2^b]). *)
+val bucket_lo : int -> int
+
+(** Inclusive upper bound of a bucket ([2^(b+1) - 1]). *)
+val bucket_hi : int -> int
+
+(** The size a bucket is planned and tuned at (its lower bound). *)
+val representative_size : int -> int
+
+(** {1 Keys and entries} *)
+
+type key = {
+  k_arch : string;  (** architecture name, e.g. ["Tesla K40c"] *)
+  k_op : string;  (** combining operation, e.g. ["atomicAdd"] *)
+  k_elem : string;  (** element type, e.g. ["F32"] *)
+  k_bucket : int;  (** power-of-two size bucket *)
+}
+
+(** Build a key, bucketing the request size [n]. *)
+val key : arch:string -> op:string -> elem:string -> n:int -> key
+
+(** Human-readable rendering, e.g. ["Tesla K40c/atomicAdd/F32/#16"]. *)
+val key_name : key -> string
+
+type entry = {
+  e_version : Synthesis.Version.t;  (** the bucket's winning version *)
+  e_tunables : (string * int) list;  (** its tuned parameters *)
+  e_compiled : Gpusim.Runner.compiled_program option;
+      (** compiled once at plan time; not persisted (recompiled lazily
+          after a {!load}) *)
+  e_tuned_n : int;  (** the size planning/tuning ran at *)
+  e_tune_time_us : float;  (** host-side cost of the cold path *)
+}
+
+(** {1 The cache} *)
+
+type t
+
+(** Default LRU capacity (64 entries). *)
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+val capacity : t -> int
+val length : t -> int
+
+(** Total evictions since creation. *)
+val evictions : t -> int
+
+(** Lookup; a hit refreshes the entry's LRU recency. *)
+val find : t -> key -> entry option
+
+(** Insert (or replace) an entry, evicting the least-recently-used key
+    if the cache is full. *)
+val add : t -> key -> entry -> unit
+
+(** All entries, least-recently-used first. *)
+val entries : t -> (key * entry) list
+
+(** {1 Persistence} *)
+
+(** S-expression rendering of the cache (versions are stored by their
+    stable {!Synthesis.Version.name}; compiled programs are dropped). *)
+val to_string : t -> string
+
+(** Parse a saved cache. Unknown version names fail loudly.
+    @raise Device_ir.Serialize.Parse_error on malformed input. *)
+val of_string : ?capacity:int -> string -> t
+
+val save : t -> string -> unit
+
+(** @raise Device_ir.Serialize.Parse_error on malformed input,
+    [Sys_error] on an unreadable file. *)
+val load : ?capacity:int -> string -> t

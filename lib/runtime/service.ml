@@ -1,0 +1,208 @@
+(* The request engine.
+
+   Dispatch is size-bucketed: a request's (arch, op, elem, bucket) key
+   either hits the plan cache (run immediately with the memoized winner)
+   or triggers the cold path — sweep every candidate version's tunables
+   at the bucket's representative size, keep the fastest, populate the
+   cache. Batched submission coalesces same-shape requests into one
+   simulation, the serving analogue of the paper's observation that the
+   winner depends only on (arch, op, elem, size). *)
+
+module V = Synthesis.Version
+module P = Synthesis.Planner
+module Tuner = Synthesis.Tuner
+module R = Gpusim.Runner
+
+type request = { req_arch : Gpusim.Arch.t; req_input : R.input }
+
+type response = {
+  resp_value : float;
+  resp_exact : bool;
+  resp_sim_us : float;
+  resp_version : V.t;
+  resp_tunables : (string * int) list;
+  resp_hit : bool;
+  resp_bucket : int;
+  resp_service_us : float;
+}
+
+type t = {
+  planner : P.t;
+  cache : Plan_cache.t;
+  stats : Stats.t;
+  candidates : V.t list;
+  exact_threshold : int;
+}
+
+let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
+    (planner : P.t) : t =
+  let cache =
+    match cache with Some c -> c | None -> Plan_cache.create ?capacity ()
+  in
+  let candidates =
+    match candidates with Some cs -> cs | None -> V.enumerate_pruned ()
+  in
+  (match candidates with
+  | [] -> invalid_arg "Service.create: empty candidate list"
+  | _ -> ());
+  { planner; cache; stats = Stats.create (); candidates; exact_threshold }
+
+let planner t = t.planner
+let cache t = t.cache
+let stats t = t.stats
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* fast sampled mode for serving: cost is near-constant in the input size *)
+let sampled_opts : Gpusim.Interp.options =
+  { Gpusim.Interp.max_blocks = Some 12; loop_cap = Some 24; check_uniform = false }
+
+let opts_for (t : t) (input : R.input) : Gpusim.Interp.options =
+  match input with
+  | R.Dense a when Array.length a <= t.exact_threshold -> Gpusim.Interp.exact
+  | R.Dense _ | R.Synthetic _ -> sampled_opts
+
+let key_of (t : t) (arch : Gpusim.Arch.t) (n : int) : Plan_cache.key =
+  Plan_cache.key ~arch:arch.Gpusim.Arch.name ~op:(P.op_name t.planner)
+    ~elem:(P.elem_name t.planner) ~n
+
+(* ------------------------------------------------------------------ *)
+(* The cold path: plan + tune one bucket                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Selection and tuning in one sweep: each candidate's tunables are swept
+   at the bucket's representative size (the tuner already reports the
+   fastest configuration's time), and the version with the fastest tuned
+   configuration wins the bucket. *)
+let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
+    Plan_cache.entry =
+  let rep = Plan_cache.representative_size k.Plan_cache.k_bucket in
+  let t0 = now_us () in
+  (* planning: lower, validate and compile every candidate (memoized in
+     the planner across buckets and architectures) *)
+  let compiled =
+    List.filter_map
+      (fun v ->
+        match P.compiled t.planner v with
+        | cp -> Some (v, cp)
+        | exception Device_ir.Validate.Invalid _ -> None)
+      t.candidates
+  in
+  Stats.plan_us t.stats (now_us () -. t0);
+  let t1 = now_us () in
+  let best = ref None in
+  List.iter
+    (fun (v, cp) ->
+      match Tuner.tune ~arch ~n:rep cp with
+      | o -> (
+          match !best with
+          | Some (_, _, bt) when bt <= o.Tuner.best_time_us -> ()
+          | _ -> best := Some (v, o.Tuner.best, o.Tuner.best_time_us))
+      | exception (Invalid_argument _ | Gpusim.Interp.Sim_error _) -> ())
+    compiled;
+  let tune_us = now_us () -. t1 in
+  Stats.tune_us t.stats tune_us;
+  match !best with
+  | None ->
+      failwith
+        (Printf.sprintf "Service: no candidate version survived planning for %s"
+           (Plan_cache.key_name k))
+  | Some (v, tunables, _) ->
+      {
+        Plan_cache.e_version = v;
+        e_tunables = tunables;
+        e_compiled = Some (P.compiled t.planner v);
+        e_tuned_n = rep;
+        e_tune_time_us = tune_us;
+      }
+
+let ensure (t : t) (arch : Gpusim.Arch.t) (n : int) : Plan_cache.entry * bool =
+  let k = key_of t arch n in
+  let bucket = Plan_cache.key_name k in
+  match Plan_cache.find t.cache k with
+  | Some e ->
+      Stats.hit t.stats ~bucket;
+      (e, true)
+  | None ->
+      Stats.miss t.stats ~bucket;
+      let e = plan_bucket t arch k in
+      let before = Plan_cache.evictions t.cache in
+      Plan_cache.add t.cache k e;
+      for _ = 1 to Plan_cache.evictions t.cache - before do
+        Stats.eviction t.stats
+      done;
+      (e, false)
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_entry (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
+    (started_us : float) : response =
+  let cp =
+    match e.Plan_cache.e_compiled with
+    | Some cp -> cp
+    | None -> P.compiled t.planner e.Plan_cache.e_version
+  in
+  let run_started = now_us () in
+  let o =
+    R.run_compiled ~opts:(opts_for t req.req_input) ~arch:req.req_arch
+      ~tunables:e.Plan_cache.e_tunables ~input:req.req_input cp
+  in
+  Stats.run_us t.stats (now_us () -. run_started);
+  Stats.winner t.stats (V.name e.Plan_cache.e_version);
+  let service_us = now_us () -. started_us in
+  {
+    resp_value = o.R.result;
+    resp_exact = o.R.exact;
+    resp_sim_us = o.R.time_us;
+    resp_version = e.Plan_cache.e_version;
+    resp_tunables = e.Plan_cache.e_tunables;
+    resp_hit = hit;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = service_us;
+  }
+
+let submit (t : t) (req : request) : response =
+  let started = now_us () in
+  let e, hit = ensure t req.req_arch (R.input_size req.req_input) in
+  run_entry t req e hit started
+
+(* Two requests share one simulation when they target the same
+   architecture and carry equal inputs (synthetic inputs compare by
+   (n, pattern); dense inputs by contents — same data, same reduction). *)
+let same_shape (a : request) (b : request) : bool =
+  a.req_arch.Gpusim.Arch.name = b.req_arch.Gpusim.Arch.name
+  &&
+  match (a.req_input, b.req_input) with
+  | R.Dense x, R.Dense y -> x == y || x = y
+  | R.Synthetic sx, R.Synthetic sy ->
+      sx.n = sy.n && (sx.pattern == sy.pattern || sx.pattern = sy.pattern)
+  | _ -> false
+
+let submit_batch (t : t) (reqs : request list) : response list =
+  match reqs with
+  | [] -> []
+  | [ req ] -> [ submit t req ]
+  | _ ->
+      (* group indices by shape, preserving first-seen group order *)
+      let groups : (request * int list ref) list ref = ref [] in
+      List.iteri
+        (fun i req ->
+          match List.find_opt (fun (rep, _) -> same_shape rep req) !groups with
+          | Some (_, idxs) -> idxs := i :: !idxs
+          | None -> groups := !groups @ [ (req, ref [ i ]) ])
+        reqs;
+      let n_reqs = List.length reqs in
+      Stats.batch t.stats ~size:n_reqs
+        ~coalesced:(n_reqs - List.length !groups);
+      let responses = Array.make n_reqs None in
+      List.iter
+        (fun (rep, idxs) ->
+          let r = submit t rep in
+          List.iter (fun i -> responses.(i) <- Some r) !idxs)
+        !groups;
+      Array.to_list responses
+      |> List.map (function Some r -> r | None -> assert false)
+
+let report (t : t) : string = Stats.report t.stats

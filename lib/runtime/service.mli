@@ -1,0 +1,60 @@
+(** The request engine: a long-lived reduction service in front of the
+    planner/tuner/simulator stack.
+
+    [submit] dispatches one reduction request through the {!Plan_cache}:
+    a hit runs the cached winner immediately; a miss plans and tunes the
+    request's (architecture, operation, element, size-bucket) key once —
+    every pruned candidate version is swept at the bucket's
+    representative size and the fastest wins — then populates the cache
+    and runs. [submit_batch] additionally coalesces same-shape requests
+    (equal architecture and input) into a single simulation. *)
+
+type request = {
+  req_arch : Gpusim.Arch.t;
+  req_input : Gpusim.Runner.input;
+}
+
+type response = {
+  resp_value : float;  (** the reduced value *)
+  resp_exact : bool;  (** whether [resp_value] is trustworthy (no sampling) *)
+  resp_sim_us : float;  (** simulated GPU wall clock *)
+  resp_version : Synthesis.Version.t;  (** version that served the request *)
+  resp_tunables : (string * int) list;
+  resp_hit : bool;  (** plan-cache hit? *)
+  resp_bucket : int;  (** size bucket the request dispatched to *)
+  resp_service_us : float;  (** host-side service latency *)
+}
+
+type t
+
+(** [create planner] builds a cold service.
+    [capacity] bounds the plan cache (LRU, default
+    {!Plan_cache.default_capacity}); [cache] starts from a warmed cache
+    instead (e.g. {!Plan_cache.load}ed — [capacity] is then ignored);
+    [candidates] restricts the versions considered on a cache miss
+    (default: the 30 pruned survivors); dense inputs up to
+    [exact_threshold] elements (default [2^17]) run in exact mode, larger
+    or synthetic inputs in fast sampled mode. *)
+val create :
+  ?capacity:int ->
+  ?cache:Plan_cache.t ->
+  ?candidates:Synthesis.Version.t list ->
+  ?exact_threshold:int ->
+  Synthesis.Planner.t ->
+  t
+
+val planner : t -> Synthesis.Planner.t
+val cache : t -> Plan_cache.t
+val stats : t -> Stats.t
+
+(** Serve one request. @raise Failure when no candidate version survives
+    planning for the request's bucket. *)
+val submit : t -> request -> response
+
+(** Serve a batch: requests with equal architecture and input share one
+    cache lookup and one simulation; responses come back in request
+    order. *)
+val submit_batch : t -> request list -> response list
+
+(** The {!Stats.report} of this service. *)
+val report : t -> string

@@ -1,0 +1,156 @@
+(* Service metrics: cache hit/miss counts per bucket, plan/tune/run
+   latency distributions (p50/p95/max over growable sample buffers),
+   eviction and batching counters, and a winning-version histogram. *)
+
+type series = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+(* growable sample buffer; percentiles are computed at report time *)
+type samples = { mutable data : float array; mutable len : int }
+
+let samples_create () = { data = Array.make 64 0.0; len = 0 }
+
+let sample (s : samples) (x : float) : unit =
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0.0 in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+let summarize (s : samples) : series =
+  if s.len = 0 then { count = 0; mean = 0.0; p50 = 0.0; p95 = 0.0; max = 0.0 }
+  else begin
+    let sorted = Array.sub s.data 0 s.len in
+    Array.sort compare sorted;
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    {
+      count = s.len;
+      mean = total /. float_of_int s.len;
+      p50 = percentile sorted 0.50;
+      p95 = percentile sorted 0.95;
+      max = sorted.(s.len - 1);
+    }
+  end
+
+type counters = { mutable c_hits : int; mutable c_misses : int }
+
+type t = {
+  buckets : (string, counters) Hashtbl.t;
+  winners : (string, int) Hashtbl.t;
+  plan : samples;
+  tune : samples;
+  run : samples;
+  mutable total_hits : int;
+  mutable total_misses : int;
+  mutable total_evictions : int;
+  mutable total_batches : int;
+  mutable total_coalesced : int;
+}
+
+let create () : t =
+  {
+    buckets = Hashtbl.create 32;
+    winners = Hashtbl.create 32;
+    plan = samples_create ();
+    tune = samples_create ();
+    run = samples_create ();
+    total_hits = 0;
+    total_misses = 0;
+    total_evictions = 0;
+    total_batches = 0;
+    total_coalesced = 0;
+  }
+
+let counters_for (t : t) (bucket : string) : counters =
+  match Hashtbl.find_opt t.buckets bucket with
+  | Some c -> c
+  | None ->
+      let c = { c_hits = 0; c_misses = 0 } in
+      Hashtbl.add t.buckets bucket c;
+      c
+
+let hit (t : t) ~bucket =
+  let c = counters_for t bucket in
+  c.c_hits <- c.c_hits + 1;
+  t.total_hits <- t.total_hits + 1
+
+let miss (t : t) ~bucket =
+  let c = counters_for t bucket in
+  c.c_misses <- c.c_misses + 1;
+  t.total_misses <- t.total_misses + 1
+
+let eviction (t : t) = t.total_evictions <- t.total_evictions + 1
+
+let winner (t : t) (version : string) : unit =
+  Hashtbl.replace t.winners version
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.winners version))
+
+let plan_us (t : t) (x : float) = sample t.plan x
+let tune_us (t : t) (x : float) = sample t.tune x
+let run_us (t : t) (x : float) = sample t.run x
+
+let batch (t : t) ~size:_ ~coalesced =
+  t.total_batches <- t.total_batches + 1;
+  t.total_coalesced <- t.total_coalesced + coalesced
+
+let hits t = t.total_hits
+let misses t = t.total_misses
+let evictions t = t.total_evictions
+let batches t = t.total_batches
+let coalesced t = t.total_coalesced
+
+let bucket_counts (t : t) : (string * (int * int)) list =
+  Hashtbl.fold (fun b c acc -> (b, (c.c_hits, c.c_misses)) :: acc) t.buckets []
+  |> List.sort compare
+
+let winner_histogram (t : t) : (string * int) list =
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) t.winners []
+  |> List.sort (fun (va, a) (vb, b) -> compare (b, va) (a, vb))
+
+let plan_series t = summarize t.plan
+let tune_series t = summarize t.tune
+let run_series t = summarize t.run
+
+let report (t : t) : string =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "=== service metrics ===\n";
+  let lookups = t.total_hits + t.total_misses in
+  pr "cache: %d lookups, %d hits, %d misses (%.1f%% hit rate), %d evictions\n"
+    lookups t.total_hits t.total_misses
+    (if lookups = 0 then 0.0
+     else 100.0 *. float_of_int t.total_hits /. float_of_int lookups)
+    t.total_evictions;
+  if t.total_batches > 0 then
+    pr "batching: %d batches dispatched, %d requests coalesced\n" t.total_batches
+      t.total_coalesced;
+  pr "\nper-bucket lookups (hits/misses):\n";
+  List.iter
+    (fun (bucket, (h, m)) -> pr "  %-40s %6d / %d\n" bucket h m)
+    (bucket_counts t);
+  let series name (s : series) =
+    if s.count > 0 then
+      pr "  %-6s %6d samples   p50 %10.1f us   p95 %10.1f us   max %10.1f us\n"
+        name s.count s.p50 s.p95 s.max
+  in
+  pr "\nlatencies (host wall clock):\n";
+  series "plan" (plan_series t);
+  series "tune" (tune_series t);
+  series "run" (run_series t);
+  pr "\nwinning versions (requests served):\n";
+  List.iter (fun (v, n) -> pr "  %-34s %6d\n" v n) (winner_histogram t);
+  Buffer.contents b

@@ -1,0 +1,60 @@
+(** Service metrics: cache effectiveness, latency distributions and
+    winning-version histograms, dumpable as a text report.
+
+    All counters are in-memory and monotone; recording is O(1) amortized
+    (latency samples append to growable buffers, percentiles are computed
+    at report time). *)
+
+type t
+
+(** Summary of one latency series (microseconds, host-side wall clock). *)
+type series = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val hit : t -> bucket:string -> unit
+val miss : t -> bucket:string -> unit
+val eviction : t -> unit
+
+(** Record that [version] served a request. *)
+val winner : t -> string -> unit
+
+val plan_us : t -> float -> unit
+val tune_us : t -> float -> unit
+val run_us : t -> float -> unit
+
+(** Record one dispatched batch: its request count and how many requests
+    were coalesced into another request's simulation. *)
+val batch : t -> size:int -> coalesced:int -> unit
+
+(** {1 Reading} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val batches : t -> int
+val coalesced : t -> int
+
+(** Per-bucket (hits, misses), sorted by bucket label. *)
+val bucket_counts : t -> (string * (int * int)) list
+
+(** Serve counts per winning version, most-served first. *)
+val winner_histogram : t -> (string * int) list
+
+(** Empty series report as all-zero. *)
+val plan_series : t -> series
+
+val tune_series : t -> series
+val run_series : t -> series
+
+(** The text report printed by [reduce-explorer --service] and
+    [tangramc serve]. *)
+val report : t -> string

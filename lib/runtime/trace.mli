@@ -1,0 +1,38 @@
+(** Synthetic request traces: deterministic mixed-size workloads drawn
+    from the paper's 64…268M sweep, and a replay driver measuring
+    service throughput. *)
+
+type spec = {
+  t_requests : int;
+  t_seed : int;  (** deterministic: same seed, same trace *)
+  t_sizes : int list;  (** size pool requests draw from *)
+  t_archs : Gpusim.Arch.t list;  (** architecture pool *)
+}
+
+(** The paper's evaluation sweep: 64 … 268435456, 4x steps (Figs 7-10). *)
+val paper_sizes : int list
+
+(** A paper-shaped trace: [requests] (default 1000) mixed-size requests
+    over {!paper_sizes} on [archs] (default: the three paper testbeds). *)
+val default :
+  ?requests:int -> ?seed:int -> ?archs:Gpusim.Arch.t list -> unit -> spec
+
+(** The trace: (architecture, size) per request. *)
+val generate : spec -> (Gpusim.Arch.t * int) list
+
+type summary = {
+  s_requests : int;
+  s_wall_us : float;  (** host wall clock for the whole replay *)
+  s_rps : float;  (** requests per second *)
+  s_hits : int;  (** cache-lookup hits during this replay *)
+  s_misses : int;
+}
+
+(** Replay a trace against a service, submitting requests in batches of
+    [batch_size] (default 64; 1 disables coalescing). Inputs are
+    synthetic buffers sharing one pattern, so same-size requests
+    coalesce within a batch. *)
+val replay :
+  ?batch_size:int -> Service.t -> (Gpusim.Arch.t * int) list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

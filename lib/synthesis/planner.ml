@@ -87,6 +87,13 @@ let compiled (t : t) (v : Version.t) : Gpusim.Runner.compiled_program =
       Hashtbl.add t.cache v cp;
       cp
 
+(** Stable string renderings of the planner's operation and element type,
+    used by the runtime layer as plan-cache key components. *)
+let op_name (t : t) : string = Ast.atomic_kind_name t.op
+
+let elem_name (t : t) : string =
+  match t.elem with Ir.I32 -> "I32" | Ir.U32 -> "U32" | Ir.F32 -> "F32" | Ir.Pred -> "Pred"
+
 (** The CUDA C rendering of a version (the paper's actual output path). *)
 let cuda_source ?(options = Device_ir.Cuda.default_options) (t : t) (v : Version.t) :
     string =

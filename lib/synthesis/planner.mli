@@ -42,6 +42,14 @@ val program : t -> Version.t -> Device_ir.Ir.program
 (** Validated and compiled, cached per version. *)
 val compiled : t -> Version.t -> Gpusim.Runner.compiled_program
 
+(** Stable rendering of the combining operation ("atomicAdd", ...), a
+    plan-cache key component. *)
+val op_name : t -> string
+
+(** Stable rendering of the element type ("F32", ...), a plan-cache key
+    component. *)
+val elem_name : t -> string
+
 (** The CUDA C rendering of a version (the paper's output path). *)
 val cuda_source : ?options:Device_ir.Cuda.options -> t -> Version.t -> string
 

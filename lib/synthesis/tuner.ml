@@ -18,6 +18,17 @@ type outcome = {
 let tuning_opts : Gpusim.Interp.options =
   { Gpusim.Interp.max_blocks = Some 8; loop_cap = Some 12; check_uniform = false }
 
+(* sweeps beyond this many configurations are refused rather than silently
+   enumerated: the Cartesian product of candidate lists grows geometrically,
+   and a runaway sweep wedges the tuner for hours *)
+let max_configurations = 10_000
+
+let configuration_count (candidates : (string * int list) list) : int =
+  List.fold_left (fun acc (_, values) -> acc * List.length values) 1 candidates
+
+let invocation_count = ref 0
+let invocations () = !invocation_count
+
 let rec cartesian (candidates : (string * int list) list) : (string * int) list list =
   match candidates with
   | [] -> [ [] ]
@@ -31,11 +42,21 @@ let tile_of (assignment : (string * int) list) : int =
 
 (** Sweep a compiled program's tunables on [arch] for input size [n].
     [opts] defaults to a heavily-sampled fast mode. *)
-let tune ?(opts = tuning_opts) ~(arch : Gpusim.Arch.t) ~(n : int)
-    (cp : Gpusim.Runner.compiled_program) : outcome =
+let tune ?(opts = tuning_opts) ?(max_configs = max_configurations)
+    ~(arch : Gpusim.Arch.t) ~(n : int) (cp : Gpusim.Runner.compiled_program) :
+    outcome =
   let pattern = Array.init 1024 (fun i -> float_of_int (i land 15)) in
   let input = Gpusim.Runner.Synthetic { n; pattern } in
   let candidates = cp.Gpusim.Runner.cp_program.Device_ir.Ir.p_tunables in
+  let count = configuration_count candidates in
+  if count > max_configs then
+    invalid_arg
+      (Printf.sprintf
+         "Tuner.tune: %d configurations exceed the sweep cap of %d (tunables: %s); \
+          prune the candidate lists or raise ~max_configs"
+         count max_configs
+         (String.concat ", " (List.map fst candidates)));
+  incr invocation_count;
   let assignments = cartesian candidates in
   (* skip configurations whose tile is gratuitously larger than the input:
      they all degenerate to a single partially-filled block *)

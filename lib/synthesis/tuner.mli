@@ -15,13 +15,29 @@ type outcome = {
 (** The default fast sampled execution mode used for sweeps. *)
 val tuning_opts : Gpusim.Interp.options
 
+(** The default sweep cap: {!tune} refuses Cartesian products larger than
+    this (10k configurations) instead of silently enumerating them. *)
+val max_configurations : int
+
+(** Size of the Cartesian product of the candidate lists, without
+    materializing it. *)
+val configuration_count : (string * int list) list -> int
+
+(** Number of {!tune} sweeps performed so far in this process — a
+    monotone counter used by the runtime layer's cache-effectiveness
+    tests ("a cache hit must not re-tune"). *)
+val invocations : unit -> int
+
 (** All assignments of the candidate lists. *)
 val cartesian : (string * int list) list -> (string * int) list list
 
 (** Sweep a compiled program's tunables on [arch] for input size [n].
-    @raise Invalid_argument when no configuration survives. *)
+    @raise Invalid_argument when no configuration survives, or when the
+    sweep would exceed [max_configs] (default {!max_configurations})
+    configurations. *)
 val tune :
   ?opts:Gpusim.Interp.options ->
+  ?max_configs:int ->
   arch:Gpusim.Arch.t ->
   n:int ->
   Gpusim.Runner.compiled_program ->

@@ -1,0 +1,305 @@
+(* Runtime-layer tests: size-bucket boundaries, LRU eviction order,
+   plan-cache persistence round-trips, cache-hit behaviour of the service
+   (a hit must reuse the tuned plan without re-tuning — asserted through
+   the tuner's invocation counter), batching coalescing, and agreement of
+   served results with the planner's host-side reference. *)
+
+module V = Synthesis.Version
+module P = Synthesis.Planner
+module PC = Runtime.Plan_cache
+module Service = Runtime.Service
+module R = Gpusim.Runner
+
+let plan = lazy (P.sum ())
+
+(* a small candidate pool keeps the cold path fast in tests *)
+let candidates = lazy (List.map V.of_figure6 [ "a"; "m"; "o" ])
+
+let service ?capacity ?cache () =
+  Service.create ?capacity ?cache ~candidates:(Lazy.force candidates)
+    (Lazy.force plan)
+
+let arch = Gpusim.Arch.kepler_k40c
+
+let dense n = R.Dense (Array.init n (fun i -> float_of_int ((i * 5 mod 17) - 8)))
+
+let dummy_entry ?(tunables = [ ("bsize", 128) ]) () =
+  {
+    PC.e_version = List.hd (Lazy.force candidates);
+    e_tunables = tunables;
+    e_compiled = None;
+    e_tuned_n = 4096;
+    e_tune_time_us = 1.0;
+  }
+
+let key bucket = { PC.k_arch = "Tesla K40c"; k_op = "atomicAdd"; k_elem = "F32"; k_bucket = bucket }
+
+(* -------------------------------------------------------------- *)
+(* Size buckets                                                    *)
+(* -------------------------------------------------------------- *)
+
+let bucket_tests =
+  [
+    Alcotest.test_case "power-of-two bucket boundaries" `Quick (fun () ->
+        Alcotest.(check int) "n=1" 0 (PC.bucket_of_size 1);
+        Alcotest.(check int) "n=2" 1 (PC.bucket_of_size 2);
+        Alcotest.(check int) "n=64" 6 (PC.bucket_of_size 64);
+        Alcotest.(check int) "n=127 stays in 64's bucket" 6 (PC.bucket_of_size 127);
+        Alcotest.(check int) "n=128 opens the next bucket" 7 (PC.bucket_of_size 128);
+        Alcotest.(check int) "n=268435456" 28 (PC.bucket_of_size 268435456));
+    Alcotest.test_case "bucket bounds bracket their sizes" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let b = PC.bucket_of_size n in
+            if n < PC.bucket_lo b || n > PC.bucket_hi b then
+              Alcotest.failf "size %d outside [%d, %d] of bucket %d" n
+                (PC.bucket_lo b) (PC.bucket_hi b) b)
+          [ 1; 2; 3; 64; 100; 127; 128; 4095; 4096; 65536; 268435456 ]);
+    Alcotest.test_case "representative size is the bucket floor" `Quick (fun () ->
+        Alcotest.(check int) "bucket 12" 4096 (PC.representative_size 12);
+        Alcotest.(check int) "same bucket for every member size" 12
+          (PC.bucket_of_size (PC.representative_size 12)));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* LRU eviction                                                    *)
+(* -------------------------------------------------------------- *)
+
+let lru_tests =
+  [
+    Alcotest.test_case "LRU evicts the least-recently-used key" `Quick (fun () ->
+        let c = PC.create ~capacity:2 () in
+        PC.add c (key 1) (dummy_entry ());
+        PC.add c (key 2) (dummy_entry ());
+        (* touch key 1 so key 2 becomes the LRU victim *)
+        ignore (PC.find c (key 1));
+        PC.add c (key 3) (dummy_entry ());
+        Alcotest.(check int) "one eviction" 1 (PC.evictions c);
+        Alcotest.(check bool) "victim gone" true (PC.find c (key 2) = None);
+        Alcotest.(check bool) "recently-used survives" true
+          (PC.find c (key 1) <> None);
+        Alcotest.(check bool) "new key present" true (PC.find c (key 3) <> None));
+    Alcotest.test_case "replacing a key does not evict" `Quick (fun () ->
+        let c = PC.create ~capacity:2 () in
+        PC.add c (key 1) (dummy_entry ());
+        PC.add c (key 2) (dummy_entry ());
+        PC.add c (key 2) (dummy_entry ~tunables:[ ("bsize", 512) ] ());
+        Alcotest.(check int) "no evictions" 0 (PC.evictions c);
+        match PC.find c (key 2) with
+        | Some e ->
+            Alcotest.(check bool) "replaced" true
+              (e.PC.e_tunables = [ ("bsize", 512) ])
+        | None -> Alcotest.fail "replaced key vanished");
+    Alcotest.test_case "entries come back least-recent first" `Quick (fun () ->
+        let c = PC.create ~capacity:4 () in
+        PC.add c (key 1) (dummy_entry ());
+        PC.add c (key 2) (dummy_entry ());
+        PC.add c (key 3) (dummy_entry ());
+        ignore (PC.find c (key 1));
+        Alcotest.(check (list int)) "order" [ 2; 3; 1 ]
+          (List.map (fun (k, _) -> k.PC.k_bucket) (PC.entries c)));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Persistence                                                     *)
+(* -------------------------------------------------------------- *)
+
+let persistence_tests =
+  [
+    Alcotest.test_case "warmed cache round-trips through a file" `Quick (fun () ->
+        let c = PC.create ~capacity:8 () in
+        List.iteri
+          (fun i v ->
+            PC.add c (key (10 + i))
+              {
+                PC.e_version = v;
+                e_tunables = [ ("bsize", 64 lsl i); ("coarsen", 1 + i) ];
+                e_compiled = None;
+                e_tuned_n = 1 lsl (10 + i);
+                e_tune_time_us = 123.5 +. float_of_int i;
+              })
+          (Lazy.force candidates);
+        let path = Filename.temp_file "plan_cache" ".sexp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            PC.save c path;
+            let c' = PC.load path in
+            Alcotest.(check int) "capacity" (PC.capacity c) (PC.capacity c');
+            Alcotest.(check int) "length" (PC.length c) (PC.length c');
+            List.iter2
+              (fun (k, e) (k', e') ->
+                Alcotest.(check string) "key" (PC.key_name k) (PC.key_name k');
+                Alcotest.(check string) "version" (V.name e.PC.e_version)
+                  (V.name e'.PC.e_version);
+                Alcotest.(check bool) "tunables" true
+                  (e.PC.e_tunables = e'.PC.e_tunables);
+                Alcotest.(check int) "tuned-n" e.PC.e_tuned_n e'.PC.e_tuned_n)
+              (PC.entries c) (PC.entries c')));
+    Alcotest.test_case "unknown version names fail loudly" `Quick (fun () ->
+        let src =
+          "(plan-cache (capacity 4)\n\
+           (entry (arch k) (op atomicAdd) (elem F32) (bucket 3)\n\
+           (version \"no-such-version\") (tuned-n 8) (tune-time-us 1)\n\
+           (tunables (bsize 64))))"
+        in
+        match PC.of_string src with
+        | _ -> Alcotest.fail "bogus version name accepted"
+        | exception Tangram.Serialize.Parse_error _ -> ());
+  ]
+
+(* -------------------------------------------------------------- *)
+(* The service                                                     *)
+(* -------------------------------------------------------------- *)
+
+let service_tests =
+  [
+    Alcotest.test_case "cache hit reuses the tuned plan without re-tuning"
+      `Quick (fun () ->
+        let svc = service () in
+        let submit n =
+          Service.submit svc { Service.req_arch = arch; req_input = dense n }
+        in
+        let tunes_before = Synthesis.Tuner.invocations () in
+        let r1 = submit 4096 in
+        let tunes_cold = Synthesis.Tuner.invocations () - tunes_before in
+        Alcotest.(check bool) "cold path misses" false r1.Service.resp_hit;
+        Alcotest.(check bool) "cold path tunes" true (tunes_cold > 0);
+        (* same bucket, different size: must hit and must not re-tune *)
+        let r2 = submit 5000 in
+        let tunes_warm =
+          Synthesis.Tuner.invocations () - tunes_before - tunes_cold
+        in
+        Alcotest.(check bool) "warm path hits" true r2.Service.resp_hit;
+        Alcotest.(check int) "warm path does not tune" 0 tunes_warm;
+        Alcotest.(check string) "identical winning version"
+          (V.name r1.Service.resp_version)
+          (V.name r2.Service.resp_version);
+        Alcotest.(check bool) "identical tunables" true
+          (r1.Service.resp_tunables = r2.Service.resp_tunables);
+        Alcotest.(check int) "one plan, one lookup hit" 1
+          (Runtime.Stats.hits (Service.stats svc)));
+    Alcotest.test_case "bucket boundary separates plans" `Quick (fun () ->
+        let svc = service () in
+        let submit n =
+          Service.submit svc { Service.req_arch = arch; req_input = dense n }
+        in
+        let r1 = submit 4095 (* bucket 11 *) in
+        let r2 = submit 4096 (* bucket 12 *) in
+        Alcotest.(check int) "bucket of 4095" 11 r1.Service.resp_bucket;
+        Alcotest.(check int) "bucket of 4096" 12 r2.Service.resp_bucket;
+        Alcotest.(check bool) "both cold" false
+          (r1.Service.resp_hit || r2.Service.resp_hit);
+        Alcotest.(check int) "two cached plans" 2
+          (PC.length (Service.cache svc)));
+    Alcotest.test_case "served result matches the reference on dense input"
+      `Quick (fun () ->
+        let svc = service () in
+        let input = Array.init 3000 (fun i -> float_of_int ((i * 7 mod 23) - 11)) in
+        let r =
+          Service.submit svc { Service.req_arch = arch; req_input = R.Dense input }
+        in
+        Alcotest.(check bool) "exact mode" true r.Service.resp_exact;
+        let reference = P.reference (Lazy.force plan) input in
+        if abs_float (r.Service.resp_value -. reference) > 1e-6 then
+          Alcotest.failf "served %g but reference is %g" r.Service.resp_value
+            reference);
+    Alcotest.test_case "warmed-cache service skips planning entirely" `Quick
+      (fun () ->
+        (* warm one service, persist its cache, serve from the copy *)
+        let svc = service () in
+        ignore (Service.submit svc { Service.req_arch = arch; req_input = dense 2000 });
+        let path = Filename.temp_file "plan_cache" ".sexp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            PC.save (Service.cache svc) path;
+            let svc' = service ~cache:(PC.load path) () in
+            let tunes_before = Synthesis.Tuner.invocations () in
+            let r =
+              Service.submit svc'
+                { Service.req_arch = arch; req_input = dense 2000 }
+            in
+            Alcotest.(check bool) "hit from the loaded cache" true
+              r.Service.resp_hit;
+            Alcotest.(check int) "no tuning" 0
+              (Synthesis.Tuner.invocations () - tunes_before)));
+    Alcotest.test_case "batch submission coalesces same-shape requests" `Quick
+      (fun () ->
+        let svc = service () in
+        let input = dense 1024 in
+        let reqs =
+          List.init 6 (fun i ->
+              if i < 4 then { Service.req_arch = arch; req_input = input }
+              else { Service.req_arch = arch; req_input = dense 100 })
+        in
+        let responses = Service.submit_batch svc reqs in
+        Alcotest.(check int) "all requests answered" 6 (List.length responses);
+        let stats = Service.stats svc in
+        (* 6 requests, 3 distinct shapes (the two dense-100 inputs differ
+           only by construction site and compare equal) -> 3 lookups *)
+        Alcotest.(check int) "coalesced requests" 4 (Runtime.Stats.coalesced stats);
+        Alcotest.(check int) "one batch" 1 (Runtime.Stats.batches stats);
+        List.iteri
+          (fun i r ->
+            let expect = if i < 4 then 1024 else 100 in
+            Alcotest.(check int) "bucket routing" (PC.bucket_of_size expect)
+              r.Service.resp_bucket)
+          responses);
+    Alcotest.test_case "LRU bound evicts old buckets from the service" `Quick
+      (fun () ->
+        let svc = service ~capacity:2 () in
+        let submit n =
+          ignore
+            (Service.submit svc { Service.req_arch = arch; req_input = dense n })
+        in
+        submit 64;
+        submit 256;
+        submit 1024;
+        Alcotest.(check int) "bounded" 2 (PC.length (Service.cache svc));
+        Alcotest.(check int) "one eviction recorded" 1
+          (Runtime.Stats.evictions (Service.stats svc)));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Tuner sweep cap                                                 *)
+(* -------------------------------------------------------------- *)
+
+let tuner_cap_tests =
+  [
+    Alcotest.test_case "configuration_count multiplies candidate lists" `Quick
+      (fun () ->
+        Alcotest.(check int) "empty" 1 (Synthesis.Tuner.configuration_count []);
+        Alcotest.(check int) "6x8" 48
+          (Synthesis.Tuner.configuration_count
+             [ ("bsize", [ 32; 64; 128; 256; 512; 1024 ]);
+               ("coarsen", [ 1; 2; 4; 8; 16; 32; 64; 128 ]) ]));
+    Alcotest.test_case "oversized sweeps are refused, not enumerated" `Quick
+      (fun () ->
+        let plan = Lazy.force plan in
+        let cp = P.compiled plan (V.of_figure6 "a") in
+        match Synthesis.Tuner.tune ~max_configs:3 ~arch ~n:4096 cp with
+        | _ -> Alcotest.fail "sweep beyond the cap was not refused"
+        | exception Invalid_argument msg ->
+            Alcotest.(check bool) "message names the cap" true
+              (let contains s sub =
+                 let ls = String.length s and lb = String.length sub in
+                 let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+                 go 0
+               in
+               contains msg "sweep cap"));
+    Alcotest.test_case "default cap admits the real search space" `Quick
+      (fun () ->
+        Alcotest.(check bool) "48 << 10k" true
+          (48 < Synthesis.Tuner.max_configurations));
+  ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("buckets", bucket_tests);
+      ("lru", lru_tests);
+      ("persistence", persistence_tests);
+      ("service", service_tests);
+      ("tuner-cap", tuner_cap_tests);
+    ]
