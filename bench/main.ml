@@ -12,6 +12,8 @@
      dune exec bench/main.exe tuning          -- the Section IV-C tuning sweep
      dune exec bench/main.exe service         -- plan-cache service throughput,
                                                  warm vs cold
+     dune exec bench/main.exe faults          -- throughput + success rate under
+                                                 injected faults (rate sweep)
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
@@ -468,6 +470,52 @@ let service () =
   print_string (Runtime.Service.report svc)
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: throughput and success under injected faults       *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  print_endline
+    "=== Fault tolerance: trace replay under injected faults (rate sweep) ===";
+  let requests = 1000 and batch = 256 in
+  let spec = Runtime.Trace.default ~requests ~seed:7 () in
+  let trace = Runtime.Trace.generate spec in
+  Printf.printf
+    "trace: %d requests, sizes 64..268M, %d architectures, batch size %d, \
+     fault seed 1\n\n"
+    requests (List.length spec.Runtime.Trace.t_archs) batch;
+  Printf.printf "%-7s %-5s %12s %10s %8s %8s %8s %10s %9s\n" "rate" "run" "rps"
+    "success" "retries" "faults" "quaran" "fallbacks" "degraded";
+  List.iter
+    (fun rate ->
+      let fault =
+        if rate > 0.0 then
+          Some (Gpusim.Fault.create (Gpusim.Fault.plan ~rate ~seed:1 ()))
+        else None
+      in
+      let svc = Runtime.Service.create ?fault (P.sum ()) in
+      let stats = Runtime.Service.stats svc in
+      let row label (s : Runtime.Trace.summary) =
+        Printf.printf "%-7.2f %-5s %12.0f %9.1f%% %8d %8d %8d %10d %9d\n" rate
+          label s.Runtime.Trace.s_rps
+          (100.0
+          *. float_of_int (s.Runtime.Trace.s_requests - s.Runtime.Trace.s_failed)
+          /. float_of_int (max 1 s.Runtime.Trace.s_requests))
+          (Runtime.Stats.retries stats)
+          (Runtime.Stats.faults stats)
+          (Runtime.Stats.quarantines stats)
+          (Runtime.Stats.fallbacks stats)
+          (Runtime.Stats.degraded stats)
+      in
+      row "cold" (Runtime.Trace.replay ~batch_size:batch svc trace);
+      row "warm" (Runtime.Trace.replay ~batch_size:batch svc trace))
+    [ 0.0; 0.01; 0.05; 0.2 ];
+  print_endline
+    "\n(counters are cumulative per service instance: the warm row includes \
+     its cold run. Success < 100% can only appear with degraded mode \
+     disabled; here every faulted request falls back or degrades.)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -546,6 +594,7 @@ let all () =
   tuning ();
   ablation ();
   service ();
+  faults ();
   micro ()
 
 let () =
@@ -565,10 +614,11 @@ let () =
           | "tuning" -> tuning ()
           | "ablation" -> ablation ()
           | "service" -> service ()
+          | "faults" -> faults ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|micro)\n"
                 other;
               exit 1)
         args

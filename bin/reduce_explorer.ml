@@ -71,6 +71,22 @@ let cache_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-file" ] ~doc ~docv:"FILE")
 
+let fault_rate_arg =
+  let doc =
+    "Fault-injection rate for --service (probability in [0,1] that a kernel \
+     run faults; 0 disables injection)."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~doc)
+
+let fault_seed_arg =
+  let doc = "Deterministic seed of the --service fault injector." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc)
+
+let retry_max_arg =
+  let doc = "Transient-fault retries per version before falling back." in
+  Arg.(value & opt int Tangram.Service.default_resilience.r_retry_max
+       & info [ "retry-max" ] ~doc)
+
 let lookup_arch (s : string) : Tangram.Arch.t =
   match Tangram.Arch.by_name s with
   | Some a -> a
@@ -137,26 +153,51 @@ let run_saved_program ~arch ~n ~events path =
       in
       print_outcome ~events (Printf.sprintf "%s (saved program)" path) o
 
-let run_service ~arch ~requests ~seed ~batch ~cache_file =
-  if batch < 1 then begin
-    Printf.eprintf "--batch must be at least 1\n";
-    exit 1
-  end;
+(* usage errors (exit 2, like cmdliner's own) for flag values the parser
+   accepts but the service would reject *)
+let validate_service_flags ~requests ~batch ~fault_rate ~retry_max =
+  let usage_error msg =
+    Printf.eprintf "reduce-explorer: %s\n" msg;
+    exit 2
+  in
+  if requests < 1 then usage_error "--requests must be at least 1";
+  if batch < 1 then usage_error "--batch must be at least 1";
+  if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
+    usage_error "--fault-rate must be within [0,1]";
+  if retry_max < 0 then usage_error "--retry-max must be non-negative"
+
+let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
+    ~retry_max =
+  validate_service_flags ~requests ~batch ~fault_rate ~retry_max;
   let plan = Tangram.plan (Tangram.create ()) in
+  (* a corrupt or truncated cache file is a warning, not a crash: the
+     service starts cold and overwrites it on save *)
   let cache =
     match cache_file with
     | Some path when Sys.file_exists path -> (
-        match Tangram.Plan_cache.load path with
-        | c ->
+        match Tangram.Service.load_cache path with
+        | Ok c ->
             Printf.printf "loaded %d cached plans from %s\n"
               (Tangram.Plan_cache.length c) path;
             Some c
-        | exception Tangram.Serialize.Parse_error msg ->
-            Printf.eprintf "cannot parse cache %s: %s\n" path msg;
-            exit 1)
+        | Error e ->
+            Printf.eprintf "warning: %s; starting with a cold cache\n"
+              (Tangram.Service.error_message e);
+            None)
     | _ -> None
   in
-  let svc = Tangram.Service.create ?cache plan in
+  let fault =
+    if fault_rate > 0.0 then
+      Some (Tangram.Fault.create (Tangram.Fault.plan ~rate:fault_rate ~seed:fault_seed ()))
+    else None
+  in
+  let resilience =
+    { Tangram.Service.default_resilience with r_retry_max = retry_max }
+  in
+  let svc = Tangram.Service.create ?cache ?fault ~resilience plan in
+  if fault_rate > 0.0 then
+    Printf.printf "fault injection armed: rate %.3f, seed %d, retry-max %d\n"
+      fault_rate fault_seed retry_max;
   let spec = Tangram.Trace.default ~requests ~seed ~archs:[ arch ] () in
   let trace = Tangram.Trace.generate spec in
   Printf.printf "replaying %d mixed-size requests on %s (batch %d)...\n" requests
@@ -173,9 +214,12 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file =
   | None -> ()
 
 let run arch_name n version all baselines events tune program_file service
-    requests seed batch cache_file =
+    requests seed batch cache_file fault_rate fault_seed retry_max =
   let arch = lookup_arch arch_name in
-  if service then (run_service ~arch ~requests ~seed ~batch ~cache_file; exit 0);
+  if service then (
+    run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
+      ~retry_max;
+    exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
   let opts = opts_for n and input = input_for n in
@@ -241,6 +285,7 @@ let () =
     Term.(
       const run $ arch_arg $ n_arg $ version_arg $ all_arg $ baselines_arg
       $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
-      $ seed_arg $ batch_arg $ cache_file_arg)
+      $ seed_arg $ batch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
+      $ retry_max_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

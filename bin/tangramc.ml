@@ -254,11 +254,33 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "cache-file" ] ~doc ~docv:"FILE")
   in
-  let run spectrum source requests seed batch arch_name cache_file =
-    if batch < 1 then begin
-      Printf.eprintf "--batch must be at least 1\n";
-      exit 1
-    end;
+  let fault_rate_arg =
+    let doc =
+      "Fault-injection rate (probability in [0,1] that a kernel run faults; \
+       0 disables injection)."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Deterministic seed of the fault injector." in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc)
+  in
+  let retry_max_arg =
+    let doc = "Transient-fault retries per version before falling back." in
+    Arg.(value & opt int Tangram.Service.default_resilience.r_retry_max
+         & info [ "retry-max" ] ~doc)
+  in
+  let run spectrum source requests seed batch arch_name cache_file fault_rate
+      fault_seed retry_max =
+    let usage_error msg =
+      Printf.eprintf "tangramc serve: %s\n" msg;
+      exit 2
+    in
+    if requests < 1 then usage_error "--requests must be at least 1";
+    if batch < 1 then usage_error "--batch must be at least 1";
+    if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
+      usage_error "--fault-rate must be within [0,1]";
+    if retry_max < 0 then usage_error "--retry-max must be non-negative";
     handle_frontend_errors (fun () ->
         let unit_info = load_unit spectrum source in
         let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
@@ -273,20 +295,36 @@ let serve_cmd =
                   Printf.eprintf "unknown architecture %S\n" name;
                   exit 1)
         in
+        (* a corrupt cache file warns and starts cold (it is overwritten
+           on save) rather than killing the server *)
         let cache =
           match cache_file with
           | Some path when Sys.file_exists path -> (
-              match Tangram.Plan_cache.load path with
-              | c ->
+              match Tangram.Service.load_cache path with
+              | Ok c ->
                   Printf.printf "loaded %d cached plans from %s\n"
                     (Tangram.Plan_cache.length c) path;
                   Some c
-              | exception Tangram.Serialize.Parse_error msg ->
-                  Printf.eprintf "cannot parse cache %s: %s\n" path msg;
-                  exit 1)
+              | Error e ->
+                  Printf.eprintf "warning: %s; starting with a cold cache\n"
+                    (Tangram.Service.error_message e);
+                  None)
           | _ -> None
         in
-        let svc = Tangram.Service.create ?cache plan in
+        let fault =
+          if fault_rate > 0.0 then
+            Some
+              (Tangram.Fault.create
+                 (Tangram.Fault.plan ~rate:fault_rate ~seed:fault_seed ()))
+          else None
+        in
+        let resilience =
+          { Tangram.Service.default_resilience with r_retry_max = retry_max }
+        in
+        let svc = Tangram.Service.create ?cache ?fault ~resilience plan in
+        if fault_rate > 0.0 then
+          Printf.printf "fault injection armed: rate %.3f, seed %d, retry-max %d\n"
+            fault_rate fault_seed retry_max;
         let spec = Tangram.Trace.default ~requests ~seed ~archs () in
         let trace = Tangram.Trace.generate spec in
         Printf.printf "replaying %d mixed-size requests over %d architecture(s)...\n"
@@ -309,7 +347,8 @@ let serve_cmd =
           trace through the plan cache and report service metrics")
     Term.(
       const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
-      $ arch_arg $ cache_file_arg)
+      $ arch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
+      $ retry_max_arg)
 
 let () =
   let info =

@@ -35,6 +35,7 @@ module Tuner = Synthesis.Tuner
 module Arch = Gpusim.Arch
 module Runner = Gpusim.Runner
 module Interp = Gpusim.Interp
+module Fault = Gpusim.Fault
 module Compiled = Gpusim.Compiled
 module Value = Gpusim.Value
 module Cost = Gpusim.Cost

@@ -1,0 +1,141 @@
+(* Deterministic fault injection.
+
+   A seeded LCG (same MMIX multiplier the trace generator uses) drives
+   every decision, so a fault schedule is a pure function of (seed,
+   sequence of rolls). Each roll consumes exactly two draws — fault?
+   and which kind? — whether or not it faults, keeping the stream
+   position independent of the configured rates: raising the rate
+   changes which rolls fault, not where later rolls land. *)
+
+type kind = Transient | Timeout | Stall | Corrupt
+
+let kind_name = function
+  | Transient -> "transient"
+  | Timeout -> "timeout"
+  | Stall -> "stall"
+  | Corrupt -> "corrupt"
+
+exception Injected of kind * string
+
+type plan = {
+  f_seed : int;
+  f_rate : float;
+  f_version_rates : (string * float) list;
+  f_arch_rates : (string * float) list;
+  f_mix : (kind * float) list;
+  f_stall_factor : float;
+}
+
+let default_mix =
+  [ (Transient, 0.5); (Timeout, 0.2); (Corrupt, 0.2); (Stall, 0.1) ]
+
+let check_rate what r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault.plan: %s %g outside [0, 1]" what r)
+
+let plan ?(rate = 0.0) ?(version_rates = []) ?(arch_rates = [])
+    ?(mix = default_mix) ?(stall_factor = 8.0) ~seed () : plan =
+  check_rate "rate" rate;
+  List.iter (fun (v, r) -> check_rate ("rate of version " ^ v) r) version_rates;
+  List.iter
+    (fun (a, m) ->
+      if m < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Fault.plan: negative multiplier %g for arch %s" m a))
+    arch_rates;
+  List.iter
+    (fun (k, w) ->
+      if w < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Fault.plan: negative weight %g for kind %s" w
+             (kind_name k)))
+    mix;
+  if List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix <= 0.0 then
+    invalid_arg "Fault.plan: the kind mix has no positive weight";
+  if stall_factor < 1.0 then
+    invalid_arg "Fault.plan: stall_factor must be at least 1";
+  {
+    f_seed = seed;
+    f_rate = rate;
+    f_version_rates = version_rates;
+    f_arch_rates = arch_rates;
+    f_mix = mix;
+    f_stall_factor = stall_factor;
+  }
+
+type t = {
+  t_plan : plan;
+  mutable state : int64;
+  mutable n_rolls : int;
+  mutable n_transient : int;
+  mutable n_timeout : int;
+  mutable n_stall : int;
+  mutable n_corrupt : int;
+}
+
+let lcg (state : int64) : int64 =
+  Int64.add (Int64.mul state 6364136223846793005L) 1442695040888963407L
+
+(* uniform in [0, 1) from the top 30 bits *)
+let uniform (state : int64) : float =
+  float_of_int (Int64.to_int (Int64.shift_right_logical state 34))
+  /. 1073741824.0
+
+let create (p : plan) : t =
+  {
+    t_plan = p;
+    state = lcg (Int64.of_int p.f_seed);
+    n_rolls = 0;
+    n_transient = 0;
+    n_timeout = 0;
+    n_stall = 0;
+    n_corrupt = 0;
+  }
+
+let seed t = t.t_plan.f_seed
+let stall_factor t = t.t_plan.f_stall_factor
+
+type verdict = Pass | Fault of kind
+
+let effective_rate (p : plan) ~arch ~version : float =
+  let base =
+    Option.value ~default:p.f_rate (List.assoc_opt version p.f_version_rates)
+  in
+  let mult = Option.value ~default:1.0 (List.assoc_opt arch p.f_arch_rates) in
+  Float.min 1.0 (Float.max 0.0 (base *. mult))
+
+let draw_kind (p : plan) (u : float) : kind =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 p.f_mix in
+  let target = u *. total in
+  let rec go acc = function
+    | [] -> fst (List.hd p.f_mix)
+    | (k, w) :: rest -> if target < acc +. w then k else go (acc +. w) rest
+  in
+  go 0.0 p.f_mix
+
+let roll (t : t) ~(arch : string) ~(version : string) : verdict =
+  let s1 = lcg t.state in
+  let s2 = lcg s1 in
+  t.state <- s2;
+  t.n_rolls <- t.n_rolls + 1;
+  if uniform s1 >= effective_rate t.t_plan ~arch ~version then Pass
+  else begin
+    let k = draw_kind t.t_plan (uniform s2) in
+    (match k with
+    | Transient -> t.n_transient <- t.n_transient + 1
+    | Timeout -> t.n_timeout <- t.n_timeout + 1
+    | Stall -> t.n_stall <- t.n_stall + 1
+    | Corrupt -> t.n_corrupt <- t.n_corrupt + 1);
+    Fault k
+  end
+
+let rolls t = t.n_rolls
+let injected t = t.n_transient + t.n_timeout + t.n_stall + t.n_corrupt
+
+let injected_by_kind t =
+  [
+    (Transient, t.n_transient);
+    (Timeout, t.n_timeout);
+    (Stall, t.n_stall);
+    (Corrupt, t.n_corrupt);
+  ]

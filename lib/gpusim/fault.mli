@@ -1,0 +1,87 @@
+(** Deterministic fault injection for the simulated GPU stack.
+
+    A fault {!plan} describes a seeded random process over kernel runs:
+    each run "rolls" once against the plan and either passes or draws one
+    of four fault kinds — a transient simulator error (retryable), a
+    kernel timeout (the version misbehaving), an atomic-contention stall
+    (the run completes but its simulated time is inflated) or a corrupted
+    result (the run completes with a NaN value). Rolls consume a
+    splitmix-style LCG stream seeded explicitly, so an entire fault
+    schedule is reproducible from [(seed, request sequence)] alone — the
+    property the chaos tests and the [--fault-seed] CLI flag rely on.
+
+    The injection point is {!Runner.run_compiled}'s [?fault] argument;
+    planning and tuning never inject (rankings stay deterministic). *)
+
+(** The four injected failure modes. *)
+type kind =
+  | Transient  (** a {!Interp.Sim_error} that a retry may outlive *)
+  | Timeout  (** the kernel never finishes: a hard per-version fault *)
+  | Stall  (** atomic contention: the run succeeds but [stall_factor] times slower *)
+  | Corrupt  (** the run "succeeds" with a NaN result *)
+
+val kind_name : kind -> string
+
+(** Raised by {!Runner.run_compiled} for injected {!Timeout} faults
+    (injected {!Transient} faults raise {!Interp.Sim_error} so they travel
+    the same path as organic simulator errors). *)
+exception Injected of kind * string
+
+(** An immutable fault plan. Effective fault probability for a run of
+    [version] on [arch] is [(version override | rate) * (arch multiplier
+    | 1.0)], clamped to [0, 1]; the faulting kind is then drawn from the
+    [mix] weights. *)
+type plan = {
+  f_seed : int;
+  f_rate : float;  (** base per-run fault probability, in [0, 1] *)
+  f_version_rates : (string * float) list;
+      (** per-version overrides of [f_rate], by {!Synthesis.Version.name} *)
+  f_arch_rates : (string * float) list;
+      (** per-architecture multipliers (default 1.0), by {!Arch.t} name *)
+  f_mix : (kind * float) list;  (** relative kind weights *)
+  f_stall_factor : float;  (** simulated-time multiplier of {!Stall} *)
+}
+
+(** The default kind mix: transient-heavy
+    ([Transient 0.5; Timeout 0.2; Corrupt 0.2; Stall 0.1]). *)
+val default_mix : (kind * float) list
+
+(** Build a plan. Defaults: [rate] 0.0, no per-version or per-arch
+    overrides, {!default_mix}, [stall_factor] 8.0.
+    @raise Invalid_argument when a rate lies outside [0, 1], a mix weight
+    is negative or the mix has no positive weight, or [stall_factor] < 1. *)
+val plan :
+  ?rate:float ->
+  ?version_rates:(string * float) list ->
+  ?arch_rates:(string * float) list ->
+  ?mix:(kind * float) list ->
+  ?stall_factor:float ->
+  seed:int ->
+  unit ->
+  plan
+
+(** Mutable injector state: the plan plus the LCG stream position and
+    injection counters. *)
+type t
+
+val create : plan -> t
+val seed : t -> int
+val stall_factor : t -> float
+
+type verdict = Pass | Fault of kind
+
+(** Advance the stream one step and decide the fate of one run of
+    [version] on [arch]. Deterministic: a fresh {!t} over the same plan
+    replays the same verdict sequence for the same label sequence. *)
+val roll : t -> arch:string -> version:string -> verdict
+
+(** {1 Observability} *)
+
+(** Rolls performed so far. *)
+val rolls : t -> int
+
+(** Faults injected so far (all kinds). *)
+val injected : t -> int
+
+(** Injections per kind, fixed order (Transient, Timeout, Stall, Corrupt). *)
+val injected_by_kind : t -> (kind * int) list

@@ -53,7 +53,7 @@ let default_tunables (p : Ir.program) : (string * int) list =
       | [] -> invalid_arg (Printf.sprintf "tunable %S has no candidates" name))
     p.Ir.p_tunables
 
-let run_compiled ?(opts = Interp.exact) ~(arch : Arch.t)
+let run_compiled_raw ?(opts = Interp.exact) ~(arch : Arch.t)
     ?(tunables : (string * int) list option) ~(input : input)
     (cp : compiled_program) : outcome =
   let p = cp.cp_program in
@@ -128,6 +128,47 @@ let run_compiled ?(opts = Interp.exact) ~(arch : Arch.t)
     launch_results;
   }
 
+(* Fault injection wraps the raw runner: a roll per run decides between
+   passing through, aborting (timeout raises Fault.Injected, transient
+   raises Interp.Sim_error so it travels the organic error path), or
+   post-processing a completed run (stall inflates the simulated time,
+   corrupt replaces the result with NaN). *)
+let run_compiled ?opts ?(fault : Fault.t option)
+    ?(fault_version : string option) ~(arch : Arch.t)
+    ?(tunables : (string * int) list option) ~(input : input)
+    (cp : compiled_program) : outcome =
+  let verdict =
+    match fault with
+    | None -> Fault.Pass
+    | Some f ->
+        let version =
+          match fault_version with
+          | Some v -> v
+          | None -> (
+              match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?")
+        in
+        Fault.roll f ~arch:arch.Arch.name ~version
+  in
+  let label () =
+    Printf.sprintf "(%s, %s)" arch.Arch.name
+      (match fault_version with
+      | Some v -> v
+      | None -> ( match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?"))
+  in
+  match verdict with
+  | Fault.Fault Fault.Transient ->
+      raise (Interp.Sim_error ("injected transient fault " ^ label ()))
+  | Fault.Fault Fault.Timeout ->
+      raise (Fault.Injected (Fault.Timeout, "injected kernel timeout " ^ label ()))
+  | Fault.Pass | Fault.Fault (Fault.Stall | Fault.Corrupt) -> (
+      let o = run_compiled_raw ?opts ~arch ?tunables ~input cp in
+      match (verdict, fault) with
+      | Fault.Fault Fault.Stall, Some f ->
+          { o with time_us = o.time_us *. Fault.stall_factor f }
+      | Fault.Fault Fault.Corrupt, _ -> { o with result = nan; exact = false }
+      | _ -> o)
+
 (** One-shot convenience wrapper around {!compile} and {!run_compiled}. *)
-let run ?opts ~arch ?tunables ~input (p : Ir.program) : outcome =
-  run_compiled ?opts ~arch ?tunables ~input (compile p)
+let run ?opts ?fault ?fault_version ~arch ?tunables ~input (p : Ir.program) :
+    outcome =
+  run_compiled ?opts ?fault ?fault_version ~arch ?tunables ~input (compile p)

@@ -34,8 +34,16 @@ val compile : Device_ir.Ir.program -> compiled_program
 (** First candidate of every tunable. *)
 val default_tunables : Device_ir.Ir.program -> (string * int) list
 
+(** [fault] injects deterministic faults into this run (see {!Fault}):
+    an injected transient fault raises {!Interp.Sim_error}, an injected
+    timeout raises {!Fault.Injected}, a stall multiplies [time_us] by the
+    plan's stall factor and a corrupt outcome carries a NaN [result].
+    [fault_version] labels the roll (per-version fault rates key on it;
+    defaults to the program's first kernel name). *)
 val run_compiled :
   ?opts:Interp.options ->
+  ?fault:Fault.t ->
+  ?fault_version:string ->
   arch:Arch.t ->
   ?tunables:(string * int) list ->
   input:input ->
@@ -45,6 +53,8 @@ val run_compiled :
 (** One-shot convenience wrapper around {!compile} and {!run_compiled}. *)
 val run :
   ?opts:Interp.options ->
+  ?fault:Fault.t ->
+  ?fault_version:string ->
   arch:Arch.t ->
   ?tunables:(string * int) list ->
   input:input ->

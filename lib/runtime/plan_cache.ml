@@ -33,13 +33,32 @@ let key ~arch ~op ~elem ~n =
 let key_name (k : key) : string =
   Printf.sprintf "%s/%s/%s/#%d" k.k_arch k.k_op k.k_elem k.k_bucket
 
+(* one rung of the bucket's fallback ladder: a surviving candidate with
+   its tuned parameters, fastest first *)
+type rung = {
+  r_version : V.t;
+  r_tunables : (string * int) list;
+  r_time_us : float;
+}
+
 type entry = {
   e_version : V.t;
   e_tunables : (string * int) list;
   e_compiled : Gpusim.Runner.compiled_program option;
   e_tuned_n : int;
   e_tune_time_us : float;
+  e_ranking : rung list;
+      (** every surviving candidate, fastest first; [e_version] is its head
+          (empty for entries predating the ranking format) *)
 }
+
+(* the ladder the service walks: the ranking, or the bare winner for
+   legacy entries saved without one *)
+let ladder (e : entry) : rung list =
+  match e.e_ranking with
+  | [] ->
+      [ { r_version = e.e_version; r_tunables = e.e_tunables; r_time_us = 0.0 } ]
+  | rungs -> rungs
 
 (* ------------------------------------------------------------------ *)
 (* The LRU table                                                       *)
@@ -112,6 +131,22 @@ let entries (t : t) : (key * entry) list =
 
 let fail fmt = Printf.ksprintf (fun s -> raise (S.Parse_error s)) fmt
 
+let sexp_of_tunables (tunables : (string * int) list) : S.sexp =
+  S.List
+    (S.Atom "tunables"
+    :: List.map
+         (fun (name, v) -> S.List [ S.Atom name; S.Atom (string_of_int v) ])
+         tunables)
+
+let sexp_of_rung (r : rung) : S.sexp =
+  S.List
+    [
+      S.Atom "rung";
+      S.List [ S.Atom "version"; S.Atom (V.name r.r_version) ];
+      S.List [ S.Atom "time-us"; S.Atom (Printf.sprintf "%.17g" r.r_time_us) ];
+      sexp_of_tunables r.r_tunables;
+    ]
+
 let sexp_of_entry (k : key) (e : entry) : S.sexp =
   S.List
     [
@@ -124,11 +159,8 @@ let sexp_of_entry (k : key) (e : entry) : S.sexp =
       S.List [ S.Atom "tuned-n"; S.Atom (string_of_int e.e_tuned_n) ];
       S.List
         [ S.Atom "tune-time-us"; S.Atom (Printf.sprintf "%.17g" e.e_tune_time_us) ];
-      S.List
-        (S.Atom "tunables"
-        :: List.map
-             (fun (name, v) -> S.List [ S.Atom name; S.Atom (string_of_int v) ])
-             e.e_tunables);
+      sexp_of_tunables e.e_tunables;
+      S.List (S.Atom "ranking" :: List.map sexp_of_rung e.e_ranking);
     ]
 
 let to_string (t : t) : string =
@@ -175,6 +207,31 @@ let float_field fields name =
   | Some f -> f
   | None -> fail "plan-cache: field %S is not a number" name
 
+let tunables_of_items (items : S.sexp list) : (string * int) list =
+  List.map
+    (function
+      | S.List [ S.Atom name; S.Atom v ] -> (
+          match int_of_string_opt v with
+          | Some i -> (name, i)
+          | None -> fail "plan-cache: tunable %S is not an integer" name)
+      | _ -> fail "plan-cache: malformed tunable binding")
+    items
+
+let tunables_field (fields : S.sexp list) : (string * int) list =
+  match field fields "tunables" with
+  | None -> fail "plan-cache: missing tunables"
+  | Some items -> tunables_of_items items
+
+let rung_of_sexp (sexp : S.sexp) : rung =
+  match sexp with
+  | S.List (S.Atom "rung" :: fields) ->
+      {
+        r_version = resolve_version (atom_field fields "version");
+        r_tunables = tunables_field fields;
+        r_time_us = float_field fields "time-us";
+      }
+  | _ -> fail "plan-cache: expected a (rung ...) form"
+
 let entry_of_sexp (sexp : S.sexp) : key * entry =
   match sexp with
   | S.List (S.Atom "entry" :: fields) ->
@@ -186,26 +243,24 @@ let entry_of_sexp (sexp : S.sexp) : key * entry =
           k_bucket = int_field fields "bucket";
         }
       in
-      let tunables =
-        match field fields "tunables" with
-        | None -> fail "plan-cache: entry without tunables"
-        | Some items ->
-            List.map
-              (function
-                | S.List [ S.Atom name; S.Atom v ] -> (
-                    match int_of_string_opt v with
-                    | Some i -> (name, i)
-                    | None -> fail "plan-cache: tunable %S is not an integer" name)
-                | _ -> fail "plan-cache: malformed tunable binding")
-              items
+      let version = resolve_version (atom_field fields "version") in
+      let tunables = tunables_field fields in
+      let ranking =
+        (* entries saved before the ranking format load as a one-rung
+           ladder (the winner alone: no fallback, but still servable) *)
+        match field fields "ranking" with
+        | None ->
+            [ { r_version = version; r_tunables = tunables; r_time_us = 0.0 } ]
+        | Some items -> List.map rung_of_sexp items
       in
       let e =
         {
-          e_version = resolve_version (atom_field fields "version");
+          e_version = version;
           e_tunables = tunables;
           e_compiled = None;
           e_tuned_n = int_field fields "tuned-n";
           e_tune_time_us = float_field fields "tune-time-us";
+          e_ranking = ranking;
         }
       in
       (k, e)
@@ -247,3 +302,22 @@ let load ?capacity (path : string) : t =
   let src = really_input_string ic len in
   close_in ic;
   of_string ?capacity src
+
+(* ------------------------------------------------------------------ *)
+(* Non-raising parsing: a corrupt or truncated cache file must degrade  *)
+(* a service to a cold start, not kill it                               *)
+(* ------------------------------------------------------------------ *)
+
+let of_string_result ?capacity (src : string) : (t, string) result =
+  match of_string ?capacity src with
+  | t -> Ok t
+  | exception S.Parse_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let load_result ?capacity (path : string) : (t, string) result =
+  match load ?capacity path with
+  | t -> Ok t
+  | exception S.Parse_error msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated cache file")
+  | exception Invalid_argument msg -> Error (path ^ ": " ^ msg)

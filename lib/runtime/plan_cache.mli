@@ -44,6 +44,14 @@ val key : arch:string -> op:string -> elem:string -> n:int -> key
 (** Human-readable rendering, e.g. ["Tesla K40c/atomicAdd/F32/#16"]. *)
 val key_name : key -> string
 
+(** One rung of a bucket's fallback ladder: a candidate version that
+    survived planning, with its tuned parameters and tuned time. *)
+type rung = {
+  r_version : Synthesis.Version.t;
+  r_tunables : (string * int) list;
+  r_time_us : float;  (** tuned time at the bucket's representative size *)
+}
+
 type entry = {
   e_version : Synthesis.Version.t;  (** the bucket's winning version *)
   e_tunables : (string * int) list;  (** its tuned parameters *)
@@ -52,7 +60,16 @@ type entry = {
           after a {!load}) *)
   e_tuned_n : int;  (** the size planning/tuning ran at *)
   e_tune_time_us : float;  (** host-side cost of the cold path *)
+  e_ranking : rung list;
+      (** every surviving candidate ranked fastest-first — the fallback
+          ladder the service walks when the winner is quarantined. Empty
+          for hand-built or legacy entries; [e_version] is its head
+          otherwise. *)
 }
+
+(** The fallback ladder of an entry: [e_ranking], or a single rung made
+    of the winner when the ranking is empty (legacy entries). *)
+val ladder : entry -> rung list
 
 (** {1 The cache} *)
 
@@ -93,3 +110,11 @@ val save : t -> string -> unit
 (** @raise Device_ir.Serialize.Parse_error on malformed input,
     [Sys_error] on an unreadable file. *)
 val load : ?capacity:int -> string -> t
+
+(** Like {!of_string}, but a malformed cache comes back as [Error]
+    instead of an exception. *)
+val of_string_result : ?capacity:int -> string -> (t, string) result
+
+(** Like {!load}, but corrupt, truncated or unreadable files come back
+    as [Error] — callers warn and start cold instead of dying. *)
+val load_result : ?capacity:int -> string -> (t, string) result

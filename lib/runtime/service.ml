@@ -3,15 +3,30 @@
    Dispatch is size-bucketed: a request's (arch, op, elem, bucket) key
    either hits the plan cache (run immediately with the memoized winner)
    or triggers the cold path — sweep every candidate version's tunables
-   at the bucket's representative size, keep the fastest, populate the
-   cache. Batched submission coalesces same-shape requests into one
-   simulation, the serving analogue of the paper's observation that the
-   winner depends only on (arch, op, elem, size). *)
+   at the bucket's representative size, rank the survivors fastest-first,
+   and populate the cache with the whole ranking. Batched submission
+   coalesces same-shape requests into one simulation, the serving
+   analogue of the paper's observation that the winner depends only on
+   (arch, op, elem, size).
+
+   Resilience (this layer's second job): every simulator failure is
+   caught and classified. Transient faults are retried under bounded
+   exponential backoff with jitter, accounted in simulated time. Hard
+   faults (injected timeouts, corrupted results, exhausted retries)
+   charge a per-(arch, version) circuit breaker; at the quarantine
+   threshold the breaker opens and the bucket's next-fastest ranked
+   version serves instead — the fallback ladder reuses the cold-path
+   ranking, so no re-tuning happens under fire. An open breaker half-opens
+   after a cooldown and one probe either closes it or re-opens it. When
+   every rung of a bucket's ladder is down, the service degrades to the
+   planner's host-side reference instead of failing, flagging the
+   response [resp_degraded]. *)
 
 module V = Synthesis.Version
 module P = Synthesis.Planner
 module Tuner = Synthesis.Tuner
 module R = Gpusim.Runner
+module Fault = Gpusim.Fault
 
 type request = { req_arch : Gpusim.Arch.t; req_input : R.input }
 
@@ -24,6 +39,58 @@ type response = {
   resp_hit : bool;
   resp_bucket : int;
   resp_service_us : float;
+  resp_degraded : bool;
+  resp_retries : int;
+  resp_fallback : int;
+}
+
+type error =
+  | Bad_request of string
+  | Transient of string
+  | Version_fault of string
+  | Cache_corrupt of string
+
+exception Service_error of error
+
+let error_message = function
+  | Bad_request m -> "bad request: " ^ m
+  | Transient m -> "transient failure: " ^ m
+  | Version_fault m -> "version fault: " ^ m
+  | Cache_corrupt m -> "corrupt plan cache: " ^ m
+
+type resilience = {
+  r_retry_max : int;
+  r_backoff_base_us : float;
+  r_backoff_mult : float;
+  r_backoff_max_us : float;
+  r_jitter : float;
+  r_quarantine_threshold : int;
+  r_cooldown_requests : int;
+  r_allow_degraded : bool;
+}
+
+let default_resilience =
+  {
+    r_retry_max = 3;
+    r_backoff_base_us = 50.0;
+    r_backoff_mult = 2.0;
+    r_backoff_max_us = 5_000.0;
+    r_jitter = 0.25;
+    r_quarantine_threshold = 3;
+    r_cooldown_requests = 64;
+    r_allow_degraded = true;
+  }
+
+(* per-(arch, version) circuit breaker: faults accumulate while closed
+   (they need not be consecutive — a 5% fault rate must still trip a hot
+   version eventually); at the threshold the breaker opens until a
+   cooldown of service ticks passes, then the next selection half-opens
+   it for one probe. Only a successful half-open probe closes the breaker
+   and clears the count — ordinary successes do not, so a lightly-faulting
+   version still trips the threshold eventually. *)
+type breaker = {
+  mutable br_faults : int;
+  mutable br_open_until : int;  (* service tick; 0 = closed *)
 }
 
 type t = {
@@ -32,9 +99,15 @@ type t = {
   stats : Stats.t;
   candidates : V.t list;
   exact_threshold : int;
+  resilience : resilience;
+  mutable fault : Fault.t option;
+  breakers : (string * string, breaker) Hashtbl.t;
+  mutable tick : int;
+  mutable jitter_state : int64;
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
+    ?(resilience = default_resilience) ?fault ?(jitter_seed = 0)
     (planner : P.t) : t =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?capacity ()
@@ -45,11 +118,37 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
   (match candidates with
   | [] -> invalid_arg "Service.create: empty candidate list"
   | _ -> ());
-  { planner; cache; stats = Stats.create (); candidates; exact_threshold }
+  if resilience.r_retry_max < 0 then
+    invalid_arg "Service.create: retry_max must be non-negative";
+  if resilience.r_quarantine_threshold < 1 then
+    invalid_arg "Service.create: quarantine_threshold must be positive";
+  if resilience.r_cooldown_requests < 1 then
+    invalid_arg "Service.create: cooldown_requests must be positive";
+  {
+    planner;
+    cache;
+    stats = Stats.create ();
+    candidates;
+    exact_threshold;
+    resilience;
+    fault;
+    breakers = Hashtbl.create 64;
+    tick = 0;
+    jitter_state =
+      Int64.add (Int64.mul (Int64.of_int jitter_seed) 6364136223846793005L)
+        1442695040888963407L;
+  }
 
 let planner t = t.planner
 let cache t = t.cache
 let stats t = t.stats
+let fault t = t.fault
+let set_fault t f = t.fault <- f
+
+let load_cache ?capacity (path : string) : (Plan_cache.t, error) result =
+  match Plan_cache.load_result ?capacity path with
+  | Ok c -> Ok c
+  | Error msg -> Error (Cache_corrupt msg)
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
@@ -72,10 +171,12 @@ let key_of (t : t) (arch : Gpusim.Arch.t) (n : int) : Plan_cache.key =
 
 (* Selection and tuning in one sweep: each candidate's tunables are swept
    at the bucket's representative size (the tuner already reports the
-   fastest configuration's time), and the version with the fastest tuned
-   configuration wins the bucket. *)
+   fastest configuration's time), and the surviving versions are ranked
+   fastest-first. The head of the ranking wins the bucket; the tail is
+   the fallback ladder quarantine walks. Fault injection never reaches
+   this path, so rankings are deterministic under chaos. *)
 let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
-    Plan_cache.entry =
+    (Plan_cache.entry, error) result =
   let rep = Plan_cache.representative_size k.Plan_cache.k_bucket in
   let t0 = now_us () in
   (* planning: lower, validate and compile every candidate (memoized in
@@ -90,83 +191,311 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
   in
   Stats.plan_us t.stats (now_us () -. t0);
   let t1 = now_us () in
-  let best = ref None in
-  List.iter
-    (fun (v, cp) ->
-      match Tuner.tune ~arch ~n:rep cp with
-      | o -> (
-          match !best with
-          | Some (_, _, bt) when bt <= o.Tuner.best_time_us -> ()
-          | _ -> best := Some (v, o.Tuner.best, o.Tuner.best_time_us))
-      | exception (Invalid_argument _ | Gpusim.Interp.Sim_error _) -> ())
-    compiled;
+  let ranking =
+    List.filter_map
+      (fun (v, cp) ->
+        match Tuner.tune ~arch ~n:rep cp with
+        | o ->
+            Some
+              {
+                Plan_cache.r_version = v;
+                r_tunables = o.Tuner.best;
+                r_time_us = o.Tuner.best_time_us;
+              }
+        | exception (Invalid_argument _ | Gpusim.Interp.Sim_error _) -> None)
+      compiled
+  in
+  (* stable: candidate order breaks ties, matching the old keep-first rule *)
+  let ranking =
+    List.stable_sort
+      (fun a b -> compare a.Plan_cache.r_time_us b.Plan_cache.r_time_us)
+      ranking
+  in
   let tune_us = now_us () -. t1 in
   Stats.tune_us t.stats tune_us;
-  match !best with
-  | None ->
-      failwith
-        (Printf.sprintf "Service: no candidate version survived planning for %s"
-           (Plan_cache.key_name k))
-  | Some (v, tunables, _) ->
-      {
-        Plan_cache.e_version = v;
-        e_tunables = tunables;
-        e_compiled = Some (P.compiled t.planner v);
-        e_tuned_n = rep;
-        e_tune_time_us = tune_us;
-      }
+  match ranking with
+  | [] ->
+      Error
+        (Version_fault
+           (Printf.sprintf "no candidate version survived planning for %s"
+              (Plan_cache.key_name k)))
+  | best :: _ ->
+      Ok
+        {
+          Plan_cache.e_version = best.Plan_cache.r_version;
+          e_tunables = best.Plan_cache.r_tunables;
+          e_compiled = Some (P.compiled t.planner best.Plan_cache.r_version);
+          e_tuned_n = rep;
+          e_tune_time_us = tune_us;
+          e_ranking = ranking;
+        }
 
-let ensure (t : t) (arch : Gpusim.Arch.t) (n : int) : Plan_cache.entry * bool =
+let ensure (t : t) (arch : Gpusim.Arch.t) (n : int) :
+    (Plan_cache.entry * bool, error) result =
   let k = key_of t arch n in
   let bucket = Plan_cache.key_name k in
   match Plan_cache.find t.cache k with
   | Some e ->
       Stats.hit t.stats ~bucket;
-      (e, true)
-  | None ->
+      Ok (e, true)
+  | None -> (
       Stats.miss t.stats ~bucket;
-      let e = plan_bucket t arch k in
-      let before = Plan_cache.evictions t.cache in
-      Plan_cache.add t.cache k e;
-      for _ = 1 to Plan_cache.evictions t.cache - before do
-        Stats.eviction t.stats
-      done;
-      (e, false)
+      match plan_bucket t arch k with
+      | Error _ as e -> e
+      | Ok e ->
+          let before = Plan_cache.evictions t.cache in
+          Plan_cache.add t.cache k e;
+          for _ = 1 to Plan_cache.evictions t.cache - before do
+            Stats.eviction t.stats
+          done;
+          Ok (e, false))
 
 (* ------------------------------------------------------------------ *)
-(* Serving                                                             *)
+(* Circuit breakers                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_entry (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
-    (started_us : float) : response =
-  let cp =
-    match e.Plan_cache.e_compiled with
-    | Some cp -> cp
-    | None -> P.compiled t.planner e.Plan_cache.e_version
+type availability = Av_closed | Av_half_open | Av_open
+
+let breaker_for (t : t) (arch : string) (version : string) : breaker =
+  let key = (arch, version) in
+  match Hashtbl.find_opt t.breakers key with
+  | Some b -> b
+  | None ->
+      let b = { br_faults = 0; br_open_until = 0 } in
+      Hashtbl.add t.breakers key b;
+      b
+
+let availability (t : t) (b : breaker) : availability =
+  if b.br_open_until = 0 then Av_closed
+  else if t.tick >= b.br_open_until then Av_half_open
+  else Av_open
+
+let breaker_success (b : breaker) : unit =
+  b.br_faults <- 0;
+  b.br_open_until <- 0
+
+let breaker_fault (t : t) (b : breaker) : unit =
+  b.br_faults <- b.br_faults + 1;
+  if b.br_faults >= t.resilience.r_quarantine_threshold then begin
+    (* opening (or re-opening after a failed half-open probe) is one
+       quarantine event either way *)
+    b.br_open_until <- t.tick + t.resilience.r_cooldown_requests;
+    Stats.quarantine t.stats
+  end
+
+let quarantined (t : t) ~(arch : string) ~(version : string) : bool =
+  match Hashtbl.find_opt t.breakers (arch, version) with
+  | Some b -> availability t b = Av_open
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Serving: retry, ladder walk, degraded mode                          *)
+(* ------------------------------------------------------------------ *)
+
+(* uniform jitter in [1 - j, 1 + j], drawn from the service's own seeded
+   stream so backoff schedules are reproducible *)
+let jitter_draw (t : t) : float =
+  let s = t.jitter_state in
+  t.jitter_state <-
+    Int64.add (Int64.mul s 6364136223846793005L) 1442695040888963407L;
+  let u =
+    float_of_int (Int64.to_int (Int64.shift_right_logical s 34)) /. 1073741824.0
   in
-  let run_started = now_us () in
-  let o =
-    R.run_compiled ~opts:(opts_for t req.req_input) ~arch:req.req_arch
-      ~tunables:e.Plan_cache.e_tunables ~input:req.req_input cp
+  1.0 +. (t.resilience.r_jitter *. ((2.0 *. u) -. 1.0))
+
+let backoff_delay_us (t : t) (attempt : int) : float =
+  let r = t.resilience in
+  let base =
+    r.r_backoff_base_us *. (r.r_backoff_mult ** float_of_int (attempt - 1))
   in
-  Stats.run_us t.stats (now_us () -. run_started);
-  Stats.winner t.stats (V.name e.Plan_cache.e_version);
-  let service_us = now_us () -. started_us in
+  Float.min base r.r_backoff_max_us *. jitter_draw t
+
+type attempt_failure = Af_transient of string | Af_fault of string
+
+(* One rung: run with bounded exponential-backoff retries over transient
+   simulator errors. Backoff is charged to simulated time (the simulator
+   has no wall clock of its own) and to the stats. *)
+let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
+    ((R.outcome * int * float), attempt_failure) result =
+  let vname = V.name rung.Plan_cache.r_version in
+  match P.compiled t.planner rung.Plan_cache.r_version with
+  | exception Device_ir.Validate.Invalid errs ->
+      Error
+        (Af_fault
+           (Printf.sprintf "%s failed to compile: %s" vname
+              (String.concat "; "
+                 (List.map
+                    (fun (e : Device_ir.Validate.error) ->
+                      e.Device_ir.Validate.where ^ ": " ^ e.Device_ir.Validate.what)
+                    errs))))
+  | cp ->
+      let opts = opts_for t req.req_input in
+      let rec go attempt retries backoff_us =
+        match
+          R.run_compiled ~opts ?fault:t.fault ~fault_version:vname
+            ~arch:req.req_arch ~tunables:rung.Plan_cache.r_tunables
+            ~input:req.req_input cp
+        with
+        | o when Float.is_nan o.R.result ->
+            Error (Af_fault (Printf.sprintf "%s returned a corrupted (NaN) result" vname))
+        | o -> Ok (o, retries, backoff_us)
+        | exception Gpusim.Interp.Sim_error msg ->
+            if attempt <= t.resilience.r_retry_max then begin
+              Stats.retry t.stats;
+              let delay = backoff_delay_us t attempt in
+              Stats.backoff_us t.stats delay;
+              go (attempt + 1) (retries + 1) (backoff_us +. delay)
+            end
+            else
+              Error
+                (Af_transient
+                   (Printf.sprintf "%s: transient retries exhausted (%s)" vname
+                      msg))
+        | exception Fault.Injected (_, msg) -> Error (Af_fault msg)
+        | exception Invalid_argument msg ->
+            Error (Af_fault (Printf.sprintf "%s: %s" vname msg))
+      in
+      go 1 0 0.0
+
+let response_of_outcome (t : t) (req : request) (rung : Plan_cache.rung)
+    ~(hit : bool) ~(fallback : int) ~(retries : int) ~(backoff_us : float)
+    ~(started_us : float) (o : R.outcome) : response =
+  Stats.winner t.stats (V.name rung.Plan_cache.r_version);
+  if fallback > 0 then Stats.fallback t.stats;
   {
     resp_value = o.R.result;
     resp_exact = o.R.exact;
-    resp_sim_us = o.R.time_us;
-    resp_version = e.Plan_cache.e_version;
-    resp_tunables = e.Plan_cache.e_tunables;
+    resp_sim_us = o.R.time_us +. backoff_us;
+    resp_version = rung.Plan_cache.r_version;
+    resp_tunables = rung.Plan_cache.r_tunables;
     resp_hit = hit;
     resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
-    resp_service_us = service_us;
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = false;
+    resp_retries = retries;
+    resp_fallback = fallback;
   }
 
+(* The degraded path: when every rung of the ladder is quarantined or
+   faulting, compute the answer on the host via the planner's reference
+   and say so, rather than failing the request. *)
+let degraded_response (t : t) (req : request) (e : Plan_cache.entry)
+    ~(hit : bool) ~(started_us : float) : response =
+  Stats.degrade t.stats;
+  Stats.winner t.stats "host-reference (degraded)";
+  {
+    resp_value = P.reference_input t.planner req.req_input;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = e.Plan_cache.e_version;
+    resp_tunables = [];
+    resp_hit = hit;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = true;
+    resp_retries = 0;
+    resp_fallback = List.length (Plan_cache.ladder e);
+  }
+
+let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
+    (started_us : float) : (response, error) result =
+  t.tick <- t.tick + 1;
+  let arch = req.req_arch.Gpusim.Arch.name in
+  let run_started = now_us () in
+  let last_failure = ref None in
+  let rec walk idx = function
+    | [] -> None
+    | rung :: rest -> (
+        let vname = V.name rung.Plan_cache.r_version in
+        let br = breaker_for t arch vname in
+        match availability t br with
+        | Av_open -> walk (idx + 1) rest
+        | (Av_closed | Av_half_open) as avail -> (
+            match attempt_rung t req rung with
+            | Ok (o, retries, backoff_us) ->
+                (* faults accumulate across successes while the breaker is
+                   closed (a lightly-faulting version must still trip it
+                   eventually); only a successful half-open probe earns a
+                   clean slate *)
+                if avail = Av_half_open then breaker_success br;
+                Some (idx, rung, o, retries, backoff_us)
+            | Error failure ->
+                Stats.fault t.stats ~version:vname;
+                breaker_fault t br;
+                last_failure := Some failure;
+                walk (idx + 1) rest))
+  in
+  match walk 0 (Plan_cache.ladder e) with
+  | Some (idx, rung, o, retries, backoff_us) ->
+      Stats.run_us t.stats (now_us () -. run_started);
+      Ok
+        (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
+           ~started_us o)
+  | None ->
+      if t.resilience.r_allow_degraded then
+        Ok (degraded_response t req e ~hit ~started_us)
+      else
+        Error
+          (match !last_failure with
+          | Some (Af_transient msg) -> Transient msg
+          | Some (Af_fault msg) -> Version_fault msg
+          | None ->
+              Version_fault
+                (Printf.sprintf "every version of %s is quarantined"
+                   (Plan_cache.key_name
+                      (key_of t req.req_arch (R.input_size req.req_input)))))
+
+(* reduce of nothing is the combining operation's identity, served off the
+   host without touching the simulator *)
+let empty_response (t : t) (req : request) ~(started_us : float) : response =
+  {
+    resp_value = P.reference_input t.planner req.req_input;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = List.hd t.candidates;
+    resp_tunables = [];
+    resp_hit = false;
+    resp_bucket = 0;
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = false;
+    resp_retries = 0;
+    resp_fallback = 0;
+  }
+
+let validate (req : request) : (unit, error) result =
+  match req.req_input with
+  | R.Dense _ -> Ok ()
+  | R.Synthetic { n; pattern } ->
+      if n < 0 then
+        Error (Bad_request (Printf.sprintf "negative input size %d" n))
+      else
+        let plen = Array.length pattern in
+        if n > 0 && plen = 0 then
+          Error (Bad_request "synthetic input with an empty pattern")
+        else if n > 0 && plen land (plen - 1) <> 0 then
+          Error
+            (Bad_request
+               (Printf.sprintf "synthetic pattern length %d is not a power of two"
+                  plen))
+        else Ok ()
+
+let submit_result (t : t) (req : request) : (response, error) result =
+  let started_us = now_us () in
+  match validate req with
+  | Error e ->
+      Stats.bad_request t.stats;
+      Error e
+  | Ok () ->
+      if R.input_size req.req_input = 0 then Ok (empty_response t req ~started_us)
+      else (
+        match ensure t req.req_arch (R.input_size req.req_input) with
+        | Error e -> Error e
+        | Ok (entry, hit) -> serve t req entry hit started_us)
+
 let submit (t : t) (req : request) : response =
-  let started = now_us () in
-  let e, hit = ensure t req.req_arch (R.input_size req.req_input) in
-  run_entry t req e hit started
+  match submit_result t req with
+  | Ok r -> r
+  | Error e -> raise (Service_error e)
 
 (* Two requests share one simulation when they target the same
    architecture and carry equal inputs (synthetic inputs compare by
@@ -180,10 +509,11 @@ let same_shape (a : request) (b : request) : bool =
       sx.n = sy.n && (sx.pattern == sy.pattern || sx.pattern = sy.pattern)
   | _ -> false
 
-let submit_batch (t : t) (reqs : request list) : response list =
+let submit_batch_result (t : t) (reqs : request list) :
+    (response, error) result list =
   match reqs with
   | [] -> []
-  | [ req ] -> [ submit t req ]
+  | [ req ] -> [ submit_result t req ]
   | _ ->
       (* group indices by shape, preserving first-seen group order *)
       let groups : (request * int list ref) list ref = ref [] in
@@ -199,10 +529,15 @@ let submit_batch (t : t) (reqs : request list) : response list =
       let responses = Array.make n_reqs None in
       List.iter
         (fun (rep, idxs) ->
-          let r = submit t rep in
+          let r = submit_result t rep in
           List.iter (fun i -> responses.(i) <- Some r) !idxs)
         !groups;
       Array.to_list responses
       |> List.map (function Some r -> r | None -> assert false)
+
+let submit_batch (t : t) (reqs : request list) : response list =
+  List.map
+    (function Ok r -> r | Error e -> raise (Service_error e))
+    (submit_batch_result t reqs)
 
 let report (t : t) : string = Stats.report t.stats

@@ -1,13 +1,24 @@
 (** The request engine: a long-lived reduction service in front of the
     planner/tuner/simulator stack.
 
-    [submit] dispatches one reduction request through the {!Plan_cache}:
-    a hit runs the cached winner immediately; a miss plans and tunes the
-    request's (architecture, operation, element, size-bucket) key once —
-    every pruned candidate version is swept at the bucket's
-    representative size and the fastest wins — then populates the cache
-    and runs. [submit_batch] additionally coalesces same-shape requests
-    (equal architecture and input) into a single simulation. *)
+    [submit_result] dispatches one reduction request through the
+    {!Plan_cache}: a hit runs the cached winner immediately; a miss plans
+    and tunes the request's (architecture, operation, element,
+    size-bucket) key once — every pruned candidate version is swept at
+    the bucket's representative size and ranked fastest-first — then
+    populates the cache and runs. [submit_batch_result] additionally
+    coalesces same-shape requests (equal architecture and input) into a
+    single simulation.
+
+    The service is fault tolerant. Transient simulator errors are
+    retried under bounded exponential backoff with jitter (charged to
+    simulated time). Versions that keep faulting trip a per-(architecture,
+    version) circuit breaker and are quarantined for a cooldown; the
+    bucket's next-fastest ranked version serves meanwhile (the fallback
+    ladder reuses the cold-path ranking — no re-tuning under fire). When
+    every rung is quarantined or faulting, the service degrades to the
+    planner's host-side reference and flags the response
+    [resp_degraded] rather than failing. *)
 
 type request = {
   req_arch : Gpusim.Arch.t;
@@ -17,13 +28,55 @@ type request = {
 type response = {
   resp_value : float;  (** the reduced value *)
   resp_exact : bool;  (** whether [resp_value] is trustworthy (no sampling) *)
-  resp_sim_us : float;  (** simulated GPU wall clock *)
+  resp_sim_us : float;
+      (** simulated GPU wall clock, including any retry backoff *)
   resp_version : Synthesis.Version.t;  (** version that served the request *)
   resp_tunables : (string * int) list;
   resp_hit : bool;  (** plan-cache hit? *)
   resp_bucket : int;  (** size bucket the request dispatched to *)
   resp_service_us : float;  (** host-side service latency *)
+  resp_degraded : bool;
+      (** served by the host-reference degraded path (every version of
+          the bucket was quarantined or faulting) *)
+  resp_retries : int;  (** transient-fault retries spent on this request *)
+  resp_fallback : int;
+      (** how many ladder rungs were skipped before the serving one
+          (0 = the bucket winner served) *)
 }
+
+(** Why a request failed. [Transient] and [Version_fault] only escape
+    when degraded mode is disabled; [Cache_corrupt] only from
+    {!load_cache}. *)
+type error =
+  | Bad_request of string  (** malformed input; never retried *)
+  | Transient of string  (** retries exhausted on a transient fault *)
+  | Version_fault of string
+      (** a hard version failure (timeout, corrupted result, no
+          surviving candidate) *)
+  | Cache_corrupt of string  (** a persisted plan cache failed to parse *)
+
+exception Service_error of error
+
+val error_message : error -> string
+
+(** Retry, quarantine and degradation policy. *)
+type resilience = {
+  r_retry_max : int;  (** transient retries per rung (default 3) *)
+  r_backoff_base_us : float;  (** first backoff delay (default 50us) *)
+  r_backoff_mult : float;  (** exponential multiplier (default 2) *)
+  r_backoff_max_us : float;  (** backoff cap (default 5000us) *)
+  r_jitter : float;  (** +/- fraction of jitter on each delay (default 0.25) *)
+  r_quarantine_threshold : int;
+      (** faults before a version's breaker opens (default 3) *)
+  r_cooldown_requests : int;
+      (** service ticks an open breaker waits before half-opening for a
+          probe (default 64) *)
+  r_allow_degraded : bool;
+      (** serve host-reference answers when every rung is down (default
+          [true]); when [false] such requests return [Error] *)
+}
+
+val default_resilience : resilience
 
 type t
 
@@ -34,12 +87,18 @@ type t
     [candidates] restricts the versions considered on a cache miss
     (default: the 30 pruned survivors); dense inputs up to
     [exact_threshold] elements (default [2^17]) run in exact mode, larger
-    or synthetic inputs in fast sampled mode. *)
+    or synthetic inputs in fast sampled mode. [resilience] sets the
+    retry/quarantine policy, [fault] arms a {!Gpusim.Fault} injection
+    plan (default none), and [jitter_seed] seeds the reproducible
+    backoff-jitter stream. *)
 val create :
   ?capacity:int ->
   ?cache:Plan_cache.t ->
   ?candidates:Synthesis.Version.t list ->
   ?exact_threshold:int ->
+  ?resilience:resilience ->
+  ?fault:Gpusim.Fault.t ->
+  ?jitter_seed:int ->
   Synthesis.Planner.t ->
   t
 
@@ -47,13 +106,34 @@ val planner : t -> Synthesis.Planner.t
 val cache : t -> Plan_cache.t
 val stats : t -> Stats.t
 
-(** Serve one request. @raise Failure when no candidate version survives
-    planning for the request's bucket. *)
+(** The armed fault-injection plan, if any. *)
+val fault : t -> Gpusim.Fault.t option
+
+(** Arm ([Some]) or disarm ([None]) fault injection on a live service. *)
+val set_fault : t -> Gpusim.Fault.t option -> unit
+
+(** Is (architecture, version) currently quarantined (breaker open and
+    still cooling down)? *)
+val quarantined : t -> arch:string -> version:string -> bool
+
+(** Load a persisted plan cache, mapping parse/IO failures to
+    [Error (Cache_corrupt _)] so callers can warn and start cold. *)
+val load_cache : ?capacity:int -> string -> (Plan_cache.t, error) result
+
+(** Serve one request. Empty inputs return the operation's identity
+    without touching the simulator. *)
+val submit_result : t -> request -> (response, error) result
+
+(** [submit_result], raising {!Service_error} on failure. *)
 val submit : t -> request -> response
 
 (** Serve a batch: requests with equal architecture and input share one
-    cache lookup and one simulation; responses come back in request
+    cache lookup and one simulation; results come back in request
     order. *)
+val submit_batch_result : t -> request list -> (response, error) result list
+
+(** [submit_batch_result], raising {!Service_error} on the first
+    failure. *)
 val submit_batch : t -> request list -> response list
 
 (** The {!Stats.report} of this service. *)

@@ -51,6 +51,7 @@ type counters = { mutable c_hits : int; mutable c_misses : int }
 type t = {
   buckets : (string, counters) Hashtbl.t;
   winners : (string, int) Hashtbl.t;
+  version_faults : (string, int) Hashtbl.t;
   plan : samples;
   tune : samples;
   run : samples;
@@ -59,12 +60,20 @@ type t = {
   mutable total_evictions : int;
   mutable total_batches : int;
   mutable total_coalesced : int;
+  mutable total_retries : int;
+  mutable total_faults : int;
+  mutable total_quarantines : int;
+  mutable total_fallbacks : int;
+  mutable total_degraded : int;
+  mutable total_bad_requests : int;
+  mutable backoff_total_us : float;
 }
 
 let create () : t =
   {
     buckets = Hashtbl.create 32;
     winners = Hashtbl.create 32;
+    version_faults = Hashtbl.create 32;
     plan = samples_create ();
     tune = samples_create ();
     run = samples_create ();
@@ -73,6 +82,13 @@ let create () : t =
     total_evictions = 0;
     total_batches = 0;
     total_coalesced = 0;
+    total_retries = 0;
+    total_faults = 0;
+    total_quarantines = 0;
+    total_fallbacks = 0;
+    total_degraded = 0;
+    total_bad_requests = 0;
+    backoff_total_us = 0.0;
   }
 
 let counters_for (t : t) (bucket : string) : counters =
@@ -107,11 +123,35 @@ let batch (t : t) ~size:_ ~coalesced =
   t.total_batches <- t.total_batches + 1;
   t.total_coalesced <- t.total_coalesced + coalesced
 
+let retry (t : t) = t.total_retries <- t.total_retries + 1
+
+let fault (t : t) ~(version : string) : unit =
+  t.total_faults <- t.total_faults + 1;
+  Hashtbl.replace t.version_faults version
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.version_faults version))
+
+let quarantine (t : t) = t.total_quarantines <- t.total_quarantines + 1
+let fallback (t : t) = t.total_fallbacks <- t.total_fallbacks + 1
+let degrade (t : t) = t.total_degraded <- t.total_degraded + 1
+let bad_request (t : t) = t.total_bad_requests <- t.total_bad_requests + 1
+let backoff_us (t : t) (x : float) = t.backoff_total_us <- t.backoff_total_us +. x
+
 let hits t = t.total_hits
 let misses t = t.total_misses
 let evictions t = t.total_evictions
 let batches t = t.total_batches
 let coalesced t = t.total_coalesced
+let retries t = t.total_retries
+let faults t = t.total_faults
+let quarantines t = t.total_quarantines
+let fallbacks t = t.total_fallbacks
+let degraded t = t.total_degraded
+let bad_requests t = t.total_bad_requests
+let backoff_total_us t = t.backoff_total_us
+
+let fault_histogram (t : t) : (string * int) list =
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) t.version_faults []
+  |> List.sort (fun (va, a) (vb, b) -> compare (b, va) (a, vb))
 
 let bucket_counts (t : t) : (string * (int * int)) list =
   Hashtbl.fold (fun b c acc -> (b, (c.c_hits, c.c_misses)) :: acc) t.buckets []
@@ -153,4 +193,23 @@ let report (t : t) : string =
   series "run" (run_series t);
   pr "\nwinning versions (requests served):\n";
   List.iter (fun (v, n) -> pr "  %-34s %6d\n" v n) (winner_histogram t);
+  (* the fault-tolerance section appears only once something failed, so a
+     fault-free service prints exactly the report it always did *)
+  if
+    t.total_faults + t.total_retries + t.total_quarantines + t.total_fallbacks
+    + t.total_degraded + t.total_bad_requests
+    > 0
+  then begin
+    pr "\nfault tolerance:\n";
+    pr "  faults %d   retries %d   backoff (simulated) %.1f us\n" t.total_faults
+      t.total_retries t.backoff_total_us;
+    pr "  quarantine events %d   fallback serves %d   degraded serves %d   bad requests %d\n"
+      t.total_quarantines t.total_fallbacks t.total_degraded
+      t.total_bad_requests;
+    match fault_histogram t with
+    | [] -> ()
+    | hist ->
+        pr "  faults by version:\n";
+        List.iter (fun (v, n) -> pr "    %-32s %6d\n" v n) hist
+  end;
   Buffer.contents b

@@ -35,6 +35,30 @@ val run_us : t -> float -> unit
     were coalesced into another request's simulation. *)
 val batch : t -> size:int -> coalesced:int -> unit
 
+(** {2 Failure recording} *)
+
+(** One transient-fault retry. *)
+val retry : t -> unit
+
+(** One version fault (timeout, corrupted result, or exhausted transient
+    retries), charged to [version]'s fault histogram. *)
+val fault : t -> version:string -> unit
+
+(** A circuit breaker opened (a version entered quarantine). *)
+val quarantine : t -> unit
+
+(** A request was served by a fallback rung instead of the bucket winner. *)
+val fallback : t -> unit
+
+(** A request was served by the degraded host-reference path. *)
+val degrade : t -> unit
+
+(** A request was rejected as malformed. *)
+val bad_request : t -> unit
+
+(** Simulated microseconds spent in retry backoff. *)
+val backoff_us : t -> float -> unit
+
 (** {1 Reading} *)
 
 val hits : t -> int
@@ -42,6 +66,16 @@ val misses : t -> int
 val evictions : t -> int
 val batches : t -> int
 val coalesced : t -> int
+val retries : t -> int
+val faults : t -> int
+val quarantines : t -> int
+val fallbacks : t -> int
+val degraded : t -> int
+val bad_requests : t -> int
+val backoff_total_us : t -> float
+
+(** Fault counts per version, most-faulting first. *)
+val fault_histogram : t -> (string * int) list
 
 (** Per-bucket (hits, misses), sorted by bucket label. *)
 val bucket_counts : t -> (string * (int * int)) list

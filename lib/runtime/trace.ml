@@ -49,6 +49,8 @@ type summary = {
   s_rps : float;
   s_hits : int;
   s_misses : int;
+  s_degraded : int;
+  s_failed : int;
 }
 
 (* one shared pattern: same-size requests are same-shape, so they
@@ -78,8 +80,16 @@ let replay ?(batch_size = 64) (svc : Service.t) (trace : (Gpusim.Arch.t * int) l
            { Service.req_arch = arch; req_input = R.Synthetic { n; pattern } })
          trace)
   in
+  let degraded = ref 0 and failed = ref 0 in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun batch -> ignore (Service.submit_batch svc batch)) batches;
+  List.iter
+    (fun batch ->
+      List.iter
+        (function
+          | Ok r -> if r.Service.resp_degraded then incr degraded
+          | Error _ -> incr failed)
+        (Service.submit_batch_result svc batch))
+    batches;
   let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   let requests = List.length trace in
   {
@@ -90,9 +100,13 @@ let replay ?(batch_size = 64) (svc : Service.t) (trace : (Gpusim.Arch.t * int) l
        else float_of_int requests /. (wall_us /. 1e6));
     s_hits = Stats.hits stats - hits0;
     s_misses = Stats.misses stats - misses0;
+    s_degraded = !degraded;
+    s_failed = !failed;
   }
 
 let pp_summary (fmt : Format.formatter) (s : summary) : unit =
   Format.fprintf fmt
     "%d requests in %.1f ms  (%.0f requests/sec; lookups: %d hits, %d misses)"
-    s.s_requests (s.s_wall_us /. 1e3) s.s_rps s.s_hits s.s_misses
+    s.s_requests (s.s_wall_us /. 1e3) s.s_rps s.s_hits s.s_misses;
+  if s.s_degraded > 0 || s.s_failed > 0 then
+    Format.fprintf fmt "  [%d degraded, %d failed]" s.s_degraded s.s_failed

@@ -26,6 +26,8 @@ type summary = {
   s_rps : float;  (** requests per second *)
   s_hits : int;  (** cache-lookup hits during this replay *)
   s_misses : int;
+  s_degraded : int;  (** responses served by the degraded host path *)
+  s_failed : int;  (** requests that returned [Error] *)
 }
 
 (** Replay a trace against a service, submitting requests in batches of

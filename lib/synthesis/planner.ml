@@ -106,6 +106,41 @@ let reference (t : t) (input : float array) : float =
     (fun acc x -> Ir.combine op acc x)
     (Ir.identity_value op t.elem) input
 
+(** Host reference over a synthetic input of logical size [n] repeating
+    [pattern], in closed form (no multi-hundred-megabyte fold): sums scale
+    by the cycle count, min/max saturate after one pattern period. *)
+let reference_synthetic (t : t) ~(n : int) ~(pattern : float array) : float =
+  let op = Lower.ir_atomic_op t.op in
+  let identity = Ir.identity_value op t.elem in
+  let plen = Array.length pattern in
+  if n <= 0 || plen = 0 then identity
+  else
+    let prefix m =
+      let s = ref 0.0 in
+      for i = 0 to m - 1 do
+        s := !s +. pattern.(i)
+      done;
+      !s
+    in
+    match t.op with
+    | Ast.At_add | Ast.At_sub ->
+        let cycles = n / plen and rem = n mod plen in
+        let total = (float_of_int cycles *. prefix plen) +. prefix rem in
+        if t.op = Ast.At_add then total else -.total
+    | Ast.At_min | Ast.At_max ->
+        let m = min n plen in
+        let acc = ref identity in
+        for i = 0 to m - 1 do
+          acc := Ir.combine op !acc pattern.(i)
+        done;
+        !acc
+
+(** Host reference for any runner input (the service's degraded path). *)
+let reference_input (t : t) (input : Gpusim.Runner.input) : float =
+  match input with
+  | Gpusim.Runner.Dense a -> reference t a
+  | Gpusim.Runner.Synthetic { n; pattern } -> reference_synthetic t ~n ~pattern
+
 (** Run one version end to end on a simulated architecture. *)
 let run ?(opts = Gpusim.Interp.exact) ~(arch : Gpusim.Arch.t)
     ?(tunables : (string * int) list option) (t : t)

@@ -56,6 +56,15 @@ val cuda_source : ?options:Device_ir.Cuda.options -> t -> Version.t -> string
 (** Host-side reference reduction, for checking simulated runs. *)
 val reference : t -> float array -> float
 
+(** Host reference over a synthetic input (logical size [n] repeating
+    [pattern]) in closed form — sums scale by the cycle count, min/max
+    saturate after one period — so the degraded serving path stays O(1)
+    in [n]. *)
+val reference_synthetic : t -> n:int -> pattern:float array -> float
+
+(** Host reference for any runner input (dense or synthetic). *)
+val reference_input : t -> Gpusim.Runner.input -> float
+
 (** Run one version end to end on a simulated architecture. *)
 val run :
   ?opts:Gpusim.Interp.options ->

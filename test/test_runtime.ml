@@ -30,6 +30,7 @@ let dummy_entry ?(tunables = [ ("bsize", 128) ]) () =
     e_compiled = None;
     e_tuned_n = 4096;
     e_tune_time_us = 1.0;
+    e_ranking = [];
   }
 
 let key bucket = { PC.k_arch = "Tesla K40c"; k_op = "atomicAdd"; k_elem = "F32"; k_bucket = bucket }
@@ -117,6 +118,7 @@ let persistence_tests =
                 e_compiled = None;
                 e_tuned_n = 1 lsl (10 + i);
                 e_tune_time_us = 123.5 +. float_of_int i;
+                e_ranking = [];
               })
           (Lazy.force candidates);
         let path = Filename.temp_file "plan_cache" ".sexp" in
