@@ -14,6 +14,8 @@
                                                  warm vs cold
      dune exec bench/main.exe faults          -- throughput + success rate under
                                                  injected faults (rate sweep)
+     dune exec bench/main.exe lint            -- race-sanitizer wall time per
+                                                 code version (all 88)
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
@@ -516,6 +518,37 @@ let faults () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Sanitizer cost: wall time of the race check per code version        *)
+(* ------------------------------------------------------------------ *)
+
+let lint () =
+  print_endline
+    "=== Race-sanitizer wall time per code version (all 88; lowering excluded) ===";
+  let plan = P.sum () in
+  let versions = V.enumerate () in
+  Printf.printf "%-42s %7s %6s %11s\n" "version" "errors" "warns" "wall (ms)";
+  let total = ref 0.0 in
+  let worst = ref (0.0, "-") in
+  List.iter
+    (fun v ->
+      let program = P.program plan v in
+      let t0 = Unix.gettimeofday () in
+      let diags = Device_ir.Race.check_program program in
+      let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      total := !total +. dt_ms;
+      if dt_ms > fst !worst then worst := (dt_ms, V.name v);
+      Printf.printf "%-42s %7d %6d %11.2f\n" (V.name v)
+        (List.length (Device_ir.Diag.errors diags))
+        (List.length (Device_ir.Diag.warnings diags))
+        dt_ms)
+    versions;
+  Printf.printf
+    "\n%d versions sanitized in %.1f ms total (mean %.2f ms, worst %.2f ms on %s)\n\n"
+    (List.length versions) !total
+    (!total /. float_of_int (List.length versions))
+    (fst !worst) (snd !worst)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -595,6 +628,7 @@ let all () =
   ablation ();
   service ();
   faults ();
+  lint ();
   micro ()
 
 let () =
@@ -615,10 +649,11 @@ let () =
           | "ablation" -> ablation ()
           | "service" -> service ()
           | "faults" -> faults ()
+          | "lint" -> lint ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|lint|micro)\n"
                 other;
               exit 1)
         args

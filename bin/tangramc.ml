@@ -9,6 +9,8 @@
    - [versions] enumerate the code-version search space and its census
                 (Section IV-B: 10 original -> 88 -> 30 after pruning);
    - [check]    parse and semantically check a codelet source file;
+   - [lint]     run the device-IR race sanitizer and perf lints over the
+                synthesized code versions and print the diagnostics;
    - [serve]    run the reduction service against a synthetic request
                 trace and print the plan-cache metrics report. *)
 
@@ -224,6 +226,58 @@ let check_cmd =
     Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let json_arg =
+    let doc = "Print the diagnostics as a JSON array instead of text lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let all_variants_arg =
+    let doc =
+      "Lint every code version in the search space (88 for sum), not just \
+       the pruned survivors."
+    in
+    Arg.(value & flag & info [ "all-variants" ] ~doc)
+  in
+  let run spectrum source json all_variants =
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let versions =
+          if all_variants then Tangram.all_versions ()
+          else Tangram.pruned_versions ()
+        in
+        (* qualify each diagnostic's kernel with the code version it came
+           from, so one flat list stays attributable *)
+        let diags =
+          List.concat_map
+            (fun v ->
+              List.map
+                (fun (d : Tangram.Diag.t) ->
+                  { d with Tangram.Diag.kernel =
+                      Tangram.Version.name v ^ "/" ^ d.Tangram.Diag.kernel })
+                (Tangram.Planner.lint plan v))
+            versions
+        in
+        if json then print_endline (Tangram.Diag.list_to_json diags)
+        else begin
+          if diags <> [] then print_string (Tangram.Diag.render diags ^ "\n");
+          Printf.printf "%d version(s) linted: %s\n" (List.length versions)
+            (Tangram.Diag.summary diags)
+        end;
+        if Tangram.Diag.has_errors diags then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the barrier-phase race sanitizer and performance lints over \
+          the synthesized code versions (exit 1 on any error diagnostic)")
+    Term.(const run $ spectrum_arg $ source_arg $ json_arg $ all_variants_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,4 +411,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ emit_cmd; variants_cmd; versions_cmd; check_cmd; serve_cmd ]))
+       (Cmd.group info
+          [ emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd; serve_cmd ]))

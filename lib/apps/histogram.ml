@@ -58,6 +58,7 @@ type outcome = { histogram : float array; time_us : float }
     [arch]. *)
 let run ?(opts = I.exact) ~(arch : Gpusim.Arch.t) (data : float array) : outcome =
   Device_ir.Validate.check_kernel_exn kernel;
+  Device_ir.Diag.fail_on_errors (Device_ir.Race.check_kernel kernel);
   let n = Array.length data in
   if n = 0 then invalid_arg "Histogram.run: empty input";
   let grid = max 1 (min ((n + (block * 8) - 1) / (block * 8)) (arch.Gpusim.Arch.sms * 8)) in

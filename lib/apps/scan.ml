@@ -139,6 +139,12 @@ let inclusive ?(opts = I.exact) ~(arch : Gpusim.Arch.t) (input : float array) :
     outcome =
   List.iter Device_ir.Validate.check_kernel_exn
     [ scan_block_kernel; scan_sums_kernel; add_offsets_kernel ];
+  (* the cleanup kernel runs one thread of one block; checking it at the
+     default model geometry would invent threads that do not exist *)
+  Device_ir.Diag.fail_on_errors
+    (Device_ir.Race.check_kernel scan_block_kernel
+    @ Device_ir.Race.check_kernel ~block:1 ~grid:1 scan_sums_kernel
+    @ Device_ir.Race.check_kernel add_offsets_kernel);
   let n = Array.length input in
   if n = 0 then invalid_arg "Scan.inclusive: empty input";
   let grid = (n + block - 1) / block in

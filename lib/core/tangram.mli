@@ -43,6 +43,8 @@ module Events = Gpusim.Events
 module Cuda = Device_ir.Cuda
 module Ir = Device_ir.Ir
 module Validate = Device_ir.Validate
+module Diag = Device_ir.Diag
+module Race = Device_ir.Race
 module Ir_analysis = Device_ir.Analysis
 module Unroll = Device_ir.Unroll
 module Vectorize = Device_ir.Vectorize

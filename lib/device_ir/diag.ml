@@ -1,0 +1,89 @@
+(* Structured diagnostics shared by the device-IR checkers (Validate,
+   Race). One record per finding; stable codes; text and JSON renderers
+   so the CLI, the service and the tests all print the same thing. *)
+
+type severity = Error | Warn
+
+type t = {
+  code : string;
+  severity : severity;
+  kernel : string;
+  loc : string;
+  message : string;
+}
+
+let make ?(loc = "") ~code ~severity ~kernel message =
+  { code; severity; kernel; loc; message }
+
+let severity_name = function Error -> "error" | Warn -> "warning"
+
+let to_string d =
+  let where = if d.loc = "" then d.kernel else d.kernel ^ " @ " ^ d.loc in
+  Printf.sprintf "%s[%s] %s: %s" (severity_name d.severity) d.code where d.message
+
+(* Minimal JSON string escaping: the messages only ever contain printable
+   ASCII, but quotes/backslashes in array names must survive. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"code":"%s","severity":"%s","kernel":"%s","loc":"%s","message":"%s"}|}
+    (json_escape d.code)
+    (severity_name d.severity)
+    (json_escape d.kernel) (json_escape d.loc) (json_escape d.message)
+
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+let render ds = String.concat "\n" (List.map to_string ds)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warn) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let summary ds =
+  let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+  match (List.length (errors ds), List.length (warnings ds)) with
+  | 0, 0 -> "clean"
+  | ne, 0 -> plural ne "error"
+  | 0, nw -> plural nw "warning"
+  | ne, nw -> plural ne "error" ^ ", " ^ plural nw "warning"
+
+let compare_t a b =
+  let sev = function Error -> 0 | Warn -> 1 in
+  match compare (sev a.severity) (sev b.severity) with
+  | 0 -> (
+      match compare a.code b.code with
+      | 0 -> (
+          match compare a.kernel b.kernel with
+          | 0 -> compare a.loc b.loc
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare_t ds
+
+exception Failed of t list
+
+let () =
+  Printexc.register_printer (function
+    | Failed ds ->
+        Some
+          (Printf.sprintf "Diag.Failed (%s)\n%s" (summary ds) (render ds))
+    | _ -> None)
+
+let fail_on_errors ds =
+  match errors ds with [] -> () | errs -> raise (Failed errs)

@@ -1,0 +1,56 @@
+(** Structured diagnostics for the device-IR analysis layer.
+
+    Every checker in the pipeline (the {!Validate} well-formedness pass,
+    the {!Race} barrier-phase sanitizer) reports through this one type so
+    that the CLI, the service and the tests print and serialize
+    diagnostics uniformly.
+
+    Codes are stable identifiers, never reused:
+    - [TVAL001] — well-formedness error from {!Validate};
+    - [TSAN001..TSAN005] — race/synchronization errors from {!Race};
+    - [TLINT001..TLINT003] — performance lints (warnings) from {!Race}. *)
+
+type severity = Error | Warn
+
+type t = {
+  code : string;     (** stable diagnostic code, e.g. ["TSAN001"] *)
+  severity : severity;
+  kernel : string;   (** kernel (or program) the diagnostic is about *)
+  loc : string;      (** statement path inside the kernel body, [""] if n/a *)
+  message : string;
+}
+
+val make :
+  ?loc:string -> code:string -> severity:severity -> kernel:string -> string -> t
+
+val severity_name : severity -> string
+
+(** ["error[TSAN001] reduce_block @ body[3].then[0]: ..."] *)
+val to_string : t -> string
+
+(** One-object JSON rendering, no trailing newline. *)
+val to_json : t -> string
+
+(** JSON array of {!to_json} objects. *)
+val list_to_json : t list -> string
+
+(** One {!to_string} line per diagnostic. *)
+val render : t list -> string
+
+(** ["2 errors, 1 warning"] (or ["clean"] when empty). *)
+val summary : t list -> string
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+(** Errors before warnings, then by code, kernel, location. *)
+val sort : t list -> t list
+
+(** Raised by [*_exn] entry points that reject on error-severity
+    diagnostics; carries the full diagnostic list. A friendly printer is
+    registered with [Printexc]. *)
+exception Failed of t list
+
+(** @raise Failed when the list contains error-severity diagnostics. *)
+val fail_on_errors : t list -> unit

@@ -1,0 +1,751 @@
+(* Barrier-phase race detection over the device IR.
+
+   Two cooperating analyses:
+
+   - a static walk (mirroring {!Validate}'s control-level computation via
+     {!Analysis.level_stmts} / {!Analysis.join_level}) that reports
+     barriers under divergent control (TSAN004) and malformed or
+     out-of-warp shuffles (TSAN005);
+
+   - a bounded concrete/symbolic execution of the thread grid that
+     records every shared/global access with its barrier phase, then
+     compares accesses pairwise. Values derived from thread coordinates,
+     parameters bound from the host launch, and compile-time constants
+     stay concrete; anything data-dependent (memory loads, shuffles,
+     unbound parameters) becomes [Unknown], which conservatively overlaps
+     every index.
+
+   The grid model is deliberately small — [model_block] threads in
+   [model_grid] blocks — because the access patterns of the paper's
+   reduction kernels are periodic in the warp: one block of 64 threads
+   (two warps) plus one extra block exposes every cross-warp and
+   cross-block pairing the full grid would. Intra-warp pairs are exempt
+   per the pre-Volta warp-synchronous model the codelets target
+   (shuffle-based variants deliberately drop intra-warp barriers,
+   Section III.C / Listing 4 of the paper). *)
+
+module SM = Analysis.SM
+
+type config = {
+  model_block : int;
+  model_grid : int;
+  loop_fuel : int;
+  sample_n : int;
+}
+
+let default_config =
+  { model_block = 64; model_grid = 2; loop_fuel = 256; sample_n = 4096 }
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic values                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type sval = Known of int | Unknown
+
+let sv_join a b =
+  match (a, b) with Known x, Known y when x = y -> a | _ -> Unknown
+
+(* may the two indices denote the same location? *)
+let sv_may_eq a b =
+  match (a, b) with Known x, Known y -> x = y | _ -> true
+
+(* do the two index values certainly denote the same location (used only
+   to refine a store into a read-modify-write of the same cell)? Both
+   being [Unknown] counts as a match when they come from the same
+   registers, which is the only way the corpus produces it. *)
+let sv_same_loc a b =
+  match (a, b) with Known x, Known y -> x = y | Unknown, Unknown -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Access events                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type akind = Ld | St | At
+
+type event = {
+  ev_bid : int;
+  ev_tid : int;
+  ev_phase : int;
+  ev_space : Ir.space;
+  ev_arr : string;
+  ev_idx : sval;
+  ev_kind : akind;
+  ev_loc : string;
+  ev_rmw : bool;  (* store whose value derives from a same-phase load of
+                     the same cell: a lost update when it races *)
+}
+
+(* origin of a register value: the cell it was loaded from, and in which
+   phase — used to recognise load/combine/store sequences *)
+type origin = Ir.space * string * sval * int
+
+type tctx = {
+  cfg : config;
+  k_bdim : int;
+  k_gdim : int;
+  params : sval SM.t;
+  tid : int;
+  bid : int;
+  mutable regs : sval SM.t;
+  mutable orig : origin list SM.t;
+  mutable phase : int;
+  mutable access_since_sync : bool;
+  mutable sync_seen : bool;
+  (* in execution order: barrier location and whether any memory access
+     happened since the previous barrier *)
+  mutable syncs : (string * bool) list;
+  events : event list ref;
+}
+
+let warp_of tid = tid / 32
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let int_of_float_exact f =
+  if Float.is_integer f && Float.abs f < 1073741824.0 then
+    Known (int_of_float f)
+  else Unknown
+
+let rec ev (c : tctx) (e : Ir.exp) : sval =
+  match e with
+  | Ir.Int n -> Known n
+  | Ir.Float f -> int_of_float_exact f
+  | Ir.Bool b -> Known (if b then 1 else 0)
+  | Ir.Reg r -> ( match SM.find_opt r c.regs with Some v -> v | None -> Unknown)
+  | Ir.Param p -> ( match SM.find_opt p c.params with Some v -> v | None -> Unknown)
+  | Ir.Special s -> (
+      match s with
+      | Ir.Thread_idx -> Known c.tid
+      | Ir.Block_idx -> Known c.bid
+      | Ir.Block_dim -> Known c.k_bdim
+      | Ir.Grid_dim -> Known c.k_gdim
+      | Ir.Warp_size -> Known 32
+      | Ir.Lane_id -> Known (c.tid mod 32)
+      | Ir.Warp_id -> Known (c.tid / 32))
+  | Ir.Unop (op, a) -> (
+      match (op, ev c a) with
+      | _, Unknown -> Unknown
+      | Ir.Neg, Known v -> Known (-v)
+      | Ir.Bnot, Known v -> Known (lnot v)
+      | Ir.Lnot, Known v -> Known (if v = 0 then 1 else 0))
+  | Ir.Binop (op, a, b) -> ev_binop c op (ev c a) (ev c b)
+  | Ir.Select (cnd, a, b) -> (
+      match ev c cnd with
+      | Known 0 -> ev c b
+      | Known _ -> ev c a
+      | Unknown -> sv_join (ev c a) (ev c b))
+
+and ev_binop _c op va vb =
+  let bool_ p = Known (if p then 1 else 0) in
+  match (op, va, vb) with
+  (* short-circuits that survive one unknown side *)
+  | Ir.Land, Known 0, _ | Ir.Land, _, Known 0 -> Known 0
+  | Ir.Lor, Known v, _ when v <> 0 -> Known 1
+  | Ir.Lor, _, Known v when v <> 0 -> Known 1
+  | Ir.Mul, Known 0, _ | Ir.Mul, _, Known 0 -> Known 0
+  | _, Unknown, _ | _, _, Unknown -> Unknown
+  | op, Known x, Known y -> (
+      match op with
+      | Ir.Add -> Known (x + y)
+      | Ir.Sub -> Known (x - y)
+      | Ir.Mul -> Known (x * y)
+      | Ir.Div -> if y = 0 then Unknown else Known (x / y)
+      | Ir.Rem -> if y = 0 then Unknown else Known (x mod y)
+      | Ir.Min -> Known (min x y)
+      | Ir.Max -> Known (max x y)
+      | Ir.And -> Known (x land y)
+      | Ir.Or -> Known (x lor y)
+      | Ir.Xor -> Known (x lxor y)
+      | Ir.Shl -> Known (x lsl y)
+      | Ir.Shr -> Known (x asr y)
+      | Ir.Eq -> bool_ (x = y)
+      | Ir.Ne -> bool_ (x <> y)
+      | Ir.Lt -> bool_ (x < y)
+      | Ir.Le -> bool_ (x <= y)
+      | Ir.Gt -> bool_ (x > y)
+      | Ir.Ge -> bool_ (x >= y)
+      | Ir.Land -> bool_ (x <> 0 && y <> 0)
+      | Ir.Lor -> bool_ (x <> 0 || y <> 0))
+
+(* ------------------------------------------------------------------ *)
+(* Thread execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let origins_of_exp (c : tctx) (e : Ir.exp) : origin list =
+  Analysis.SS.fold
+    (fun r acc ->
+      match SM.find_opt r c.orig with Some os -> os @ acc | None -> acc)
+    (Analysis.exp_uses e) []
+
+let dedup_origins (os : origin list) : origin list =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | o :: tl -> if List.mem o seen then go seen tl else go (o :: seen) tl
+  in
+  (* cap the per-register origin set; long accumulation chains only ever
+     re-derive the same few cells *)
+  let os = go [] os in
+  if List.length os > 8 then List.filteri (fun i _ -> i < 8) os else os
+
+let emit (c : tctx) ~loc ~space ~arr ~idx ~kind ~rmw =
+  c.access_since_sync <- true;
+  c.events :=
+    {
+      ev_bid = c.bid;
+      ev_tid = c.tid;
+      ev_phase = c.phase;
+      ev_space = space;
+      ev_arr = arr;
+      ev_idx = idx;
+      ev_kind = kind;
+      ev_loc = loc;
+      ev_rmw = rmw;
+    }
+    :: !(c.events)
+
+let merge_regs (a : sval SM.t) (b : sval SM.t) : sval SM.t =
+  SM.merge
+    (fun _ va vb ->
+      match (va, vb) with
+      | Some x, Some y -> Some (sv_join x y)
+      | _ -> Some Unknown)
+    a b
+
+let merge_orig (a : origin list SM.t) (b : origin list SM.t) : origin list SM.t =
+  SM.merge
+    (fun _ oa ob ->
+      match (oa, ob) with
+      | Some x, Some y -> Some (dedup_origins (x @ y))
+      | _ -> None)
+    a b
+
+let rec exec_stmts (c : tctx) (path : string) (body : Ir.stmt list) : unit =
+  List.iteri (fun i s -> exec_stmt c (Printf.sprintf "%s[%d]" path i) s) body
+
+and exec_stmt (c : tctx) (loc : string) (s : Ir.stmt) : unit =
+  match s with
+  | Ir.Comment _ -> ()
+  | Ir.Let (r, e) ->
+      c.regs <- SM.add r (ev c e) c.regs;
+      c.orig <- SM.add r (dedup_origins (origins_of_exp c e)) c.orig
+  | Ir.Load { dst; space; arr; idx } ->
+      let idxv = ev c idx in
+      emit c ~loc ~space ~arr ~idx:idxv ~kind:Ld ~rmw:false;
+      c.regs <- SM.add dst Unknown c.regs;
+      c.orig <- SM.add dst [ (space, arr, idxv, c.phase) ] c.orig
+  | Ir.Vec_load { dsts; arr; base } ->
+      let basev = ev c base in
+      List.iteri
+        (fun k dst ->
+          let idxv =
+            match basev with Known b -> Known (b + k) | Unknown -> Unknown
+          in
+          emit c ~loc ~space:Ir.Global ~arr ~idx:idxv ~kind:Ld ~rmw:false;
+          c.regs <- SM.add dst Unknown c.regs;
+          c.orig <- SM.add dst [ (Ir.Global, arr, idxv, c.phase) ] c.orig)
+        dsts
+  | Ir.Store { space; arr; idx; v } ->
+      let idxv = ev c idx in
+      let rmw =
+        List.exists
+          (fun (sp, ar, ix, ph) ->
+            sp = space && ar = arr && ph = c.phase && sv_same_loc ix idxv)
+          (origins_of_exp c v)
+      in
+      emit c ~loc ~space ~arr ~idx:idxv ~kind:St ~rmw
+  | Ir.Atomic { dst; space; arr; idx; _ } -> (
+      emit c ~loc ~space ~arr ~idx:(ev c idx) ~kind:At ~rmw:false;
+      match dst with
+      | Some d ->
+          c.regs <- SM.add d Unknown c.regs;
+          c.orig <- SM.remove d c.orig
+      | None -> ())
+  | Ir.Shfl { dst; _ } ->
+      c.regs <- SM.add dst Unknown c.regs;
+      c.orig <- SM.remove dst c.orig
+  | Ir.Sync ->
+      c.syncs <- (loc, c.access_since_sync) :: c.syncs;
+      c.sync_seen <- true;
+      c.access_since_sync <- false;
+      c.phase <- c.phase + 1
+  | Ir.If (cnd, t, e) -> (
+      match ev c cnd with
+      | Known 0 -> exec_stmts c (loc ^ ".else") e
+      | Known _ -> exec_stmts c (loc ^ ".then") t
+      | Unknown ->
+          (* run both arms from the same entry state and join *)
+          let regs0 = c.regs and orig0 = c.orig in
+          exec_stmts c (loc ^ ".then") t;
+          let regs_t = c.regs and orig_t = c.orig in
+          c.regs <- regs0;
+          c.orig <- orig0;
+          exec_stmts c (loc ^ ".else") e;
+          c.regs <- merge_regs regs_t c.regs;
+          c.orig <- merge_orig orig_t c.orig)
+  | Ir.For { var; init; cond; step; body } ->
+      let body_loc = loc ^ ".body" in
+      (* when the trip count is data-dependent, two widened passes with an
+         unknown iterator expose both intra- and cross-iteration pairs *)
+      let widen () =
+        c.regs <- SM.add var Unknown c.regs;
+        c.orig <- SM.remove var c.orig;
+        exec_stmts c body_loc body;
+        exec_stmts c body_loc body
+      in
+      c.regs <- SM.add var (ev c init) c.regs;
+      c.orig <- SM.remove var c.orig;
+      let rec go fuel =
+        match ev c cond with
+        | Known 0 -> ()
+        | Known _ when fuel > 0 -> (
+            exec_stmts c body_loc body;
+            match ev c step with
+            | Known _ as nv ->
+                c.regs <- SM.add var nv c.regs;
+                go (fuel - 1)
+            | Unknown -> widen ())
+        | _ -> widen ()
+      in
+      go c.cfg.loop_fuel
+  | Ir.While (cnd, body) ->
+      let body_loc = loc ^ ".body" in
+      let rec go fuel =
+        match ev c cnd with
+        | Known 0 -> ()
+        | Known _ when fuel > 0 ->
+            exec_stmts c body_loc body;
+            go (fuel - 1)
+        | _ ->
+            exec_stmts c body_loc body;
+            exec_stmts c body_loc body
+      in
+      go c.cfg.loop_fuel
+
+(* ------------------------------------------------------------------ *)
+(* Static checks: divergent barriers, malformed shuffles               *)
+(* ------------------------------------------------------------------ *)
+
+let static_diags (k : Ir.kernel) : Diag.t list =
+  let tainted = Analysis.level_stmts SM.empty k.Ir.k_body in
+  let out = ref [] in
+  let add ~loc code msg =
+    out := Diag.make ~loc ~code ~severity:Diag.Error ~kernel:k.Ir.k_name msg :: !out
+  in
+  let level_name = function
+    | Analysis.Block_uniform -> "block-uniform"
+    | Analysis.Warp_uniform -> "warp-uniform"
+    | Analysis.Divergent -> "thread-divergent"
+  in
+  let rec walk ctrl path body =
+    List.iteri (fun i s -> stmt ctrl (Printf.sprintf "%s[%d]" path i) s) body
+  and stmt ctrl loc = function
+    | Ir.Sync ->
+        if ctrl <> Analysis.Block_uniform then
+          add ~loc "TSAN004"
+            (Printf.sprintf
+               "__syncthreads() under %s control flow: threads of one block \
+                can reach different barrier instances (or skip the barrier \
+                entirely), which deadlocks the block on real hardware"
+               (level_name ctrl))
+    | Ir.Shfl { width; _ } ->
+        if width > 32 then
+          add ~loc "TSAN005"
+            (Printf.sprintf
+               "shuffle width %d exceeds the warp: lanes cannot exchange \
+                registers across warps, the exchange reads undefined data"
+               width)
+        else if not (Validate.valid_shfl_width width) then
+          add ~loc "TSAN005"
+            (Printf.sprintf "invalid shuffle width %d (must be 2/4/8/16/32)"
+               width)
+        else if ctrl = Analysis.Divergent then
+          add ~loc "TSAN005"
+            "warp shuffle under lane-divergent control flow: inactive source \
+             lanes make the exchanged value undefined"
+    | Ir.If (cnd, t, e) ->
+        let branch_ctrl =
+          Analysis.join_level ctrl (Analysis.exp_level ~tainted cnd)
+        in
+        walk branch_ctrl (loc ^ ".then") t;
+        walk branch_ctrl (loc ^ ".else") e
+    | Ir.For { var; init; cond; body; _ } ->
+        let loop_ctrl =
+          Analysis.join_level ctrl
+            (Analysis.join_level
+               (Analysis.exp_level ~tainted init)
+               (Analysis.exp_level ~tainted:(SM.remove var tainted) cond))
+        in
+        walk loop_ctrl (loc ^ ".body") body
+    | Ir.While (cnd, body) ->
+        let loop_ctrl =
+          Analysis.join_level ctrl (Analysis.exp_level ~tainted cnd)
+        in
+        walk loop_ctrl (loc ^ ".body") body
+    | Ir.Let _ | Ir.Load _ | Ir.Store _ | Ir.Vec_load _ | Ir.Atomic _
+    | Ir.Comment _ ->
+        ()
+  in
+  walk Analysis.Block_uniform "body" k.Ir.k_body;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise race detection over the recorded events                    *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function Ld -> "load" | St -> "store" | At -> "atomic"
+
+let idx_name = function
+  | Known i -> Printf.sprintf "index %d" i
+  | Unknown -> "a data-dependent index"
+
+(* same warp of the same block: ordered by warp-synchronous execution *)
+let same_warp a b = a.ev_bid = b.ev_bid && warp_of a.ev_tid = warp_of b.ev_tid
+
+(* can the two accesses be unordered at run time? *)
+let concurrent a b =
+  (a.ev_bid <> b.ev_bid || a.ev_tid <> b.ev_tid)
+  && (not (same_warp a b))
+  &&
+  match a.ev_space with
+  | Ir.Shared ->
+      (* shared memory is per block: only same-block accesses alias *)
+      a.ev_bid = b.ev_bid && a.ev_phase = b.ev_phase
+  | Ir.Global ->
+      (* barriers order nothing across blocks *)
+      (if a.ev_bid = b.ev_bid then a.ev_phase = b.ev_phase else true)
+
+let classify a b : (string * string) option =
+  match (a.ev_kind, b.ev_kind) with
+  | Ld, Ld | At, At -> None
+  | St, St ->
+      if a.ev_rmw || b.ev_rmw then
+        Some
+          ( "TSAN003",
+            "lost update: both threads read-modify-write the cell without \
+             atomicity, one increment is silently dropped" )
+      else Some ("TSAN001", "write-write race: the surviving value is arbitrary")
+  | (St, At | At, St) ->
+      Some
+        ( "TSAN001",
+          "plain store races an atomic update of the same cell: the store \
+           can overwrite concurrently accumulated values" )
+  | (St, Ld | Ld, St) ->
+      let st = if a.ev_kind = St then a else b in
+      if st.ev_rmw then
+        Some
+          ( "TSAN003",
+            "lost update: a non-atomic read-modify-write races a reader of \
+             the same cell" )
+      else
+        Some
+          ( "TSAN002",
+            "read-write race: the load can observe the cell mid-update" )
+  | (At, Ld | Ld, At) ->
+      Some
+        ( "TSAN002",
+          "read races an atomic update of the same cell: the load can \
+           observe an intermediate accumulator value" )
+
+let space_name = function Ir.Shared -> "shared" | Ir.Global -> "global"
+
+let race_diags (k : Ir.kernel) (events : event list) : Diag.t list =
+  (* group by array: only same-array accesses alias *)
+  let tbl : (Ir.space * string, event list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let key = (e.ev_space, e.ev_arr) in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.add tbl key (ref [ e ]))
+    events;
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let report code detail w e =
+    let l1 = min w.ev_loc e.ev_loc and l2 = max w.ev_loc e.ev_loc in
+    let key = Printf.sprintf "%s|%s|%s|%s|%s" code (space_name w.ev_space) w.ev_arr l1 l2 in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let msg =
+        Printf.sprintf
+          "%s at %s (thread %d of block %d, barrier phase %d) and %s at %s \
+           (thread %d of block %d, phase %d) may touch %s of %s array %S \
+           concurrently: %s"
+          (kind_name w.ev_kind) w.ev_loc w.ev_tid w.ev_bid w.ev_phase
+          (kind_name e.ev_kind) e.ev_loc e.ev_tid e.ev_bid e.ev_phase
+          (idx_name w.ev_idx) (space_name w.ev_space) w.ev_arr detail
+      in
+      out :=
+        Diag.make ~loc:w.ev_loc ~code ~severity:Diag.Error ~kernel:k.Ir.k_name
+          msg
+        :: !out
+    end
+  in
+  Hashtbl.iter
+    (fun _ group ->
+      let evs = Array.of_list !group in
+      let n = Array.length evs in
+      for i = 0 to n - 1 do
+        let a = evs.(i) in
+        if a.ev_kind <> Ld then
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let b = evs.(j) in
+              (* canonical order so each unordered pair is visited once
+                 when both sides are writes *)
+              if (b.ev_kind = Ld || i < j) && concurrent a b
+                 && sv_may_eq a.ev_idx b.ev_idx
+              then
+                match classify a b with
+                | Some (code, detail) -> report code detail a b
+                | None -> ()
+            end
+          done
+      done)
+    tbl;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Perf lints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lint_diags (k : Ir.kernel) (events : event list)
+    (syncs : (string * bool) list) : Diag.t list =
+  let out = ref [] in
+  let warn ~loc code msg =
+    out := Diag.make ~loc ~code ~severity:Diag.Warn ~kernel:k.Ir.k_name msg :: !out
+  in
+  (* TLINT001: a barrier with no memory access since the previous one
+     orders nothing the previous barrier did not already order. [syncs]
+     is thread (0,0)'s barrier trace, oldest first. *)
+  let seen1 = Hashtbl.create 4 in
+  List.iteri
+    (fun i (loc, had_access) ->
+      if i > 0 && (not had_access) && not (Hashtbl.mem seen1 loc) then begin
+        Hashtbl.add seen1 loc ();
+        warn ~loc "TLINT001"
+          "redundant barrier: no shared/global access since the previous \
+           __syncthreads(), the barrier orders nothing new"
+      end)
+    syncs;
+  (* TLINT002: all producer/consumer pairs across this barrier sit in one
+     warp — warp-synchronous execution (or a shuffle) already orders
+     them, the block-wide barrier is avoidable (paper, Listing 4). Only
+     block 0's events matter; barriers order nothing across blocks. *)
+  let b0 = List.filter (fun e -> e.ev_bid = 0) events in
+  List.iteri
+    (fun p (loc, _) ->
+      let before = List.filter (fun e -> e.ev_phase = p) b0 in
+      let after = List.filter (fun e -> e.ev_phase = p + 1) b0 in
+      let pairs = ref [] in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if
+                a.ev_arr = b.ev_arr && a.ev_space = b.ev_space
+                && (a.ev_kind <> Ld || b.ev_kind <> Ld)
+                && sv_may_eq a.ev_idx b.ev_idx
+              then pairs := (a, b) :: !pairs)
+            after)
+        before;
+      if !pairs <> [] && List.for_all (fun (a, b) -> same_warp a b) !pairs
+      then
+        warn ~loc "TLINT002"
+          "every producer/consumer dependence across this barrier is \
+           intra-warp: lockstep warp execution (or a __shfl exchange) \
+           already orders them, the block-wide barrier can be removed")
+    syncs;
+  (* TLINT003: an atomic no two distinct threads ever contend on could be
+     a plain store. Requires every index to be concrete — a
+     data-dependent index may collide for some input. *)
+  let atomics = List.filter (fun e -> e.ev_kind = At) events in
+  let by_arr : (Ir.space * string, event list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let key = (e.ev_space, e.ev_arr) in
+      match Hashtbl.find_opt by_arr key with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.add by_arr key (ref [ e ]))
+    atomics;
+  Hashtbl.iter
+    (fun (space, arr) group ->
+      let evs = !group in
+      let all_known =
+        List.for_all (fun e -> match e.ev_idx with Known _ -> true | _ -> false) evs
+      in
+      let contended =
+        List.exists
+          (fun a ->
+            List.exists
+              (fun b ->
+                (a.ev_bid <> b.ev_bid || a.ev_tid <> b.ev_tid)
+                && (match space with
+                   | Ir.Shared -> a.ev_bid = b.ev_bid
+                   | Ir.Global -> true)
+                && sv_may_eq a.ev_idx b.ev_idx)
+              evs)
+          evs
+      in
+      if all_known && not contended then
+        let locs =
+          List.sort_uniq compare (List.map (fun e -> e.ev_loc) evs)
+        in
+        List.iter
+          (fun loc ->
+            warn ~loc "TLINT003"
+              (Printf.sprintf
+                 "atomic on %s array %S is single-writer for every location \
+                  it touches: a plain store would do and is cheaper"
+                 (space_name space) arr))
+          locs)
+    by_arr;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dedup_diags (ds : Diag.t list) : Diag.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : Diag.t) ->
+      let key = (d.Diag.code, d.Diag.kernel, d.Diag.loc) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ds
+
+let check_kernel ?(cfg = default_config) ?(params = []) ?block ?grid
+    (k : Ir.kernel) : Diag.t list =
+  let bdim = max 1 (match block with Some b -> b | None -> cfg.model_block) in
+  let gdim = max 1 (match grid with Some g -> g | None -> cfg.model_grid) in
+  let statics = static_diags k in
+  (* a divergent barrier desynchronises the phase counters: phase-based
+     race detection is meaningless until it is fixed *)
+  if List.exists (fun (d : Diag.t) -> d.Diag.code = "TSAN004") statics then
+    Diag.sort (dedup_diags statics)
+  else begin
+    let params_map =
+      List.fold_left (fun m (p, v) -> SM.add p (Known v) m) SM.empty params
+    in
+    let events = ref [] in
+    let t00_syncs = ref [] in
+    for bid = 0 to gdim - 1 do
+      for tid = 0 to bdim - 1 do
+        let c =
+          {
+            cfg;
+            k_bdim = bdim;
+            k_gdim = gdim;
+            params = params_map;
+            tid;
+            bid;
+            regs = SM.empty;
+            orig = SM.empty;
+            phase = 0;
+            access_since_sync = false;
+            sync_seen = false;
+            syncs = [];
+            events;
+          }
+        in
+        exec_stmts c "body" k.Ir.k_body;
+        if bid = 0 && tid = 0 then t00_syncs := List.rev c.syncs
+      done
+    done;
+    let evs = !events in
+    let diags =
+      statics @ race_diags k evs @ lint_diags k evs !t00_syncs
+    in
+    Diag.sort (dedup_diags diags)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program-level driver                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* evaluate a host expression at the model input size; worst-case over
+   the first and last candidate of every tunable (block sizes grow with
+   the candidate list, trip counts shrink — taking the max over both
+   extremes captures the largest geometry the tuner can pick) *)
+let eval_h ~cfg ~(tunables : (string * int list) list) ~(pick : int list -> int)
+    (h : Ir.hexp) : int option =
+  let bind = List.map (fun (t, cands) -> (t, pick cands)) tunables in
+  match Ir.eval_hexp ~n:cfg.sample_n ~tunables:bind h with
+  | v -> Some v
+  | exception _ -> None
+
+let eval_h_max ~cfg ~tunables h =
+  let lo = eval_h ~cfg ~tunables ~pick:List.hd h in
+  let hi =
+    eval_h ~cfg ~tunables
+      ~pick:(fun cands -> List.nth cands (List.length cands - 1))
+      h
+  in
+  match (lo, hi) with
+  | Some a, Some b -> Some (max a b)
+  | (Some _ as v), None | None, (Some _ as v) -> v
+  | None, None -> None
+
+let check_program ?(cfg = default_config) (p : Ir.program) : Diag.t list =
+  let tunables =
+    List.filter (fun (_, cands) -> cands <> []) p.Ir.p_tunables
+  in
+  let diags =
+    List.concat_map
+      (fun (ln : Ir.launch) ->
+        match
+          List.find_opt (fun k -> k.Ir.k_name = ln.Ir.ln_kernel) p.Ir.p_kernels
+        with
+        | None -> []
+        | Some k ->
+            let block =
+              match eval_h_max ~cfg ~tunables ln.Ir.ln_block with
+              | Some b -> min cfg.model_block (max 1 b)
+              | None -> cfg.model_block
+            in
+            let grid =
+              match eval_h_max ~cfg ~tunables ln.Ir.ln_grid with
+              | Some g -> min cfg.model_grid (max 1 g)
+              | None -> cfg.model_grid
+            in
+            (* positional binding: the i-th scalar launch argument feeds
+               the i-th kernel parameter (the compose convention: buffers
+               first, then scalars) *)
+            let scalars =
+              List.filter_map
+                (function Ir.Arg_scalar h -> Some h | Ir.Arg_buffer _ -> None)
+                ln.Ir.ln_args
+            in
+            (* parameters are bound worst-case too: a tile of 32 keeps the
+               whole tree inside one warp where every barrier is
+               legitimately removable — the model must see the widest
+               geometry the tuner can pick *)
+            let params =
+              List.filteri (fun i _ -> i < List.length scalars) k.Ir.k_params
+              |> List.mapi (fun i (name, _) ->
+                     match eval_h_max ~cfg ~tunables (List.nth scalars i) with
+                     | Some v -> [ (name, v) ]
+                     | None -> [])
+              |> List.concat
+            in
+            check_kernel ~cfg ~params ~block ~grid k)
+      p.Ir.p_launches
+  in
+  Diag.sort (dedup_diags diags)
+
+exception Racy of Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Racy ds ->
+        Some (Printf.sprintf "Race.Racy (%s)\n%s" (Diag.summary ds) (Diag.render ds))
+    | _ -> None)
+
+let check_program_exn ?cfg (p : Ir.program) : unit =
+  let diags = check_program ?cfg p in
+  if Diag.has_errors diags then raise (Racy diags)

@@ -1,0 +1,71 @@
+(** Barrier-phase race sanitizer for device-IR kernels.
+
+    The checker proves (up to a bounded thread/block model) that a kernel
+    is free of shared/global memory races, then lints for wasted
+    synchronization. It splits each kernel into barrier-delimited phases
+    by executing a small model of the thread grid — every thread of a
+    model block, over a couple of model blocks — with concrete values for
+    anything derived from thread/block coordinates and compile-time
+    constants, and an explicit [Unknown] for data-dependent values (memory
+    loads, unbound parameters). Two accesses conflict when they touch the
+    same array in the same barrier phase from different threads with
+    possibly-equal indices and at least one of them is a non-atomic
+    write.
+
+    Threads of the same warp are exempt from intra-phase conflicts: the
+    paper's codelets rely on the pre-Volta warp-synchronous execution
+    model (Section III.C — shuffles make intra-warp barriers removable),
+    so a producer/consumer pair inside one warp is ordered by lockstep
+    execution, not by [__syncthreads()].
+
+    Error codes (severity [Error]):
+    - [TSAN001] — write/write race (two plain stores, or a store racing
+      an atomic, same phase, no intervening barrier);
+    - [TSAN002] — read/write race (a load may observe a half-updated
+      location);
+    - [TSAN003] — lost update (non-atomic read-modify-write of a shared
+      or global accumulator reachable by more than one thread);
+    - [TSAN004] — barrier under thread-divergent control flow (threads
+      of one block reach different barrier instances: deadlock);
+    - [TSAN005] — out-of-warp or malformed shuffle exchange.
+
+    Perf lints (severity [Warn]):
+    - [TLINT001] — redundant back-to-back barrier (no memory access since
+      the previous barrier);
+    - [TLINT002] — barrier whose cross-phase producer/consumer pairs are
+      all intra-warp (the paper's Listing-4 argument: a shuffle would
+      remove it);
+    - [TLINT003] — atomic on a provably single-writer location. *)
+
+type config = {
+  model_block : int;  (** threads per modeled block (capped; default 64) *)
+  model_grid : int;   (** modeled blocks (default 2) *)
+  loop_fuel : int;    (** concrete loop iterations before widening *)
+  sample_n : int;     (** input size used to evaluate host expressions *)
+}
+
+val default_config : config
+
+(** Sanitize one kernel. [params] binds scalar parameters to concrete
+    values (unbound parameters are treated as unknown); [block]/[grid]
+    override the modeled geometry (e.g. a single-thread cleanup kernel
+    should be checked with [~block:1 ~grid:1]). *)
+val check_kernel :
+  ?cfg:config ->
+  ?params:(string * int) list ->
+  ?block:int ->
+  ?grid:int ->
+  Ir.kernel ->
+  Diag.t list
+
+(** Sanitize every launch of a program. Launch geometry and scalar
+    parameters are evaluated from the host expressions (at
+    [cfg.sample_n] input elements, worst-case over the declared tunable
+    candidates for the block size) and capped to the model size. *)
+val check_program : ?cfg:config -> Ir.program -> Diag.t list
+
+exception Racy of Diag.t list
+
+(** @raise Racy when {!check_program} reports any error-severity
+    diagnostic. Lint warnings never raise. *)
+val check_program_exn : ?cfg:config -> Ir.program -> unit

@@ -195,6 +195,14 @@ let check_program (p : Ir.program) : error list =
     err p.Ir.p_name (Printf.sprintf "result buffer %S is not declared" p.Ir.p_result);
   kernel_errs @ List.rev !errs
 
+(** Render validator errors as structured diagnostics ([TVAL001], error
+    severity) so they print and serialize like the sanitizer's. *)
+let to_diags (errs : error list) : Diag.t list =
+  List.map
+    (fun e ->
+      Diag.make ~code:"TVAL001" ~severity:Diag.Error ~kernel:e.where e.what)
+    errs
+
 (** Validate and raise {!Invalid} on failure. *)
 let check_program_exn (p : Ir.program) : unit =
   match check_program p with [] -> () | errs -> raise (Invalid errs)

@@ -15,6 +15,10 @@ exception Invalid of error list
 val valid_shfl_width : int -> bool
 val valid_vec_arity : int -> bool
 
+(** Validator errors as structured diagnostics (code [TVAL001], error
+    severity, kernel name as the location). *)
+val to_diags : error list -> Diag.t list
+
 (** All diagnostics for one kernel (empty = valid). *)
 val check_kernel : Ir.kernel -> error list
 

@@ -36,10 +36,14 @@ type compiled_program = {
   cp_kernels : (string * Compiled.t) list;
 }
 
-(** Validate and compile all kernels of a program once; the result can be
-    run many times with different inputs, tunables and architectures. *)
+(** Validate, sanitize and compile all kernels of a program once; the
+    result can be run many times with different inputs, tunables and
+    architectures. The race sanitizer runs right next to the
+    well-formedness check: a variant that validates but races (a buggy
+    rewrite pass) must never reach the tuner or the plan cache. *)
 let compile (p : Ir.program) : compiled_program =
   Device_ir.Validate.check_program_exn p;
+  Device_ir.Race.check_program_exn p;
   {
     cp_program = p;
     cp_kernels = List.map (fun k -> (k.Ir.k_name, Compiled.compile k)) p.Ir.p_kernels;

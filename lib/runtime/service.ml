@@ -179,14 +179,16 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
     (Plan_cache.entry, error) result =
   let rep = Plan_cache.representative_size k.Plan_cache.k_bucket in
   let t0 = now_us () in
-  (* planning: lower, validate and compile every candidate (memoized in
-     the planner across buckets and architectures) *)
+  (* planning: lower, validate, sanitize and compile every candidate
+     (memoized in the planner across buckets and architectures); a racy
+     variant must never be cached, let alone served *)
   let compiled =
     List.filter_map
       (fun v ->
         match P.compiled t.planner v with
         | cp -> Some (v, cp)
-        | exception Device_ir.Validate.Invalid _ -> None)
+        | exception Device_ir.Validate.Invalid _ -> None
+        | exception Device_ir.Race.Racy _ -> None)
       t.candidates
   in
   Stats.plan_us t.stats (now_us () -. t0);
@@ -323,11 +325,12 @@ let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
       Error
         (Af_fault
            (Printf.sprintf "%s failed to compile: %s" vname
-              (String.concat "; "
-                 (List.map
-                    (fun (e : Device_ir.Validate.error) ->
-                      e.Device_ir.Validate.where ^ ": " ^ e.Device_ir.Validate.what)
-                    errs))))
+              (Device_ir.Diag.render (Device_ir.Validate.to_diags errs))))
+  | exception Device_ir.Race.Racy diags ->
+      Error
+        (Af_fault
+           (Printf.sprintf "%s rejected by the race sanitizer: %s" vname
+              (Device_ir.Diag.render (Device_ir.Diag.errors diags))))
   | cp ->
       let opts = opts_for t req.req_input in
       let rec go attempt retries backoff_us =

@@ -87,6 +87,17 @@ let compiled (t : t) (v : Version.t) : Gpusim.Runner.compiled_program =
       Hashtbl.add t.cache v cp;
       cp
 
+(** All sanitizer diagnostics for one version: well-formedness errors
+    (via {!Device_ir.Validate}, rendered as [TVAL001] diagnostics) plus
+    the {!Device_ir.Race} barrier-phase race report. Unlike {!compiled}
+    this never raises on a bad variant — it is the reporting path of
+    [tangramc lint]. *)
+let lint (t : t) (v : Version.t) : Device_ir.Diag.t list =
+  let p = program t v in
+  Device_ir.Diag.sort
+    (Device_ir.Validate.to_diags (Device_ir.Validate.check_program p)
+    @ Device_ir.Race.check_program p)
+
 (** Stable string renderings of the planner's operation and element type,
     used by the runtime layer as plan-cache key components. *)
 let op_name (t : t) : string = Ast.atomic_kind_name t.op

@@ -42,6 +42,11 @@ val program : t -> Version.t -> Device_ir.Ir.program
 (** Validated and compiled, cached per version. *)
 val compiled : t -> Version.t -> Gpusim.Runner.compiled_program
 
+(** All sanitizer diagnostics for one version (validator errors as
+    [TVAL001] plus the {!Device_ir.Race} report), sorted errors-first.
+    Never raises on a bad variant. *)
+val lint : t -> Version.t -> Device_ir.Diag.t list
+
 (** Stable rendering of the combining operation ("atomicAdd", ...), a
     plan-cache key component. *)
 val op_name : t -> string

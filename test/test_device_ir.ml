@@ -66,6 +66,83 @@ let analysis_tests =
           (lvl Ir.(warp_id +: Int 1) = A.Warp_uniform);
         Alcotest.(check bool) "join divergent" true
           (lvl Ir.(warp_id +: lane_id) = A.Divergent));
+    Alcotest.test_case "join_level is the lattice max" `Quick (fun () ->
+        let levels = [ A.Block_uniform; A.Warp_uniform; A.Divergent ] in
+        let rank = function
+          | A.Block_uniform -> 0
+          | A.Warp_uniform -> 1
+          | A.Divergent -> 2
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                let j = A.join_level a b in
+                Alcotest.(check int)
+                  "join rank"
+                  (max (rank a) (rank b))
+                  (rank j);
+                Alcotest.(check bool) "commutative" true (A.join_level b a = j))
+              levels)
+          levels;
+        List.iter
+          (fun a ->
+            Alcotest.(check bool) "idempotent" true (A.join_level a a = a))
+          levels);
+    Alcotest.test_case "warp-uniform derivations stay warp-uniform" `Quick
+      (fun () ->
+        (* anything computed from Warp_id alone is identical within a warp;
+           mixing in Lane_id or a load breaks it *)
+        let m =
+          A.level_stmts A.SM.empty
+            [
+              Ir.let_ "w" Ir.warp_id;
+              Ir.let_ "w2" Ir.(Reg "w" *: Int 2);
+              Ir.let_ "mix" Ir.(Reg "w2" +: Ir.lane_id);
+            ]
+        in
+        Alcotest.(check bool) "w warp" true (A.SM.find "w" m = A.Warp_uniform);
+        Alcotest.(check bool) "w2 warp" true (A.SM.find "w2" m = A.Warp_uniform);
+        Alcotest.(check bool) "mix divergent" true
+          (A.SM.find "mix" m = A.Divergent);
+        Alcotest.(check bool) "exp over map" true
+          (A.exp_level ~tainted:m Ir.(Reg "w2" +: Int 7) = A.Warp_uniform));
+    Alcotest.test_case "fixpoint sees defs made later in the loop body" `Quick
+      (fun () ->
+        (* on the first pass "fwd" is read before the pass has seen its
+           divergent definition; only the second fixpoint pass taints the
+           consumer — a regression guard for the 2-pass iteration *)
+        let m =
+          A.level_stmts A.SM.empty
+            [
+              Ir.for_ "i" ~init:(Ir.Int 0)
+                ~cond:Ir.(Reg "i" <: Int 4)
+                ~step:Ir.(Reg "i" +: Int 1)
+                [
+                  Ir.let_ "consumer" (Ir.Reg "fwd");
+                  Ir.let_ "fwd" Ir.tid;
+                ];
+            ]
+        in
+        Alcotest.(check bool) "fwd divergent" true
+          (A.SM.find "fwd" m = A.Divergent);
+        Alcotest.(check bool) "consumer divergent" true
+          (A.SM.find "consumer" m = A.Divergent));
+    Alcotest.test_case "uniform loop keeps its iterator uniform" `Quick
+      (fun () ->
+        let m =
+          A.level_stmts A.SM.empty
+            [
+              Ir.for_ "i" ~init:(Ir.Int 0)
+                ~cond:Ir.(Reg "i" <: Param "Trip")
+                ~step:Ir.(Reg "i" +: Int 1)
+                [ Ir.let_ "x" Ir.(Reg "i" *: Int 2) ];
+            ]
+        in
+        Alcotest.(check bool) "i uniform" true
+          (A.SM.find "i" m = A.Block_uniform);
+        Alcotest.(check bool) "x uniform" true
+          (A.SM.find "x" m = A.Block_uniform));
     Alcotest.test_case "taint propagates through Let" `Quick (fun () ->
         let m =
           A.level_stmts A.SM.empty
