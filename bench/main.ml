@@ -14,6 +14,8 @@
                                                  warm vs cold
      dune exec bench/main.exe faults          -- throughput + success rate under
                                                  injected faults (rate sweep)
+     dune exec bench/main.exe sdc             -- silent-data-corruption guard:
+                                                 bit-flip detection + overhead
      dune exec bench/main.exe lint            -- race-sanitizer wall time per
                                                  code version (all 88)
      dune exec bench/main.exe micro           -- bechamel framework benches
@@ -518,6 +520,88 @@ let faults () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Silent data corruption: bit-flip rate sweep against the guard       *)
+(* ------------------------------------------------------------------ *)
+
+let sdc () =
+  print_endline
+    "=== Silent-data-corruption guard: detection and overhead (bit-flip rate \
+     sweep) ===";
+  let batch = 256 in
+  let sweep trace rates =
+    Printf.printf "%-9s %12s %7s %7s %7s %7s %7s %10s %12s %12s\n" "rate" "rps"
+      "flips" "checks" "caught" "falsal" "reexec" "degraded" "verify p50"
+      "verify p95";
+    List.iter
+      (fun rate ->
+        let fault =
+          if rate > 0.0 then
+            Some
+              (Gpusim.Fault.create
+                 (Gpusim.Fault.plan ~rate:0.0 ~bitflip_rate:rate ~seed:1 ()))
+          else None
+        in
+        let svc = Runtime.Service.create ?fault (P.sum ()) in
+        let stats = Runtime.Service.stats svc in
+        (* sizes <= 4096 replay dense, so they run exact and get checked *)
+        let s =
+          Runtime.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
+        in
+        let flips =
+          match Runtime.Service.fault svc with
+          | Some f -> List.length (Gpusim.Fault.flips f)
+          | None -> 0
+        in
+        let v = Runtime.Stats.verify_series stats in
+        Printf.printf "%-9g %12.0f %7d %7d %7d %7d %7d %10d %9.1f us %9.1f us\n"
+          rate s.Runtime.Trace.s_rps flips
+          (Runtime.Stats.sdc_checks stats)
+          (Runtime.Stats.sdc_catches stats)
+          (Runtime.Stats.sdc_false_alarms stats)
+          (Runtime.Stats.sdc_reexecs stats)
+          (Runtime.Stats.degraded stats)
+          v.Runtime.Stats.p50 v.Runtime.Stats.p95)
+      rates
+  in
+  (* Overhead on the paper's mixed trace: mostly sampled-mode requests, so
+     the guard engages on the small dense fraction only — the interesting
+     columns are rps (unchanged) and the verify percentiles. *)
+  let requests = 1000 in
+  let spec = Runtime.Trace.default ~requests ~seed:7 () in
+  Printf.printf
+    "\n-- overhead: paper trace (%d requests, sizes 64..268M, %d \
+     architectures, batch size %d, flip seed 1) --\n"
+    requests
+    (List.length spec.Runtime.Trace.t_archs)
+    batch;
+  sweep (Runtime.Trace.generate spec) [ 0.0; 1e-4; 1e-3; 1e-2 ];
+  (* Detection on a dense small-size trace: every request materializes a
+     dense input <= 4096, runs exact and is witness-checked, so flips that
+     corrupt a live cell must show up in 'caught'. *)
+  let dense_requests = 600 in
+  let dense_spec =
+    {
+      spec with
+      Runtime.Trace.t_requests = dense_requests;
+      t_sizes =
+        List.filter (fun n -> n <= 4096) Runtime.Trace.paper_sizes;
+    }
+  in
+  Printf.printf
+    "\n-- detection: dense trace (%d requests, sizes 64..4096, every \
+     response exact-checked) --\n"
+    dense_requests;
+  sweep (Runtime.Trace.generate dense_spec) [ 0.0; 0.01; 0.05; 0.2 ];
+  print_endline
+    "\n(flips counts injections across every kernel run, including voting \
+     re-executions and sampled-mode runs the guard does not check; a flip \
+     can also land on memory the reduction never reads back, or stay \
+     within tolerance. 'caught' are witness rejections confirmed by \
+     re-execution, 'falsal' false alarms. At rate 0 the guard still checks \
+     every exact response — its cost is the verify percentiles.)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Sanitizer cost: wall time of the race check per code version        *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,6 +712,7 @@ let all () =
   ablation ();
   service ();
   faults ();
+  sdc ();
   lint ();
   micro ()
 
@@ -649,11 +734,12 @@ let () =
           | "ablation" -> ablation ()
           | "service" -> service ()
           | "faults" -> faults ()
+          | "sdc" -> sdc ()
           | "lint" -> lint ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|lint|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|micro)\n"
                 other;
               exit 1)
         args

@@ -87,6 +87,22 @@ let retry_max_arg =
   Arg.(value & opt int Tangram.Service.default_resilience.r_retry_max
        & info [ "retry-max" ] ~doc)
 
+let bitflip_rate_arg =
+  let doc =
+    "Silent bit-flip injection rate for --service (probability in [0,1] that \
+     a kernel run suffers one memory/register bit flip; 0 disables it)."
+  in
+  Arg.(value & opt float 0.0 & info [ "bitflip-rate" ] ~doc)
+
+let verify_sample_arg =
+  let doc = "Stripes of the dense-input witness recomputation (--service)." in
+  Arg.(value & opt int Tangram.Guard.default.g_sample
+       & info [ "verify-sample" ] ~doc)
+
+let no_verify_arg =
+  let doc = "Disable witness verification of exact --service responses." in
+  Arg.(value & flag & info [ "no-verify" ] ~doc)
+
 let lookup_arch (s : string) : Tangram.Arch.t =
   match Tangram.Arch.by_name s with
   | Some a -> a
@@ -155,7 +171,8 @@ let run_saved_program ~arch ~n ~events path =
 
 (* usage errors (exit 2, like cmdliner's own) for flag values the parser
    accepts but the service would reject *)
-let validate_service_flags ~requests ~batch ~fault_rate ~retry_max =
+let validate_service_flags ~requests ~batch ~fault_rate ~retry_max
+    ~bitflip_rate ~verify_sample =
   let usage_error msg =
     Printf.eprintf "reduce-explorer: %s\n" msg;
     exit 2
@@ -164,11 +181,15 @@ let validate_service_flags ~requests ~batch ~fault_rate ~retry_max =
   if batch < 1 then usage_error "--batch must be at least 1";
   if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
     usage_error "--fault-rate must be within [0,1]";
-  if retry_max < 0 then usage_error "--retry-max must be non-negative"
+  if retry_max < 0 then usage_error "--retry-max must be non-negative";
+  if bitflip_rate < 0.0 || bitflip_rate > 1.0 || Float.is_nan bitflip_rate then
+    usage_error "--bitflip-rate must be within [0,1]";
+  if verify_sample < 1 then usage_error "--verify-sample must be at least 1"
 
 let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-    ~retry_max =
-  validate_service_flags ~requests ~batch ~fault_rate ~retry_max;
+    ~retry_max ~bitflip_rate ~verify_sample ~no_verify =
+  validate_service_flags ~requests ~batch ~fault_rate ~retry_max ~bitflip_rate
+    ~verify_sample;
   let plan = Tangram.plan (Tangram.create ()) in
   (* a corrupt or truncated cache file is a warning, not a crash: the
      service starts cold and overwrites it on save *)
@@ -187,22 +208,41 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
     | _ -> None
   in
   let fault =
-    if fault_rate > 0.0 then
-      Some (Tangram.Fault.create (Tangram.Fault.plan ~rate:fault_rate ~seed:fault_seed ()))
+    if fault_rate > 0.0 || bitflip_rate > 0.0 then
+      Some
+        (Tangram.Fault.create
+           (Tangram.Fault.plan ~rate:fault_rate ~bitflip_rate ~seed:fault_seed
+              ()))
     else None
   in
   let resilience =
     { Tangram.Service.default_resilience with r_retry_max = retry_max }
   in
-  let svc = Tangram.Service.create ?cache ?fault ~resilience plan in
+  let guard =
+    Tangram.Guard.config ~enabled:(not no_verify) ~sample:verify_sample ()
+  in
+  let svc = Tangram.Service.create ?cache ?fault ~resilience ~guard plan in
+  (* journal tuner verdicts between saves so a crash loses no tuning *)
+  (match cache_file with
+  | Some path ->
+      Tangram.Plan_cache.attach_journal (Tangram.Service.cache svc) path
+  | None -> ());
   if fault_rate > 0.0 then
     Printf.printf "fault injection armed: rate %.3f, seed %d, retry-max %d\n"
       fault_rate fault_seed retry_max;
+  if bitflip_rate > 0.0 then
+    Printf.printf "bit-flip injection armed: rate %g, seed %d, verification %s\n"
+      bitflip_rate fault_seed
+      (if no_verify then "OFF" else "on");
   let spec = Tangram.Trace.default ~requests ~seed ~archs:[ arch ] () in
   let trace = Tangram.Trace.generate spec in
   Printf.printf "replaying %d mixed-size requests on %s (batch %d)...\n" requests
     arch.Tangram.Arch.name batch;
-  let summary = Tangram.Trace.replay ~batch_size:batch svc trace in
+  (* sizes <= 4096 replay as dense inputs: they run exact, so the SDC
+     guard witness-checks them *)
+  let summary =
+    Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
+  in
   Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
   print_string (Tangram.Service.report svc);
   match cache_file with
@@ -214,11 +254,12 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
   | None -> ()
 
 let run arch_name n version all baselines events tune program_file service
-    requests seed batch cache_file fault_rate fault_seed retry_max =
+    requests seed batch cache_file fault_rate fault_seed retry_max bitflip_rate
+    verify_sample no_verify =
   let arch = lookup_arch arch_name in
   if service then (
     run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-      ~retry_max;
+      ~retry_max ~bitflip_rate ~verify_sample ~no_verify;
     exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
@@ -286,6 +327,6 @@ let () =
       const run $ arch_arg $ n_arg $ version_arg $ all_arg $ baselines_arg
       $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
       $ seed_arg $ batch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
-      $ retry_max_arg)
+      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -324,8 +324,24 @@ let serve_cmd =
     Arg.(value & opt int Tangram.Service.default_resilience.r_retry_max
          & info [ "retry-max" ] ~doc)
   in
+  let bitflip_rate_arg =
+    let doc =
+      "Silent bit-flip injection rate (probability in [0,1] that a kernel run \
+       suffers one memory/register bit flip; 0 disables injection)."
+    in
+    Arg.(value & opt float 0.0 & info [ "bitflip-rate" ] ~doc)
+  in
+  let verify_sample_arg =
+    let doc = "Stripes of the dense-input witness recomputation." in
+    Arg.(value & opt int Tangram.Guard.default.g_sample
+         & info [ "verify-sample" ] ~doc)
+  in
+  let no_verify_arg =
+    let doc = "Disable witness verification of exact responses." in
+    Arg.(value & flag & info [ "no-verify" ] ~doc)
+  in
   let run spectrum source requests seed batch arch_name cache_file fault_rate
-      fault_seed retry_max =
+      fault_seed retry_max bitflip_rate verify_sample no_verify =
     let usage_error msg =
       Printf.eprintf "tangramc serve: %s\n" msg;
       exit 2
@@ -335,6 +351,9 @@ let serve_cmd =
     if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
       usage_error "--fault-rate must be within [0,1]";
     if retry_max < 0 then usage_error "--retry-max must be non-negative";
+    if bitflip_rate < 0.0 || bitflip_rate > 1.0 || Float.is_nan bitflip_rate
+    then usage_error "--bitflip-rate must be within [0,1]";
+    if verify_sample < 1 then usage_error "--verify-sample must be at least 1";
     handle_frontend_errors (fun () ->
         let unit_info = load_unit spectrum source in
         let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
@@ -366,24 +385,43 @@ let serve_cmd =
           | _ -> None
         in
         let fault =
-          if fault_rate > 0.0 then
+          if fault_rate > 0.0 || bitflip_rate > 0.0 then
             Some
               (Tangram.Fault.create
-                 (Tangram.Fault.plan ~rate:fault_rate ~seed:fault_seed ()))
+                 (Tangram.Fault.plan ~rate:fault_rate ~bitflip_rate
+                    ~seed:fault_seed ()))
           else None
         in
         let resilience =
           { Tangram.Service.default_resilience with r_retry_max = retry_max }
         in
-        let svc = Tangram.Service.create ?cache ?fault ~resilience plan in
+        let guard =
+          Tangram.Guard.config ~enabled:(not no_verify) ~sample:verify_sample ()
+        in
+        let svc = Tangram.Service.create ?cache ?fault ~resilience ~guard plan in
+        (* tuner verdicts journal to FILE.journal between saves, so a
+           crash mid-replay loses no tuning work *)
+        (match cache_file with
+        | Some path ->
+            Tangram.Plan_cache.attach_journal (Tangram.Service.cache svc) path
+        | None -> ());
         if fault_rate > 0.0 then
           Printf.printf "fault injection armed: rate %.3f, seed %d, retry-max %d\n"
             fault_rate fault_seed retry_max;
+        if bitflip_rate > 0.0 then
+          Printf.printf
+            "bit-flip injection armed: rate %g, seed %d, verification %s\n"
+            bitflip_rate fault_seed
+            (if no_verify then "OFF" else "on");
         let spec = Tangram.Trace.default ~requests ~seed ~archs () in
         let trace = Tangram.Trace.generate spec in
         Printf.printf "replaying %d mixed-size requests over %d architecture(s)...\n"
           requests (List.length archs);
-        let summary = Tangram.Trace.replay ~batch_size:batch svc trace in
+        (* sizes <= 4096 replay as dense inputs: they run exact, so the
+           SDC guard witness-checks them *)
+        let summary =
+          Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
+        in
         Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
         print_string (Tangram.Service.report svc);
         match cache_file with
@@ -402,7 +440,7 @@ let serve_cmd =
     Term.(
       const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
       $ arch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
-      $ retry_max_arg)
+      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg)
 
 let () =
   let info =

@@ -54,6 +54,8 @@ module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
 module Stats = Runtime.Stats
 module Trace = Runtime.Trace
+module Tolerance = Runtime.Tolerance
+module Guard = Runtime.Guard
 module Scan = Apps.Scan
 module Histogram = Apps.Histogram
 module Cub = Baselines.Cub

@@ -7,15 +7,42 @@
    position independent of the configured rates: raising the rate
    changes which rolls fault, not where later rolls land. *)
 
-type kind = Transient | Timeout | Stall | Corrupt
+type kind = Transient | Timeout | Stall | Corrupt | Bit_flip
 
 let kind_name = function
   | Transient -> "transient"
   | Timeout -> "timeout"
   | Stall -> "stall"
   | Corrupt -> "corrupt"
+  | Bit_flip -> "bit-flip"
 
 exception Injected of kind * string
+
+type space = Global_mem | Shared_mem | Register
+
+let space_name = function
+  | Global_mem -> "global"
+  | Shared_mem -> "shared"
+  | Register -> "register"
+
+type flip = {
+  fl_space : space;
+  fl_bit : int;
+  fl_launch : int;
+  fl_site : int;
+  fl_target : int;
+}
+
+type flip_record = {
+  fr_roll : int;
+  fr_arch : string;
+  fr_version : string;
+  fr_flip : flip;
+}
+
+let pp_flip fmt (fl : flip) =
+  Format.fprintf fmt "%s bit %d launch %d site %d target %d"
+    (space_name fl.fl_space) fl.fl_bit fl.fl_launch fl.fl_site fl.fl_target
 
 type plan = {
   f_seed : int;
@@ -24,6 +51,7 @@ type plan = {
   f_arch_rates : (string * float) list;
   f_mix : (kind * float) list;
   f_stall_factor : float;
+  f_bitflip_rates : (space * float) list;
 }
 
 let default_mix =
@@ -33,9 +61,27 @@ let check_rate what r =
   if not (r >= 0.0 && r <= 1.0) then
     invalid_arg (Printf.sprintf "Fault.plan: %s %g outside [0, 1]" what r)
 
+let spaces = [ Global_mem; Shared_mem; Register ]
+
 let plan ?(rate = 0.0) ?(version_rates = []) ?(arch_rates = [])
-    ?(mix = default_mix) ?(stall_factor = 8.0) ~seed () : plan =
+    ?(mix = default_mix) ?(stall_factor = 8.0) ?(bitflip_rate = 0.0)
+    ?bitflip_space_rates ~seed () : plan =
   check_rate "rate" rate;
+  check_rate "bitflip_rate" bitflip_rate;
+  let bitflip_rates =
+    match bitflip_space_rates with
+    | Some l ->
+        List.iter
+          (fun (s, r) -> check_rate ("bit-flip rate of space " ^ space_name s) r)
+          l;
+        List.map
+          (fun s -> (s, Option.value ~default:0.0 (List.assoc_opt s l)))
+          spaces
+    | None -> List.map (fun s -> (s, bitflip_rate)) spaces
+  in
+  if List.mem_assoc Bit_flip mix then
+    invalid_arg
+      "Fault.plan: Bit_flip is driven by bitflip_rate, not the kind mix";
   List.iter (fun (v, r) -> check_rate ("rate of version " ^ v) r) version_rates;
   List.iter
     (fun (a, m) ->
@@ -61,16 +107,23 @@ let plan ?(rate = 0.0) ?(version_rates = []) ?(arch_rates = [])
     f_arch_rates = arch_rates;
     f_mix = mix;
     f_stall_factor = stall_factor;
+    f_bitflip_rates = bitflip_rates;
   }
 
 type t = {
   t_plan : plan;
   mutable state : int64;
+  mutable flip_state : int64;
+      (* separate LCG stream: bit-flip rolls never move the loud-fault
+         stream, so enabling [bitflip_rate] replays the exact same
+         transient/timeout/stall/corrupt schedule as before *)
   mutable n_rolls : int;
   mutable n_transient : int;
   mutable n_timeout : int;
   mutable n_stall : int;
   mutable n_corrupt : int;
+  mutable n_bitflip : int;
+  mutable flip_log : flip_record list;  (* most recent first *)
 }
 
 let lcg (state : int64) : int64 =
@@ -85,11 +138,14 @@ let create (p : plan) : t =
   {
     t_plan = p;
     state = lcg (Int64.of_int p.f_seed);
+    flip_state = lcg (Int64.logxor (Int64.of_int p.f_seed) 0x5DEECE66DL);
     n_rolls = 0;
     n_transient = 0;
     n_timeout = 0;
     n_stall = 0;
     n_corrupt = 0;
+    n_bitflip = 0;
+    flip_log = [];
   }
 
 let seed t = t.t_plan.f_seed
@@ -125,12 +181,57 @@ let roll (t : t) ~(arch : string) ~(version : string) : verdict =
     | Transient -> t.n_transient <- t.n_transient + 1
     | Timeout -> t.n_timeout <- t.n_timeout + 1
     | Stall -> t.n_stall <- t.n_stall + 1
-    | Corrupt -> t.n_corrupt <- t.n_corrupt + 1);
+    | Corrupt -> t.n_corrupt <- t.n_corrupt + 1
+    | Bit_flip -> assert false (* plan rejects Bit_flip in the mix *));
     Fault k
   end
 
+(* Bit-flip rolls consume exactly five draws from the dedicated flip
+   stream — one per space plus bit and placement — whether or not a flip
+   fires, so the schedule of flips at one rate is a strict subset of the
+   schedule at any higher rate. *)
+let roll_flip (t : t) ~(arch : string) ~(version : string) : flip option =
+  let p = t.t_plan in
+  let draw () =
+    let s = lcg t.flip_state in
+    t.flip_state <- s;
+    s
+  in
+  let fired =
+    List.filter_map
+      (fun space ->
+        let u = uniform (draw ()) in
+        let r = Option.value ~default:0.0 (List.assoc_opt space p.f_bitflip_rates) in
+        if u < r then Some space else None)
+      spaces
+  in
+  let s_bit = draw () and s_place = draw () in
+  match fired with
+  | [] -> None
+  | space :: _ ->
+      let bits i shift width =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical i shift)
+                        (Int64.of_int ((1 lsl width) - 1)))
+      in
+      let fl =
+        {
+          fl_space = space;
+          fl_bit = bits s_bit 36 5;
+          fl_launch = bits s_bit 20 8;
+          fl_site = bits s_place 40 16;
+          fl_target = bits s_place 8 24;
+        }
+      in
+      t.n_bitflip <- t.n_bitflip + 1;
+      t.flip_log <-
+        { fr_roll = t.n_rolls; fr_arch = arch; fr_version = version; fr_flip = fl }
+        :: t.flip_log;
+      Some fl
+
 let rolls t = t.n_rolls
-let injected t = t.n_transient + t.n_timeout + t.n_stall + t.n_corrupt
+
+let injected t =
+  t.n_transient + t.n_timeout + t.n_stall + t.n_corrupt + t.n_bitflip
 
 let injected_by_kind t =
   [
@@ -138,4 +239,29 @@ let injected_by_kind t =
     (Timeout, t.n_timeout);
     (Stall, t.n_stall);
     (Corrupt, t.n_corrupt);
+    (Bit_flip, t.n_bitflip);
   ]
+
+let flips t = List.rev t.flip_log
+
+(* ------------------------------------------------------------------ *)
+(* Applying a flip to a stored scalar                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated memory holds every scalar as an OCaml float; a flip
+   reinterprets the cell in its declared 32-bit representation, toggles
+   one bit and stores the reinterpreted result back. F32 flips can yield
+   NaN or infinity (caught downstream like a Corrupt fault); integer
+   flips always stay finite — the silent case the guard exists for. *)
+let flip_value (ty : Device_ir.Ir.scalar) ~(bit : int) (x : float) : float =
+  let bit = bit land 31 in
+  match ty with
+  | Device_ir.Ir.F32 ->
+      Int32.float_of_bits
+        (Int32.logxor (Int32.bits_of_float x) (Int32.shift_left 1l bit))
+  | Device_ir.Ir.I32 | Device_ir.Ir.U32 ->
+      let i = Int64.of_float x in
+      let flipped = Int64.logxor i (Int64.shift_left 1L bit) in
+      (* renormalise to the signed 32-bit range the interpreter uses *)
+      Int64.to_float (Int64.of_int32 (Int64.to_int32 flipped))
+  | Device_ir.Ir.Pred -> if x = 0.0 then 1.0 else 0.0

@@ -13,14 +13,48 @@
     The injection point is {!Runner.run_compiled}'s [?fault] argument;
     planning and tuning never inject (rankings stay deterministic). *)
 
-(** The four injected failure modes. *)
+(** The five injected failure modes. *)
 type kind =
   | Transient  (** a {!Interp.Sim_error} that a retry may outlive *)
   | Timeout  (** the kernel never finishes: a hard per-version fault *)
   | Stall  (** atomic contention: the run succeeds but [stall_factor] times slower *)
   | Corrupt  (** the run "succeeds" with a NaN result *)
+  | Bit_flip
+      (** silent data corruption: one bit of simulated state is flipped
+          mid-run and the result is finite but possibly wrong. Driven by
+          the per-space [bitflip] rates, never by the kind mix. *)
 
 val kind_name : kind -> string
+
+(** Where a bit flip lands. *)
+type space =
+  | Global_mem  (** a cell of a writable global buffer *)
+  | Shared_mem  (** a cell of a block's shared-memory tile *)
+  | Register  (** a thread's accumulator register *)
+
+val space_name : space -> string
+
+(** A fully resolved flip: every field is drawn from the seeded flip
+    stream, so the complete flip schedule is reproducible. Selectors are
+    raw nonnegative draws; the injection site reduces them modulo the
+    actual population (launch count, block count, cell count, ...). *)
+type flip = {
+  fl_space : space;
+  fl_bit : int;  (** bit to toggle, 0..31, of the 32-bit representation *)
+  fl_launch : int;  (** which kernel launch of the program *)
+  fl_site : int;  (** which block / statement boundary inside the launch *)
+  fl_target : int;  (** which cell / thread / register *)
+}
+
+(** One entry of the deterministic flip log. *)
+type flip_record = {
+  fr_roll : int;  (** value of {!rolls} when the flip was drawn *)
+  fr_arch : string;
+  fr_version : string;
+  fr_flip : flip;
+}
+
+val pp_flip : Format.formatter -> flip -> unit
 
 (** Raised by {!Runner.run_compiled} for injected {!Timeout} faults
     (injected {!Transient} faults raise {!Interp.Sim_error} so they travel
@@ -40,6 +74,8 @@ type plan = {
       (** per-architecture multipliers (default 1.0), by {!Arch.t} name *)
   f_mix : (kind * float) list;  (** relative kind weights *)
   f_stall_factor : float;  (** simulated-time multiplier of {!Stall} *)
+  f_bitflip_rates : (space * float) list;
+      (** per-space bit-flip probability per run, in [0, 1] *)
 }
 
 (** The default kind mix: transient-heavy
@@ -47,15 +83,21 @@ type plan = {
 val default_mix : (kind * float) list
 
 (** Build a plan. Defaults: [rate] 0.0, no per-version or per-arch
-    overrides, {!default_mix}, [stall_factor] 8.0.
+    overrides, {!default_mix}, [stall_factor] 8.0, [bitflip_rate] 0.0.
+    [bitflip_rate] applies to all three spaces unless
+    [bitflip_space_rates] overrides them individually (spaces absent from
+    the override list get rate 0).
     @raise Invalid_argument when a rate lies outside [0, 1], a mix weight
-    is negative or the mix has no positive weight, or [stall_factor] < 1. *)
+    is negative, the mix has no positive weight or contains {!Bit_flip},
+    or [stall_factor] < 1. *)
 val plan :
   ?rate:float ->
   ?version_rates:(string * float) list ->
   ?arch_rates:(string * float) list ->
   ?mix:(kind * float) list ->
   ?stall_factor:float ->
+  ?bitflip_rate:float ->
+  ?bitflip_space_rates:(space * float) list ->
   seed:int ->
   unit ->
   plan
@@ -75,13 +117,28 @@ type verdict = Pass | Fault of kind
     replays the same verdict sequence for the same label sequence. *)
 val roll : t -> arch:string -> version:string -> verdict
 
+(** Decide whether this run suffers a bit flip, and where. Draws from a
+    dedicated LCG stream, so enabling bit flips never perturbs the
+    {!roll} schedule, and each call consumes a fixed number of draws
+    whether or not it fires. Fired flips are appended to the flip log. *)
+val roll_flip : t -> arch:string -> version:string -> flip option
+
+(** Reinterpret a stored scalar in its declared 32-bit representation,
+    toggle [bit land 31], and return the stored-back float. [Pred] cells
+    simply toggle truth. *)
+val flip_value : Device_ir.Ir.scalar -> bit:int -> float -> float
+
 (** {1 Observability} *)
 
-(** Rolls performed so far. *)
+(** Rolls performed so far (bit-flip rolls not included). *)
 val rolls : t -> int
 
-(** Faults injected so far (all kinds). *)
+(** Faults injected so far (all kinds, bit flips included). *)
 val injected : t -> int
 
-(** Injections per kind, fixed order (Transient, Timeout, Stall, Corrupt). *)
+(** Injections per kind, fixed order
+    (Transient, Timeout, Stall, Corrupt, Bit_flip). *)
 val injected_by_kind : t -> (kind * int) list
+
+(** The deterministic flip log, in injection order. *)
+val flips : t -> flip_record list

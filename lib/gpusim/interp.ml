@@ -610,6 +610,42 @@ let rec exec_block_stmt (ctx : block_ctx) (s : C.cstmt) : unit =
         assert false
 
 (* ------------------------------------------------------------------ *)
+(* Bit-flip injection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Land a fault-plan bit flip in the live state of the current block:
+   one cell of a shared tile, or one register slot of one thread. The
+   raw selectors reduce modulo the actual population so any drawn flip
+   maps to a real location. Global-memory flips are applied by the
+   runner at launch boundaries, not here. *)
+let apply_flip (ctx : block_ctx) (fl : Fault.flip) : unit =
+  match fl.Fault.fl_space with
+  | Fault.Global_mem -> ()
+  | Fault.Shared_mem ->
+      let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 ctx.shared in
+      if total > 0 then begin
+        let idx = ref (fl.Fault.fl_target mod total) and slot = ref 0 in
+        while !idx >= Array.length ctx.shared.(!slot) do
+          idx := !idx - Array.length ctx.shared.(!slot);
+          incr slot
+        done;
+        let a = ctx.shared.(!slot) in
+        let ty = ctx.k.C.ck_shared.(!slot).Ir.sh_ty in
+        a.(!idx) <- Fault.flip_value ty ~bit:fl.Fault.fl_bit a.(!idx)
+      end
+  | Fault.Register ->
+      let nregs = Array.length ctx.regs.(0) in
+      let t = fl.Fault.fl_target mod ctx.nthreads in
+      let slot = fl.Fault.fl_target / ctx.nthreads mod nregs in
+      ctx.regs.(t).(slot) <-
+        (match ctx.regs.(t).(slot) with
+        | Value.VF f -> Value.VF (Fault.flip_value Ir.F32 ~bit:fl.Fault.fl_bit f)
+        | Value.VI i ->
+            Value.of_float Ir.I32
+              (Fault.flip_value Ir.I32 ~bit:fl.Fault.fl_bit (float_of_int i))
+        | Value.VB b -> Value.VB (not b))
+
+(* ------------------------------------------------------------------ *)
 (* Kernel launch                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -625,9 +661,9 @@ type launch_result = {
     slot to a buffer; [params] are the scalar arguments in declaration
     order. Returns per-launch events and the mean per-block critical
     path. *)
-let run_kernel ~(arch : Arch.t) ~(opts : options) (k : C.t) ~(grid : int)
-    ~(block : int) ~(shared_elems : int) ~(globals : buffer array)
-    ~(params : Value.t array) : launch_result =
+let run_kernel ?(flip : Fault.flip option) ~(arch : Arch.t) ~(opts : options)
+    (k : C.t) ~(grid : int) ~(block : int) ~(shared_elems : int)
+    ~(globals : buffer array) ~(params : Value.t array) : launch_result =
   if arch.Arch.warp_size <> warp_lanes then
     sim_error "architecture warp size %d unsupported (expected 32)"
       arch.Arch.warp_size;
@@ -684,16 +720,32 @@ let run_kernel ~(arch : Arch.t) ~(opts : options) (k : C.t) ~(grid : int)
           if i = simulate - 1 then grid - 1 else id)
   in
   let cp_total = ref 0.0 in
+  (* a shared/register flip lands in one simulated block, after one
+     top-level statement boundary of its body — both chosen by the flip's
+     site selector *)
+  let nstmts = Array.length k.C.ck_body in
+  let flip_block, flip_stmt =
+    match flip with
+    | Some fl when fl.Fault.fl_space <> Fault.Global_mem && nstmts > 0 ->
+        (fl.Fault.fl_site mod simulate, fl.Fault.fl_site mod nstmts)
+    | _ -> (-1, -1)
+  in
   (try
-     Array.iter
-       (fun b ->
+     Array.iteri
+       (fun pos b ->
          ctx.block_idx <- b;
          Array.iter (fun sh -> Array.fill sh 0 (Array.length sh) 0.0) ctx.shared;
          Array.iter
            (fun r -> Array.fill r 0 (Array.length r) Value.zero)
            ctx.regs;
          Array.fill ctx.wcycles 0 nwarps 0.0;
-         Array.iter (exec_block_stmt ctx) k.C.ck_body;
+         if pos = flip_block then
+           Array.iteri
+             (fun i s ->
+               exec_block_stmt ctx s;
+               if i = flip_stmt then apply_flip ctx (Option.get flip))
+             k.C.ck_body
+         else Array.iter (exec_block_stmt ctx) k.C.ck_body;
          cp_total := !cp_total +. Array.fold_left Float.max 0.0 ctx.wcycles)
        block_ids
    with Value.Trap msg -> sim_error "%s: %s" k.C.ck_name msg);

@@ -66,6 +66,7 @@ type launch_result = {
     slot to a buffer (in declaration order); [params] are the scalar
     arguments in declaration order. *)
 val run_kernel :
+  ?flip:Fault.flip ->
   arch:Arch.t ->
   opts:options ->
   Compiled.t ->

@@ -57,8 +57,8 @@ let default_tunables (p : Ir.program) : (string * int) list =
       | [] -> invalid_arg (Printf.sprintf "tunable %S has no candidates" name))
     p.Ir.p_tunables
 
-let run_compiled_raw ?(opts = Interp.exact) ~(arch : Arch.t)
-    ?(tunables : (string * int) list option) ~(input : input)
+let run_compiled_raw ?(opts = Interp.exact) ?(flip : Fault.flip option)
+    ~(arch : Arch.t) ?(tunables : (string * int) list option) ~(input : input)
     (cp : compiled_program) : outcome =
   let p = cp.cp_program in
   let tunables =
@@ -102,9 +102,34 @@ let run_compiled_raw ?(opts = Interp.exact) ~(arch : Arch.t)
     | Some b -> b
     | None -> invalid_arg (Printf.sprintf "unbound buffer %S" name)
   in
+  (* A global-memory flip lands in one cell of a writable buffer (the
+     output cell or a temporary), applied after the flip's launch — a
+     corrupted partial that downstream launches consume, or a corrupted
+     final result if it lands after the last launch. Buffer order is the
+     declaration order, so the target cell is deterministic. *)
+  let apply_global_flip (fl : Fault.flip) : unit =
+    let bufs =
+      List.map find_buffer
+        ("output" :: List.map (fun (b : Ir.buffer) -> b.Ir.buf_name) p.Ir.p_buffers)
+    in
+    let total = List.fold_left (fun acc b -> acc + b.Interp.b_size) 0 bufs in
+    if total > 0 then begin
+      let rec go idx = function
+        | [] -> ()
+        | (b : Interp.buffer) :: rest ->
+            if idx < b.Interp.b_size then
+              b.Interp.data.(idx) <-
+                Fault.flip_value b.Interp.b_ty ~bit:fl.Fault.fl_bit
+                  b.Interp.data.(idx)
+            else go (idx - b.Interp.b_size) rest
+      in
+      go (fl.Fault.fl_target mod total) bufs
+    end
+  in
+  let n_launches = List.length p.Ir.p_launches in
   let launch_results =
-    List.map
-      (fun (ln : Ir.launch) ->
+    List.mapi
+      (fun i (ln : Ir.launch) ->
         let k = List.assoc ln.Ir.ln_kernel cp.cp_kernels in
         let grid = ev_hexp ln.Ir.ln_grid in
         let block = ev_hexp ln.Ir.ln_block in
@@ -116,9 +141,27 @@ let run_compiled_raw ?(opts = Interp.exact) ~(arch : Arch.t)
             | Ir.Arg_buffer b -> globals := find_buffer b :: !globals
             | Ir.Arg_scalar h -> params := Value.VI (ev_hexp h) :: !params)
           ln.Ir.ln_args;
-        Interp.run_kernel ~arch ~opts k ~grid ~block ~shared_elems
-          ~globals:(Array.of_list (List.rev !globals))
-          ~params:(Array.of_list (List.rev !params)))
+        let flip_here =
+          match flip with
+          | Some fl when fl.Fault.fl_launch mod n_launches = i -> Some fl
+          | _ -> None
+        in
+        let kernel_flip =
+          match flip_here with
+          | Some fl when fl.Fault.fl_space <> Fault.Global_mem -> Some fl
+          | _ -> None
+        in
+        let r =
+          Interp.run_kernel ?flip:kernel_flip ~arch ~opts k ~grid ~block
+            ~shared_elems
+            ~globals:(Array.of_list (List.rev !globals))
+            ~params:(Array.of_list (List.rev !params))
+        in
+        (match flip_here with
+        | Some fl when fl.Fault.fl_space = Fault.Global_mem ->
+            apply_global_flip fl
+        | _ -> ());
+        r)
       p.Ir.p_launches
   in
   let launch_costs = List.map (Cost.of_launch arch) launch_results in
@@ -136,36 +179,40 @@ let run_compiled_raw ?(opts = Interp.exact) ~(arch : Arch.t)
    passing through, aborting (timeout raises Fault.Injected, transient
    raises Interp.Sim_error so it travels the organic error path), or
    post-processing a completed run (stall inflates the simulated time,
-   corrupt replaces the result with NaN). *)
+   corrupt replaces the result with NaN). A second, independent roll may
+   additionally arm a silent bit flip that the raw runner lands
+   mid-execution; flipped runs keep [exact = true] — the caller cannot
+   tell, which is the failure mode the runtime guard exists to catch. *)
 let run_compiled ?opts ?(fault : Fault.t option)
     ?(fault_version : string option) ~(arch : Arch.t)
     ?(tunables : (string * int) list option) ~(input : input)
     (cp : compiled_program) : outcome =
+  let version =
+    match fault_version with
+    | Some v -> v
+    | None -> ( match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?")
+  in
   let verdict =
     match fault with
     | None -> Fault.Pass
-    | Some f ->
-        let version =
-          match fault_version with
-          | Some v -> v
-          | None -> (
-              match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?")
-        in
-        Fault.roll f ~arch:arch.Arch.name ~version
+    | Some f -> Fault.roll f ~arch:arch.Arch.name ~version
   in
-  let label () =
-    Printf.sprintf "(%s, %s)" arch.Arch.name
-      (match fault_version with
-      | Some v -> v
-      | None -> ( match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?"))
+  let flip =
+    match fault with
+    | None -> None
+    | Some f -> Fault.roll_flip f ~arch:arch.Arch.name ~version
   in
+  let label () = Printf.sprintf "(%s, %s)" arch.Arch.name version in
   match verdict with
   | Fault.Fault Fault.Transient ->
       raise (Interp.Sim_error ("injected transient fault " ^ label ()))
   | Fault.Fault Fault.Timeout ->
       raise (Fault.Injected (Fault.Timeout, "injected kernel timeout " ^ label ()))
+  | Fault.Fault Fault.Bit_flip ->
+      (* unreachable: Fault.plan rejects Bit_flip in the kind mix *)
+      assert false
   | Fault.Pass | Fault.Fault (Fault.Stall | Fault.Corrupt) -> (
-      let o = run_compiled_raw ?opts ~arch ?tunables ~input cp in
+      let o = run_compiled_raw ?opts ?flip ~arch ?tunables ~input cp in
       match (verdict, fault) with
       | Fault.Fault Fault.Stall, Some f ->
           { o with time_us = o.time_us *. Fault.stall_factor f }

@@ -38,6 +38,10 @@ val default_tunables : Device_ir.Ir.program -> (string * int) list
     an injected transient fault raises {!Interp.Sim_error}, an injected
     timeout raises {!Fault.Injected}, a stall multiplies [time_us] by the
     plan's stall factor and a corrupt outcome carries a NaN [result].
+    Independently, the plan's per-space bit-flip rates may arm a silent
+    {!Fault.flip} that lands mid-run in global, shared or register state;
+    a flipped outcome is indistinguishable from a clean one ([exact] is
+    unchanged) — detecting it is the runtime guard's job.
     [fault_version] labels the roll (per-version fault rates key on it;
     defaults to the program's first kernel name). *)
 val run_compiled :

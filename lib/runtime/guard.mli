@@ -1,0 +1,59 @@
+(** Online result verification against an ABFT-style witness.
+
+    A {!check} pairs the host-recomputed expected value (closed form for
+    synthetic inputs; a stripe-partitioned re-fold for dense inputs,
+    deliberately associated differently from both the versions and the
+    plain sequential reference) with the request's {!Tolerance} bound.
+    {!Service} builds one check per exact response; a result the witness
+    rejects is treated as suspected silent data corruption and goes to
+    redundant re-execution and voting (orchestrated by the service,
+    which owns the fallback ladder and the circuit breakers). *)
+
+(** Verification policy. *)
+type config = {
+  g_enabled : bool;  (** verify exact responses at all (default true) *)
+  g_sample : int;
+      (** stripes of the dense-input witness partition (default 4) *)
+  g_votes : int;
+      (** redundant-execution budget per suspect result: one dual-modular
+          re-run on the suspect's own rung plus [g_votes - 1] runs down
+          the ladder (default 2) *)
+}
+
+val default : config
+
+(** Validating constructor.
+    @raise Invalid_argument when [sample] or [votes] is not positive. *)
+val config : ?enabled:bool -> ?sample:int -> ?votes:int -> unit -> config
+
+(** One request's witness value and tolerance bound. *)
+type check
+
+val expected : check -> float
+val tolerance : check -> Tolerance.t
+
+(** The witness recomputation alone (exposed for benches and tests). *)
+val witness :
+  planner:Synthesis.Planner.t -> sample:int -> Gpusim.Runner.input -> float
+
+(** Build the check for one request. [version] tightens the float
+    tolerance with the serving version's reduction shape. *)
+val make :
+  planner:Synthesis.Planner.t ->
+  ?version:Synthesis.Version.t ->
+  input:Gpusim.Runner.input ->
+  sample:int ->
+  unit ->
+  check
+
+(** Does the witness accept this result? *)
+val acceptable : check -> got:float -> bool
+
+(** Deviation from the witness as a fraction of the bound (> 1.0 means
+    rejected). For diagnostics. *)
+val margin : check -> got:float -> float
+
+(** Do two executions agree within one tolerance window (bitwise, for
+    exact reductions)? A suspect that agrees with its own re-execution
+    reproduced deterministically and is a false alarm, not a flip. *)
+val agree : check -> float -> float -> bool

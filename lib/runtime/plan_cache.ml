@@ -71,13 +71,21 @@ type t = {
   table : (key, slot) Hashtbl.t;
   mutable tick : int;
   mutable evicted : int;
+  mutable journal : (string * out_channel) option;
+      (** attached verdict journal: file path + open append channel *)
 }
 
 let default_capacity = 64
 
 let create ?(capacity = default_capacity) () : t =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); tick = 0; evicted = 0 }
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    tick = 0;
+    evicted = 0;
+    journal = None;
+  }
 
 let capacity t = t.cap
 let length t = Hashtbl.length t.table
@@ -109,6 +117,10 @@ let evict_lru (t : t) : unit =
       Hashtbl.remove t.table k;
       t.evicted <- t.evicted + 1
 
+(* filled in by the persistence section below, where the serializer
+   lives; a no-op until a journal is attached *)
+let journal_append : (t -> key -> entry -> unit) ref = ref (fun _ _ _ -> ())
+
 let add (t : t) (k : key) (e : entry) : unit =
   (match Hashtbl.find_opt t.table k with
   | Some s ->
@@ -118,7 +130,7 @@ let add (t : t) (k : key) (e : entry) : unit =
       if Hashtbl.length t.table >= t.cap then evict_lru t;
       t.tick <- t.tick + 1;
       Hashtbl.add t.table k { s_entry = e; s_stamp = t.tick });
-  ()
+  if t.journal <> None then !journal_append t k e
 
 let entries (t : t) : (key * entry) list =
   Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.table []
@@ -291,17 +303,192 @@ let of_string ?capacity (src : string) : t =
       t
   | _ -> fail "plan-cache: expected a (plan-cache ...) form"
 
+(* ------------------------------------------------------------------ *)
+(* Crash safety: checksummed snapshots, atomic renames, a verdict      *)
+(* journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* plain table-driven CRC-32 (the IEEE 802.3 polynomial) *)
+let crc_table : int32 array Lazy.t =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor tbl.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let temp_file (path : string) : string = path ^ ".tmp"
+let journal_file (path : string) : string = path ^ ".journal"
+
+let remove_if_exists (p : string) : unit =
+  try if Sys.file_exists p then Sys.remove p with Sys_error _ -> ()
+
+let fsync_out (oc : out_channel) : unit =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* The snapshot header: a comment-shaped first line carrying the body's
+   CRC-32 and length, so torn or bit-rotted snapshots are detected at
+   load instead of silently parsing into garbage. *)
+let snapshot_header (body : string) : string =
+  Printf.sprintf "; plan-cache crc32 %08lx %d\n" (crc32 body) (String.length body)
+
+(* Verify and strip the header. Headerless input (legacy snapshots,
+   hand-written files, raw [to_string] output) passes through
+   unchecked. *)
+let verify_snapshot (src : string) : string =
+  match String.index_opt src '\n' with
+  | Some nl when String.length src >= 2 && src.[0] = ';' -> (
+      let header = String.sub src 0 nl in
+      let body = String.sub src (nl + 1) (String.length src - nl - 1) in
+      match
+        Scanf.sscanf_opt header "; plan-cache crc32 %lx %d" (fun c n -> (c, n))
+      with
+      | None -> src
+      | Some (c, n) ->
+          if String.length body <> n then
+            fail "plan-cache: snapshot truncated (%d bytes, header says %d)"
+              (String.length body) n
+          else if crc32 body <> c then
+            fail "plan-cache: snapshot checksum mismatch (file corrupt)"
+          else body)
+  | _ -> src
+
+(* one journal record: a self-checksummed length-prefixed (entry ...) *)
+let journal_record (k : key) (e : entry) : string =
+  let body = S.sexp_to_string (sexp_of_entry k e) in
+  Printf.sprintf "plan-journal %08lx %d\n%s\n" (crc32 body)
+    (String.length body) body
+
+let () =
+  journal_append :=
+    fun (t : t) (k : key) (e : entry) ->
+      match t.journal with
+      | None -> ()
+      | Some (_, oc) ->
+          output_string oc (journal_record k e);
+          (* a verdict is durable the moment it is recorded: a crash
+             between here and the next save must not re-tune the bucket *)
+          fsync_out oc
+
+let open_journal (jpath : string) : out_channel =
+  open_out_gen [ Open_append; Open_creat ] 0o644 jpath
+
+let attach_journal (t : t) (path : string) : unit =
+  (match t.journal with Some (_, oc) -> close_out oc | None -> ());
+  t.journal <- Some (journal_file path, open_journal (journal_file path))
+
+let detach_journal (t : t) : unit =
+  match t.journal with
+  | None -> ()
+  | Some (_, oc) ->
+      close_out oc;
+      t.journal <- None
+
+let journaling (t : t) : bool = t.journal <> None
+
+(* Replay journal records on top of a loaded snapshot. Each record is
+   independently checksummed: a corrupt one is skipped with a warning
+   (torn tail writes after a crash are expected), never fatal. A record
+   whose *header* is unreadable ends the replay — record boundaries are
+   gone past that point. *)
+let replay_journal (t : t) (jpath : string) : int =
+  let ic = open_in_bin jpath in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let warn fmt =
+    Printf.ksprintf (fun m -> Printf.eprintf "warning: %s: %s\n%!" jpath m) fmt
+  in
+  let replayed = ref 0 in
+  let pos = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !pos < String.length src do
+    match String.index_from_opt src !pos '\n' with
+    | None ->
+        warn "truncated journal header at byte %d; discarding tail" !pos;
+        stop := true
+    | Some nl -> (
+        let header = String.sub src !pos (nl - !pos) in
+        match
+          Scanf.sscanf_opt header "plan-journal %lx %d" (fun c n -> (c, n))
+        with
+        | None ->
+            warn "corrupt journal header at byte %d; discarding tail" !pos;
+            stop := true
+        | Some (c, n) ->
+            if n < 0 || nl + 1 + n > String.length src then begin
+              warn "truncated journal record at byte %d; discarding tail" !pos;
+              stop := true
+            end
+            else begin
+              let body = String.sub src (nl + 1) n in
+              (if crc32 body <> c then
+                 warn "checksum mismatch in journal record at byte %d; skipped"
+                   !pos
+               else
+                 match entry_of_sexp (S.parse_sexp body) with
+                 | k, e ->
+                     add t k e;
+                     incr replayed
+                 | exception S.Parse_error m ->
+                     warn "unparseable journal record at byte %d (%s); skipped"
+                       !pos m);
+              (* step over the record and its trailing newline *)
+              pos := nl + 1 + n;
+              if !pos < String.length src && src.[!pos] = '\n' then incr pos
+            end)
+  done;
+  !replayed
+
 let save (t : t) (path : string) : unit =
-  let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  let body = to_string t in
+  let tmp = temp_file path in
+  let oc = open_out tmp in
+  output_string oc (snapshot_header body);
+  output_string oc body;
+  fsync_out oc;
+  close_out oc;
+  (* the rename is the commit point: readers see either the old snapshot
+     or the new one, never a half-written file *)
+  Sys.rename tmp path;
+  (* the snapshot now covers every journaled verdict *)
+  match t.journal with
+  | Some (jpath, oc) when jpath = journal_file path ->
+      close_out oc;
+      remove_if_exists jpath;
+      t.journal <- Some (jpath, open_journal jpath)
+  | _ -> remove_if_exists (journal_file path)
 
 let load ?capacity (path : string) : t =
+  (* a leftover temp file is a save that never reached its commit
+     point — stale by definition, removed so it cannot be mistaken for
+     state *)
+  remove_if_exists (temp_file path);
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  of_string ?capacity src
+  let t = of_string ?capacity (verify_snapshot src) in
+  let jpath = journal_file path in
+  if Sys.file_exists jpath then ignore (replay_journal t jpath);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Non-raising parsing: a corrupt or truncated cache file must degrade  *)

@@ -105,10 +105,20 @@ val to_string : t -> string
     @raise Device_ir.Serialize.Parse_error on malformed input. *)
 val of_string : ?capacity:int -> string -> t
 
+(** Crash-safe snapshot: the rendering of {!to_string} is prefixed with
+    a CRC-32 header, written to [path ^ ".tmp"], fsynced, and renamed
+    over [path] — readers see either the old snapshot or the new one,
+    never a torn write. Saving also truncates [path]'s verdict journal
+    (the snapshot supersedes it). *)
 val save : t -> string -> unit
 
-(** @raise Device_ir.Serialize.Parse_error on malformed input,
-    [Sys_error] on an unreadable file. *)
+(** Load a snapshot: verifies the CRC-32 header when present
+    (headerless legacy files parse unchecked), deletes any stale
+    [path ^ ".tmp"] left by a crashed save, and replays the verdict
+    journal on top — corrupt journal records are skipped with a warning
+    on stderr, never fatal.
+    @raise Device_ir.Serialize.Parse_error on malformed or
+    checksum-failing input, [Sys_error] on an unreadable file. *)
 val load : ?capacity:int -> string -> t
 
 (** Like {!of_string}, but a malformed cache comes back as [Error]
@@ -118,3 +128,26 @@ val of_string_result : ?capacity:int -> string -> (t, string) result
 (** Like {!load}, but corrupt, truncated or unreadable files come back
     as [Error] — callers warn and start cold instead of dying. *)
 val load_result : ?capacity:int -> string -> (t, string) result
+
+(** {1 Crash safety} *)
+
+(** CRC-32 (IEEE 802.3) of a string — the checksum protecting snapshot
+    headers and journal records; exposed for tests. *)
+val crc32 : string -> int32
+
+(** The verdict-journal path for a cache persisted at [path]
+    ([path ^ ".journal"]). *)
+val journal_file : string -> string
+
+(** [attach_journal t path] opens the verdict journal for a cache
+    persisted at [path]: from now on every {!add} (each tuner verdict)
+    is also appended to the journal as a self-checksummed record and
+    fsynced, so a crash between saves loses nothing — the next {!load}
+    replays the journal on top of the last snapshot. *)
+val attach_journal : t -> string -> unit
+
+(** Close the attached journal, if any. *)
+val detach_journal : t -> unit
+
+(** Is a verdict journal currently attached? *)
+val journaling : t -> bool

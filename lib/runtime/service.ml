@@ -49,6 +49,7 @@ type error =
   | Transient of string
   | Version_fault of string
   | Cache_corrupt of string
+  | Sdc of string
 
 exception Service_error of error
 
@@ -57,6 +58,7 @@ let error_message = function
   | Transient m -> "transient failure: " ^ m
   | Version_fault m -> "version fault: " ^ m
   | Cache_corrupt m -> "corrupt plan cache: " ^ m
+  | Sdc m -> "silent data corruption: " ^ m
 
 type resilience = {
   r_retry_max : int;
@@ -100,6 +102,7 @@ type t = {
   candidates : V.t list;
   exact_threshold : int;
   resilience : resilience;
+  guard : Guard.config;
   mutable fault : Fault.t option;
   breakers : (string * string, breaker) Hashtbl.t;
   mutable tick : int;
@@ -107,8 +110,8 @@ type t = {
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
-    ?(resilience = default_resilience) ?fault ?(jitter_seed = 0)
-    (planner : P.t) : t =
+    ?(resilience = default_resilience) ?(guard = Guard.default) ?fault
+    ?(jitter_seed = 0) (planner : P.t) : t =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?capacity ()
   in
@@ -131,6 +134,7 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
     candidates;
     exact_threshold;
     resilience;
+    guard;
     fault;
     breakers = Hashtbl.create 64;
     tick = 0;
@@ -142,6 +146,7 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
 let planner t = t.planner
 let cache t = t.cache
 let stats t = t.stats
+let guard t = t.guard
 let fault t = t.fault
 let set_fault t f = t.fault <- f
 
@@ -400,6 +405,143 @@ let degraded_response (t : t) (req : request) (e : Plan_cache.entry)
     resp_fallback = List.length (Plan_cache.ladder e);
   }
 
+(* ------------------------------------------------------------------ *)
+(* The SDC guard: witness verification and redundant-execution voting  *)
+(* ------------------------------------------------------------------ *)
+
+(* Serving path of last resort for a confirmed corruption: no execution
+   agreed with the witness, so the witness itself (host recompute,
+   trusted) answers, flagged degraded like the quarantine-exhausted
+   path. *)
+let sdc_degraded_response (t : t) (req : request) (rung : Plan_cache.rung)
+    ~(hit : bool) ~(fallback : int) ~(started_us : float) (value : float) :
+    response =
+  Stats.degrade t.stats;
+  Stats.winner t.stats "host-reference (sdc)";
+  {
+    resp_value = value;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = rung.Plan_cache.r_version;
+    resp_tunables = [];
+    resp_hit = hit;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = true;
+    resp_retries = 0;
+    resp_fallback = fallback;
+  }
+
+(* Every exact result is checked against the witness before it leaves
+   the service. A rejected result is re-executed on its own rung first
+   (dual-modular: a one-off flip cannot reproduce — the simulator is
+   deterministic modulo injection), then down the ladder within the vote
+   budget; the first execution the witness accepts serves the request.
+   Each confirmed corruption charges an [Sdc] fault to its version's
+   breaker — enough of them quarantine the version exactly like loud
+   faults do. A deviation that reproduces bit-for-bit on its own rung is
+   a false alarm (charged to the tolerance model, not the version).
+   When nothing the ladder produces is acceptable, the witness value
+   itself serves (degraded), or [Error (Sdc _)] when degraded mode is
+   off: an out-of-tolerance answer is never returned. *)
+let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
+    ~(hit : bool) ~(started_us : float) (idx : int) (rung : Plan_cache.rung)
+    (o : R.outcome) (retries : int) (backoff_us : float) :
+    (response, error) result =
+  if not (t.guard.Guard.g_enabled && o.R.exact) then
+    Ok
+      (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
+         ~started_us o)
+  else begin
+    let t0 = now_us () in
+    Stats.sdc_check t.stats;
+    let ck =
+      Guard.make ~planner:t.planner ~version:rung.Plan_cache.r_version
+        ~input:req.req_input ~sample:t.guard.Guard.g_sample ()
+    in
+    let finish idx rung o retries backoff_us =
+      Stats.verify_us t.stats (now_us () -. t0);
+      Ok
+        (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
+           ~started_us o)
+    in
+    if Guard.acceptable ck ~got:o.R.result then finish idx rung o retries backoff_us
+    else begin
+      let arch = req.req_arch.Gpusim.Arch.name in
+      let confirm_sdc (r : Plan_cache.rung) =
+        let vname = V.name r.Plan_cache.r_version in
+        Stats.sdc_catch t.stats;
+        Stats.fault t.stats ~version:vname;
+        breaker_fault t (breaker_for t arch vname)
+      in
+      (* 1. dual-modular re-execution on the suspect's own rung *)
+      Stats.sdc_reexec t.stats;
+      let same = attempt_rung t req rung in
+      match same with
+      | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result ->
+          (* the deviation vanished on re-run: one-off corruption *)
+          confirm_sdc rung;
+          finish idx rung o2 (retries + r2) (backoff_us +. b2)
+      | _ ->
+          let reproduced =
+            match same with
+            | Ok (o2, _, _) -> Guard.agree ck o2.R.result o.R.result
+            | Error _ -> false
+          in
+          if reproduced then Stats.sdc_false_alarm t.stats
+          else confirm_sdc rung;
+          (* 2. vote down the remaining rungs *)
+          let rec drop n l =
+            if n <= 0 then l
+            else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+          in
+          let rec vote budget cidx rungs =
+            if budget <= 0 then None
+            else
+              match rungs with
+              | [] -> None
+              | (c : Plan_cache.rung) :: more ->
+                  let vname = V.name c.Plan_cache.r_version in
+                  if quarantined t ~arch ~version:vname then
+                    vote budget (cidx + 1) more
+                  else begin
+                    Stats.sdc_reexec t.stats;
+                    match attempt_rung t req c with
+                    | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result
+                      ->
+                        Some (cidx, c, o2, r2, b2)
+                    | Ok _ ->
+                        confirm_sdc c;
+                        vote (budget - 1) (cidx + 1) more
+                    | Error _ ->
+                        Stats.fault t.stats ~version:vname;
+                        breaker_fault t (breaker_for t arch vname);
+                        vote (budget - 1) (cidx + 1) more
+                  end
+          in
+          (match
+             vote (t.guard.Guard.g_votes - 1) (idx + 1)
+               (drop (idx + 1) (Plan_cache.ladder e))
+           with
+          | Some (cidx, c, o2, r2, b2) -> finish cidx c o2 r2 b2
+          | None ->
+              Stats.verify_us t.stats (now_us () -. t0);
+              if t.resilience.r_allow_degraded then
+                Ok
+                  (sdc_degraded_response t req rung ~hit ~fallback:idx
+                     ~started_us (Guard.expected ck))
+              else
+                Error
+                  (Sdc
+                     (Printf.sprintf
+                        "%s returned %.9g, witness expected %.9g (%s); no \
+                         execution within tolerance"
+                        (V.name rung.Plan_cache.r_version)
+                        o.R.result (Guard.expected ck)
+                        (Tolerance.describe (Guard.tolerance ck)))))
+    end
+  end
+
 let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
     (started_us : float) : (response, error) result =
   t.tick <- t.tick + 1;
@@ -431,9 +573,7 @@ let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
   match walk 0 (Plan_cache.ladder e) with
   | Some (idx, rung, o, retries, backoff_us) ->
       Stats.run_us t.stats (now_us () -. run_started);
-      Ok
-        (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
-           ~started_us o)
+      verify_and_serve t req e ~hit ~started_us idx rung o retries backoff_us
   | None ->
       if t.resilience.r_allow_degraded then
         Ok (degraded_response t req e ~hit ~started_us)

@@ -18,7 +18,17 @@
     ladder reuses the cold-path ranking — no re-tuning under fire). When
     every rung is quarantined or faulting, the service degrades to the
     planner's host-side reference and flags the response
-    [resp_degraded] rather than failing. *)
+    [resp_degraded] rather than failing.
+
+    The service also defends against silent data corruption. Every
+    exact response is checked against a {!Guard} witness under the
+    {!Tolerance} model before it is returned; a rejected result is
+    re-executed on its own rung (dual-modular) and, if the corruption
+    is confirmed, voted out down the fallback ladder — confirmed
+    corruptions charge the version's circuit breaker like loud faults.
+    An out-of-tolerance answer is never returned: when no execution is
+    acceptable the witness value itself serves (degraded), or the
+    request fails with [Sdc] when degraded mode is off. *)
 
 type request = {
   req_arch : Gpusim.Arch.t;
@@ -54,6 +64,9 @@ type error =
       (** a hard version failure (timeout, corrupted result, no
           surviving candidate) *)
   | Cache_corrupt of string  (** a persisted plan cache failed to parse *)
+  | Sdc of string
+      (** a result failed witness verification and no redundant execution
+          produced an acceptable answer (only with degraded mode off) *)
 
 exception Service_error of error
 
@@ -88,8 +101,10 @@ type t
     (default: the 30 pruned survivors); dense inputs up to
     [exact_threshold] elements (default [2^17]) run in exact mode, larger
     or synthetic inputs in fast sampled mode. [resilience] sets the
-    retry/quarantine policy, [fault] arms a {!Gpusim.Fault} injection
-    plan (default none), and [jitter_seed] seeds the reproducible
+    retry/quarantine policy, [guard] the silent-data-corruption
+    verification policy (default {!Guard.default}: every exact response
+    witness-checked), [fault] arms a {!Gpusim.Fault} injection plan
+    (default none), and [jitter_seed] seeds the reproducible
     backoff-jitter stream. *)
 val create :
   ?capacity:int ->
@@ -97,6 +112,7 @@ val create :
   ?candidates:Synthesis.Version.t list ->
   ?exact_threshold:int ->
   ?resilience:resilience ->
+  ?guard:Guard.config ->
   ?fault:Gpusim.Fault.t ->
   ?jitter_seed:int ->
   Synthesis.Planner.t ->
@@ -105,6 +121,9 @@ val create :
 val planner : t -> Synthesis.Planner.t
 val cache : t -> Plan_cache.t
 val stats : t -> Stats.t
+
+(** The active silent-data-corruption verification policy. *)
+val guard : t -> Guard.config
 
 (** The armed fault-injection plan, if any. *)
 val fault : t -> Gpusim.Fault.t option

@@ -55,6 +55,7 @@ type t = {
   plan : samples;
   tune : samples;
   run : samples;
+  verify : samples;
   mutable total_hits : int;
   mutable total_misses : int;
   mutable total_evictions : int;
@@ -67,6 +68,10 @@ type t = {
   mutable total_degraded : int;
   mutable total_bad_requests : int;
   mutable backoff_total_us : float;
+  mutable total_sdc_checks : int;
+  mutable total_sdc_catches : int;
+  mutable total_sdc_false_alarms : int;
+  mutable total_sdc_reexecs : int;
 }
 
 let create () : t =
@@ -77,6 +82,7 @@ let create () : t =
     plan = samples_create ();
     tune = samples_create ();
     run = samples_create ();
+    verify = samples_create ();
     total_hits = 0;
     total_misses = 0;
     total_evictions = 0;
@@ -89,6 +95,10 @@ let create () : t =
     total_degraded = 0;
     total_bad_requests = 0;
     backoff_total_us = 0.0;
+    total_sdc_checks = 0;
+    total_sdc_catches = 0;
+    total_sdc_false_alarms = 0;
+    total_sdc_reexecs = 0;
   }
 
 let counters_for (t : t) (bucket : string) : counters =
@@ -135,6 +145,14 @@ let fallback (t : t) = t.total_fallbacks <- t.total_fallbacks + 1
 let degrade (t : t) = t.total_degraded <- t.total_degraded + 1
 let bad_request (t : t) = t.total_bad_requests <- t.total_bad_requests + 1
 let backoff_us (t : t) (x : float) = t.backoff_total_us <- t.backoff_total_us +. x
+let sdc_check (t : t) = t.total_sdc_checks <- t.total_sdc_checks + 1
+let sdc_catch (t : t) = t.total_sdc_catches <- t.total_sdc_catches + 1
+
+let sdc_false_alarm (t : t) =
+  t.total_sdc_false_alarms <- t.total_sdc_false_alarms + 1
+
+let sdc_reexec (t : t) = t.total_sdc_reexecs <- t.total_sdc_reexecs + 1
+let verify_us (t : t) (x : float) = sample t.verify x
 
 let hits t = t.total_hits
 let misses t = t.total_misses
@@ -148,6 +166,10 @@ let fallbacks t = t.total_fallbacks
 let degraded t = t.total_degraded
 let bad_requests t = t.total_bad_requests
 let backoff_total_us t = t.backoff_total_us
+let sdc_checks t = t.total_sdc_checks
+let sdc_catches t = t.total_sdc_catches
+let sdc_false_alarms t = t.total_sdc_false_alarms
+let sdc_reexecs t = t.total_sdc_reexecs
 
 let fault_histogram (t : t) : (string * int) list =
   Hashtbl.fold (fun v n acc -> (v, n) :: acc) t.version_faults []
@@ -164,6 +186,7 @@ let winner_histogram (t : t) : (string * int) list =
 let plan_series t = summarize t.plan
 let tune_series t = summarize t.tune
 let run_series t = summarize t.run
+let verify_series t = summarize t.verify
 
 let report (t : t) : string =
   let b = Buffer.create 1024 in
@@ -182,10 +205,14 @@ let report (t : t) : string =
   List.iter
     (fun (bucket, (h, m)) -> pr "  %-40s %6d / %d\n" bucket h m)
     (bucket_counts t);
+  (* a bucket with no samples renders "-", not a misleading 0.0 *)
   let series name (s : series) =
     if s.count > 0 then
       pr "  %-6s %6d samples   p50 %10.1f us   p95 %10.1f us   max %10.1f us\n"
         name s.count s.p50 s.p95 s.max
+    else
+      pr "  %-6s %6d samples   p50 %10s us   p95 %10s us   max %10s us\n" name 0
+        "-" "-" "-"
   in
   pr "\nlatencies (host wall clock):\n";
   series "plan" (plan_series t);
@@ -211,5 +238,24 @@ let report (t : t) : string =
     | hist ->
         pr "  faults by version:\n";
         List.iter (fun (v, n) -> pr "    %-32s %6d\n" v n) hist
+  end;
+  (* like the fault section, the guard section appears only once a check
+     actually tripped (catch, false alarm or re-execution) — a clean run
+     prints exactly the report it always did, even with the guard on *)
+  if t.total_sdc_catches + t.total_sdc_false_alarms + t.total_sdc_reexecs > 0
+  then begin
+    pr "\nsilent-data-corruption guard:\n";
+    pr "  checks %d   caught %d   re-executions %d   false alarms %d (%.2f%% of checks)\n"
+      t.total_sdc_checks t.total_sdc_catches t.total_sdc_reexecs
+      t.total_sdc_false_alarms
+      (if t.total_sdc_checks = 0 then 0.0
+       else
+         100.0
+         *. float_of_int t.total_sdc_false_alarms
+         /. float_of_int t.total_sdc_checks);
+    let v = summarize t.verify in
+    if v.count > 0 then
+      pr "  verify overhead: p50 %.1f us   p95 %.1f us   max %.1f us\n" v.p50
+        v.p95 v.max
   end;
   Buffer.contents b

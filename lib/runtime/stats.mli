@@ -59,6 +59,24 @@ val bad_request : t -> unit
 (** Simulated microseconds spent in retry backoff. *)
 val backoff_us : t -> float -> unit
 
+(** {2 Silent-data-corruption guard recording} *)
+
+(** One witness check ran against an exact response. *)
+val sdc_check : t -> unit
+
+(** One result was confirmed as silent corruption and discarded. *)
+val sdc_catch : t -> unit
+
+(** One out-of-tolerance result reproduced deterministically: the alarm
+    is charged to the tolerance model, not the version. *)
+val sdc_false_alarm : t -> unit
+
+(** One redundant (dual-modular / voting) re-execution ran. *)
+val sdc_reexec : t -> unit
+
+(** Host microseconds one witness check (plus any voting) cost. *)
+val verify_us : t -> float -> unit
+
 (** {1 Reading} *)
 
 val hits : t -> int
@@ -73,6 +91,10 @@ val fallbacks : t -> int
 val degraded : t -> int
 val bad_requests : t -> int
 val backoff_total_us : t -> float
+val sdc_checks : t -> int
+val sdc_catches : t -> int
+val sdc_false_alarms : t -> int
+val sdc_reexecs : t -> int
 
 (** Fault counts per version, most-faulting first. *)
 val fault_histogram : t -> (string * int) list
@@ -88,6 +110,9 @@ val plan_series : t -> series
 
 val tune_series : t -> series
 val run_series : t -> series
+
+(** Witness-check overhead per checked response. *)
+val verify_series : t -> series
 
 (** The text report printed by [reduce-explorer --service] and
     [tangramc serve]. *)

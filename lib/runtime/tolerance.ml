@@ -1,0 +1,108 @@
+(* Analytic tolerance model for reduction results.
+
+   The 88 generated versions all compute the same reduction, but they
+   reorder it: grain loops serialise a slice per thread, shared/shuffle
+   trees combine in log2 steps, and atomic finishes serialise partials
+   in nondeterministic order. For integer and min/max reductions every
+   order yields the same value, so the legal deviation is zero. For
+   float sums each reordering accrues different rounding, so a checker
+   demanding equality would reject perfectly healthy versions — the
+   bound instead scales a unit-roundoff term by how many rounding steps
+   the version's reduction shape (tree depth, grain chain, atomic
+   fan-in) plus the sequential reference itself can perform.
+
+   The bound is deliberately conservative (a fixed safety factor on the
+   classic |err| <= steps * eps * sum|x| chain bound): a false alarm
+   would send a healthy version to re-execution and, repeated, to
+   quarantine, while slack only lets small flips through — and a flip
+   below reassociation noise is indistinguishable from a legal answer
+   anyway. *)
+
+module V = Synthesis.Version
+module Ir = Device_ir.Ir
+
+type t = Exact | Absolute of float
+
+let safety = 8.0
+
+(* Rounding-step count of a version's reduction shape for input size
+   [n]: intra-block chain/tree depth plus the fan-in of the grid-level
+   finish (atomic finishes serialise one partial per block). Block size
+   is not known until tuning, so the worst block shape (1024 threads)
+   is assumed — more blocks means more fan-in, a longer chain and a
+   larger (still safe) bound. *)
+let steps (v : V.t) (n : int) : float =
+  let nf = float_of_int (max n 1) in
+  let block = 1024.0 in
+  let blocks = Float.max 1.0 (Float.of_int ((max n 1 + 1023) / 1024)) in
+  let tree = Float.log block /. Float.log 2.0 in
+  let intra =
+    match v.V.block with
+    | V.Direct _ -> tree
+    | V.Compound _ -> (nf /. (block *. blocks)) +. tree
+    | V.Direct_global_atomic -> 1.0
+  in
+  let fanin =
+    match v.V.grid_finish with
+    | V.Atomic | V.Hierarchical _ -> blocks
+  in
+  intra +. fanin
+
+let bound ~(op : Tir.Ast.atomic_kind) ~(elem : Ir.scalar) ?version ~(n : int)
+    ~(sum_abs : float) () : t =
+  match (op, elem) with
+  | _, (Ir.I32 | Ir.U32 | Ir.Pred) -> Exact
+  | (Tir.Ast.At_min | Tir.Ast.At_max), Ir.F32 ->
+      (* min/max are order-independent and round nothing *)
+      Exact
+  | (Tir.Ast.At_add | Tir.Ast.At_sub), Ir.F32 ->
+      let nf = float_of_int (max n 1) in
+      (* the sequential host reference accrues up to n-1 rounding steps
+         of its own, so the distance between reference and version is
+         bounded by the sum of both chains, not the version's alone *)
+      let chain =
+        nf +. (match version with Some v -> steps v n | None -> nf)
+      in
+      let b = safety *. epsilon_float *. chain *. sum_abs in
+      (* an all-zero (or single-element) input has sum_abs ~ 0; keep a
+         tiny absolute floor so the bound never collapses to exactly 0
+         for float comparisons *)
+      Absolute (Float.max b 1e-12)
+
+let acceptable (t : t) ~(expected : float) ~(got : float) : bool =
+  match t with
+  | Exact -> got = expected
+  | Absolute b ->
+      (match Float.classify_float got with
+      | Float.FP_nan | Float.FP_infinite -> false
+      | _ -> Float.abs (got -. expected) <= b)
+
+let margin (t : t) ~(expected : float) ~(got : float) : float =
+  let dev = Float.abs (got -. expected) in
+  match t with Exact -> dev | Absolute b -> dev /. b
+
+let describe = function
+  | Exact -> "exact"
+  | Absolute b -> Printf.sprintf "|dev| <= %.3g" b
+
+(* Exact |x_0| + ... + |x_{n-1}| for either runner input shape, in
+   closed form for synthetic buffers (one pass over the pattern, never
+   over the logical 268M elements). *)
+let sum_abs_of_input (input : Gpusim.Runner.input) : float =
+  match input with
+  | Gpusim.Runner.Dense a ->
+      Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 a
+  | Gpusim.Runner.Synthetic { n; pattern } ->
+      let plen = Array.length pattern in
+      if n <= 0 || plen = 0 then 0.0
+      else begin
+        let prefix m =
+          let s = ref 0.0 in
+          for i = 0 to m - 1 do
+            s := !s +. Float.abs pattern.(i)
+          done;
+          !s
+        in
+        let cycles = n / plen and rem = n mod plen in
+        (float_of_int cycles *. prefix plen) +. prefix rem
+      end

@@ -1,0 +1,45 @@
+(** Analytic bounds on legal result deviation for generated reductions.
+
+    All 88 versions compute the same reduction in a different order.
+    Integer and min/max reductions are order-independent, so any
+    deviation from the reference is corruption ({!Exact}). Float sums
+    legally drift by reassociation rounding; the {!Absolute} bound
+    scales unit roundoff by the number of rounding steps the version's
+    reduction shape — grain chain, shared/shuffle tree depth, atomic
+    fan-in over blocks (from {!Synthesis.Version} metadata) — plus the
+    sequential reference can perform, times [sum_abs], the exact sum of
+    input magnitudes. A result outside the bound cannot be explained by
+    rounding and is treated as silent data corruption. *)
+
+type t =
+  | Exact  (** any deviation is corruption *)
+  | Absolute of float  (** legal iff [|got - expected| <= bound] *)
+
+(** Derive the bound for one request shape. [version] tightens the float
+    bound using the version's reduction shape; omitting it falls back to
+    a worst-case sequential chain. [sum_abs] is the sum of input
+    magnitudes (see {!sum_abs_of_input}). *)
+val bound :
+  op:Tir.Ast.atomic_kind ->
+  elem:Device_ir.Ir.scalar ->
+  ?version:Synthesis.Version.t ->
+  n:int ->
+  sum_abs:float ->
+  unit ->
+  t
+
+(** Whether [got] is a legal answer when the true value is [expected].
+    NaN and infinite [got] are never acceptable under an {!Absolute}
+    bound; under {!Exact} only bitwise-equal finite values (or equal
+    infinities, for min/max identities) pass. *)
+val acceptable : t -> expected:float -> got:float -> bool
+
+(** Deviation as a fraction of the bound (deviation itself for
+    {!Exact}); [> 1.0] means out of tolerance. For diagnostics. *)
+val margin : t -> expected:float -> got:float -> float
+
+val describe : t -> string
+
+(** Exact sum of element magnitudes of a runner input; closed form for
+    synthetic buffers (never walks the logical size). *)
+val sum_abs_of_input : Gpusim.Runner.input -> float

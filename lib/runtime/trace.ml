@@ -57,6 +57,18 @@ type summary = {
    coalesce within a batch *)
 let pattern = Array.init 64 (fun i -> float_of_int (i land 7))
 
+(* dense inputs are memoized per size: same-size requests share the one
+   array, so coalescing still sees them as same-shape *)
+let dense_pool : (int, float array) Hashtbl.t = Hashtbl.create 8
+
+let dense_input (n : int) : float array =
+  match Hashtbl.find_opt dense_pool n with
+  | Some a -> a
+  | None ->
+      let a = Array.init n (fun i -> pattern.(i land 63)) in
+      Hashtbl.add dense_pool n a;
+      a
+
 let rec chunks (k : int) = function
   | [] -> []
   | l ->
@@ -68,8 +80,8 @@ let rec chunks (k : int) = function
       let batch, rest = take k [] l in
       batch :: chunks k rest
 
-let replay ?(batch_size = 64) (svc : Service.t) (trace : (Gpusim.Arch.t * int) list)
-    : summary =
+let replay ?(batch_size = 64) ?(dense_upto = 0) (svc : Service.t)
+    (trace : (Gpusim.Arch.t * int) list) : summary =
   if batch_size < 1 then invalid_arg "Trace.replay: batch_size must be positive";
   let stats = Service.stats svc in
   let hits0 = Stats.hits stats and misses0 = Stats.misses stats in
@@ -77,7 +89,14 @@ let replay ?(batch_size = 64) (svc : Service.t) (trace : (Gpusim.Arch.t * int) l
     chunks batch_size
       (List.map
          (fun (arch, n) ->
-           { Service.req_arch = arch; req_input = R.Synthetic { n; pattern } })
+           (* sizes up to [dense_upto] replay as dense inputs, which run
+              in exact mode and so pass through the service's witness
+              verification; larger sizes stay synthetic/sampled *)
+           let input =
+             if n <= dense_upto then R.Dense (dense_input n)
+             else R.Synthetic { n; pattern }
+           in
+           { Service.req_arch = arch; req_input = input })
          trace)
   in
   let degraded = ref 0 and failed = ref 0 in

@@ -31,10 +31,16 @@ type summary = {
 }
 
 (** Replay a trace against a service, submitting requests in batches of
-    [batch_size] (default 64; 1 disables coalescing). Inputs are
-    synthetic buffers sharing one pattern, so same-size requests
-    coalesce within a batch. *)
+    [batch_size] (default 64; 1 disables coalescing). Inputs share one
+    pattern, so same-size requests coalesce within a batch. Sizes up to
+    [dense_upto] (default 0: none) are materialized as dense inputs —
+    those run in exact mode and are witness-verified by the service's
+    SDC guard; larger sizes replay as synthetic sampled requests. *)
 val replay :
-  ?batch_size:int -> Service.t -> (Gpusim.Arch.t * int) list -> summary
+  ?batch_size:int ->
+  ?dense_upto:int ->
+  Service.t ->
+  (Gpusim.Arch.t * int) list ->
+  summary
 
 val pp_summary : Format.formatter -> summary -> unit
