@@ -190,7 +190,7 @@ let roll (t : t) ~(arch : string) ~(version : string) : verdict =
    stream — one per space plus bit and placement — whether or not a flip
    fires, so the schedule of flips at one rate is a strict subset of the
    schedule at any higher rate. *)
-let roll_flip (t : t) ~(arch : string) ~(version : string) : flip option =
+let roll_flip (t : t) : flip option =
   let p = t.t_plan in
   let draw () =
     let s = lcg t.flip_state in
@@ -213,7 +213,7 @@ let roll_flip (t : t) ~(arch : string) ~(version : string) : flip option =
         Int64.to_int (Int64.logand (Int64.shift_right_logical i shift)
                         (Int64.of_int ((1 lsl width) - 1)))
       in
-      let fl =
+      Some
         {
           fl_space = space;
           fl_bit = bits s_bit 36 5;
@@ -221,12 +221,16 @@ let roll_flip (t : t) ~(arch : string) ~(version : string) : flip option =
           fl_site = bits s_place 40 16;
           fl_target = bits s_place 8 24;
         }
-      in
-      t.n_bitflip <- t.n_bitflip + 1;
-      t.flip_log <-
-        { fr_roll = t.n_rolls; fr_arch = arch; fr_version = version; fr_flip = fl }
-        :: t.flip_log;
-      Some fl
+
+(* Counting is separate from drawing: a drawn flip only enters the log
+   once the runner actually lands it in memory — runs aborted by a loud
+   Transient/Timeout verdict never apply their flip, and counting it
+   would overstate the flip population that detection rates divide by. *)
+let record_flip (t : t) ~(arch : string) ~(version : string) (fl : flip) : unit =
+  t.n_bitflip <- t.n_bitflip + 1;
+  t.flip_log <-
+    { fr_roll = t.n_rolls; fr_arch = arch; fr_version = version; fr_flip = fl }
+    :: t.flip_log
 
 let rolls t = t.n_rolls
 

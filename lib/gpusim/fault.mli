@@ -120,8 +120,16 @@ val roll : t -> arch:string -> version:string -> verdict
 (** Decide whether this run suffers a bit flip, and where. Draws from a
     dedicated LCG stream, so enabling bit flips never perturbs the
     {!roll} schedule, and each call consumes a fixed number of draws
-    whether or not it fires. Fired flips are appended to the flip log. *)
-val roll_flip : t -> arch:string -> version:string -> flip option
+    whether or not it fires. Drawing does not log: call {!record_flip}
+    once the flip has actually been landed in simulated memory. *)
+val roll_flip : t -> flip option
+
+(** Count a drawn flip and append it to the flip log. The runner calls
+    this only on runs that complete far enough for the flip to land —
+    runs aborted by a loud Transient/Timeout verdict never apply their
+    flip, and counting it would overstate the flip population that
+    detection-rate metrics divide by. *)
+val record_flip : t -> arch:string -> version:string -> flip -> unit
 
 (** Reinterpret a stored scalar in its declared 32-bit representation,
     toggle [bit land 31], and return the stored-back float. [Pred] cells

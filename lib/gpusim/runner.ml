@@ -197,10 +197,10 @@ let run_compiled ?opts ?(fault : Fault.t option)
     | None -> Fault.Pass
     | Some f -> Fault.roll f ~arch:arch.Arch.name ~version
   in
+  (* Always drawn, even for runs a loud verdict will abort, so the flip
+     stream position stays independent of the loud-fault rates. *)
   let flip =
-    match fault with
-    | None -> None
-    | Some f -> Fault.roll_flip f ~arch:arch.Arch.name ~version
+    match fault with None -> None | Some f -> Fault.roll_flip f
   in
   let label () = Printf.sprintf "(%s, %s)" arch.Arch.name version in
   match verdict with
@@ -212,6 +212,9 @@ let run_compiled ?opts ?(fault : Fault.t option)
       (* unreachable: Fault.plan rejects Bit_flip in the kind mix *)
       assert false
   | Fault.Pass | Fault.Fault (Fault.Stall | Fault.Corrupt) -> (
+      (match (fault, flip) with
+      | Some f, Some fl -> Fault.record_flip f ~arch:arch.Arch.name ~version fl
+      | _ -> ());
       let o = run_compiled_raw ?opts ?flip ~arch ?tunables ~input cp in
       match (verdict, fault) with
       | Fault.Fault Fault.Stall, Some f ->

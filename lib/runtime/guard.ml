@@ -45,12 +45,24 @@ let witness ~(planner : P.t) ~(sample : int) (input : R.input) : float =
       if n = 0 then P.reference_input planner input
       else begin
         let parts = max 1 (min sample n) in
-        let partials =
+        let stripes fold =
           Array.init parts (fun i ->
               let lo = i * n / parts and hi = (i + 1) * n / parts in
-              P.reference planner (Array.sub a lo (hi - lo)))
+              fold (Array.sub a lo (hi - lo)))
         in
-        P.reference planner partials
+        match planner.P.op with
+        | Tir.Ast.At_min | Tir.Ast.At_max ->
+            (* Associative (and idempotent): refolding stripe partials
+               with the op itself is a legal re-association. *)
+            P.reference planner (stripes (P.reference planner))
+        | Tir.Ast.At_add | Tir.Ast.At_sub ->
+            (* Subtraction is not associative: each stripe partial is
+               -(stripe sum), and refolding those with subtract would
+               flip the sign back to +sum. Mirror reference_synthetic:
+               fold stripes with add semantics, negate once at the end. *)
+            let sum arr = Array.fold_left ( +. ) 0.0 arr in
+            let total = sum (stripes sum) in
+            if planner.P.op = Tir.Ast.At_sub then -.total else total
       end
 
 let make ~(planner : P.t) ?version ~(input : R.input) ~(sample : int) () :

@@ -35,6 +35,8 @@ type response = {
   resp_exact : bool;
   resp_sim_us : float;
   resp_version : V.t;
+      (* when resp_degraded: the last-attempted rung, not the server —
+         the value is a host recomputation (see service.mli) *)
   resp_tunables : (string * int) list;
   resp_hit : bool;
   resp_bucket : int;

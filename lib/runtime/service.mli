@@ -40,7 +40,13 @@ type response = {
   resp_exact : bool;  (** whether [resp_value] is trustworthy (no sampling) *)
   resp_sim_us : float;
       (** simulated GPU wall clock, including any retry backoff *)
-  resp_version : Synthesis.Version.t;  (** version that served the request *)
+  resp_version : Synthesis.Version.t;
+      (** version that served the request. When [resp_degraded] is set
+          the value came from the host reference, not from any version:
+          this field then records the last-attempted rung (the one the
+          degraded path gave up on), and [resp_exact] describes the
+          host recomputation. The winner stat names the real server
+          (["host-reference (degraded)"] / ["host-reference (sdc)"]). *)
   resp_tunables : (string * int) list;
   resp_hit : bool;  (** plan-cache hit? *)
   resp_bucket : int;  (** size bucket the request dispatched to *)

@@ -197,6 +197,25 @@ let guard_tests =
               (P.reference p a)
               (Guard.witness ~planner:p ~sample:4 (R.Dense a)))
           [ 1; 2; 3; 64; 1000 ]);
+    Alcotest.test_case "dense witness is correct for every op" `Quick
+      (fun () ->
+        (* regression: subtraction is not associative, so refolding the
+           negated stripe partials with subtract would return +sum — the
+           sign flip of the true answer *)
+        let base = Lazy.force plan in
+        List.iter
+          (fun op ->
+            let p = { base with P.op } in
+            List.iter
+              (fun n ->
+                let (R.Dense a | R.Synthetic { pattern = a; _ }) = dense n in
+                Alcotest.(check (float 1e-9))
+                  (Printf.sprintf "%s witness at n=%d"
+                     (Tir.Ast.atomic_kind_name op) n)
+                  (P.reference p a)
+                  (Guard.witness ~planner:p ~sample:4 (R.Dense a)))
+              [ 1; 2; 3; 64; 1000 ])
+          [ Tir.Ast.At_add; Tir.Ast.At_sub; Tir.Ast.At_min; Tir.Ast.At_max ]);
     Alcotest.test_case "agreement is bitwise for exact reductions" `Quick
       (fun () ->
         let p = Lazy.force int_plan in
@@ -206,6 +225,73 @@ let guard_tests =
           (Guard.agree ck 17.0 17.0);
         Alcotest.(check bool) "off-by-one disagrees" false
           (Guard.agree ck 17.0 18.0));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Injection accounting                                            *)
+(* -------------------------------------------------------------- *)
+
+let injection_tests =
+  [
+    Alcotest.test_case "aborted runs never log their drawn flip" `Quick
+      (fun () ->
+        (* every run times out before its certain flip can land, so the
+           flip log must stay empty — else detection-rate metrics divide
+           by flips that never reached memory *)
+        let fault =
+          Fault.create
+            (Fault.plan ~rate:1.0 ~mix:[ (Fault.Timeout, 1.0) ]
+               ~bitflip_rate:1.0 ~seed:7 ())
+        in
+        let p = Lazy.force plan in
+        let cp = P.compiled p (V.of_figure6 "a") in
+        for _ = 1 to 10 do
+          match R.run_compiled ~fault ~arch ~input:(dense 256) cp with
+          | _ -> Alcotest.fail "expected injected timeout"
+          | exception Fault.Injected (Fault.Timeout, _) -> ()
+        done;
+        Alcotest.(check int) "no flips recorded" 0
+          (List.length (Fault.flips fault));
+        Alcotest.(check int) "bit-flip counter untouched" 0
+          (List.assoc Fault.Bit_flip (Fault.injected_by_kind fault)));
+    Alcotest.test_case "loud faults do not perturb the flip schedule" `Quick
+      (fun () ->
+        (* the flip stream is drawn on every run whether or not a loud
+           verdict aborts it: landed flips under a loud-fault mix must be
+           a subset (at identical rolls) of the loud-free schedule *)
+        let run_schedule ~rate =
+          let mix = [ (Fault.Timeout, 1.0) ] in
+          let fault =
+            Fault.create
+              (Fault.plan ~rate ~mix ~bitflip_rate:0.5 ~seed:11 ())
+          in
+          let p = Lazy.force plan in
+          let cp = P.compiled p (V.of_figure6 "a") in
+          for _ = 1 to 30 do
+            match R.run_compiled ~fault ~arch ~input:(dense 64) cp with
+            | _ -> ()
+            | exception Fault.Injected _ -> ()
+          done;
+          Fault.flips fault
+        in
+        let quiet = run_schedule ~rate:0.0 in
+        let loud = run_schedule ~rate:0.5 in
+        Alcotest.(check bool) "quiet schedule fires" true
+          (List.length quiet > 0);
+        Alcotest.(check bool) "loud schedule is a strict filter" true
+          (List.length loud < List.length quiet);
+        List.iter
+          (fun (r : Fault.flip_record) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "flip at roll %d matches quiet schedule"
+                 r.Fault.fr_roll)
+              true
+              (List.exists
+                 (fun (q : Fault.flip_record) ->
+                   q.Fault.fr_roll = r.Fault.fr_roll
+                   && q.Fault.fr_flip = r.Fault.fr_flip)
+                 quiet))
+          loud);
   ]
 
 (* -------------------------------------------------------------- *)
@@ -522,6 +608,7 @@ let () =
     [
       ("tolerance", tolerance_tests);
       ("guard", guard_tests);
+      ("injection", injection_tests);
       ("voting", voting_tests);
       ("durability", durability_tests);
       ("chaos", chaos_tests);
