@@ -18,6 +18,8 @@
                                                  bit-flip detection + overhead
      dune exec bench/main.exe lint            -- race-sanitizer wall time per
                                                  code version (all 88)
+     dune exec bench/main.exe obs             -- tracing overhead: disabled vs
+                                                 enabled vs Chrome-trace export
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
@@ -633,6 +635,85 @@ let lint () =
     (fst !worst) (snd !worst)
 
 (* ------------------------------------------------------------------ *)
+(* Observability: tracing overhead, disabled vs enabled vs exported    *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  print_endline
+    "=== Observability: tracing overhead (disabled vs enabled vs file \
+     export) ===";
+  (* The instrumentation is compiled into the hot paths permanently, so the
+     number that matters is the cost of one [Obs.Trace.span] call in each
+     state. *)
+  let iters = 1_000_000 in
+  let spin enabled =
+    Obs.Trace.set_enabled enabled;
+    Obs.Trace.clear ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Obs.Trace.span ~name:"bench" (fun () -> ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Obs.Trace.set_enabled false;
+    Obs.Trace.clear ();
+    dt /. float_of_int iters *. 1e9
+  in
+  let ns_off = spin false in
+  let ns_on = spin true in
+  Printf.printf "span cost (%d iterations of an empty span):\n" iters;
+  Printf.printf "  tracing disabled %10.1f ns/span\n" ns_off;
+  Printf.printf "  tracing enabled  %10.1f ns/span\n\n" ns_on;
+  (* Warm replay of the mixed service trace under the three modes. *)
+  let requests = 1000 and batch = 256 in
+  let spec = Runtime.Trace.default ~requests ~seed:7 () in
+  let trace = Runtime.Trace.generate spec in
+  let svc = Runtime.Service.create (P.sum ()) in
+  ignore (Runtime.Trace.replay ~batch_size:batch svc trace);
+  (* cold run above populates the plan cache; everything below is warm *)
+  Obs.Trace.set_enabled false;
+  let off = Runtime.Trace.replay ~batch_size:batch svc trace in
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  let on = Runtime.Trace.replay ~batch_size:batch svc trace in
+  let recorded = List.length (Obs.Trace.events ()) + Obs.Trace.dropped () in
+  (* B/E pairs per span; instants are rare enough to ignore here *)
+  let spans_per_request =
+    float_of_int recorded /. 2.0 /. float_of_int requests
+  in
+  Obs.Trace.clear ();
+  let tmp = Filename.temp_file "tangram_obs" ".json" in
+  let t0 = Unix.gettimeofday () in
+  let saved = Runtime.Trace.replay ~batch_size:batch svc trace in
+  Obs.Trace.save tmp;
+  let export_wall = Unix.gettimeofday () -. t0 in
+  let export_rps = float_of_int requests /. export_wall in
+  let export_bytes = (Unix.stat tmp).Unix.st_size in
+  Sys.remove tmp;
+  Obs.Trace.set_enabled false;
+  Obs.Trace.clear ();
+  Printf.printf "warm replay, %d requests (batch %d):\n" requests batch;
+  Printf.printf "  %-34s %12.0f rps\n" "tracing disabled"
+    off.Runtime.Trace.s_rps;
+  Printf.printf "  %-34s %12.0f rps  (%.1f spans/request)\n" "tracing enabled"
+    on.Runtime.Trace.s_rps spans_per_request;
+  Printf.printf "  %-34s %12.0f rps  (%d-byte trace)\n"
+    "tracing enabled + Chrome export" export_rps export_bytes;
+  ignore saved;
+  (* The acceptance bar: the disabled path must cost < 1% of a warm
+     request. Estimated as (ns/span when off) x (spans per request)
+     against the per-request wall time with tracing off. *)
+  let request_ns = 1e9 /. off.Runtime.Trace.s_rps in
+  let overhead = ns_off *. spans_per_request /. request_ns in
+  Printf.printf
+    "\ndisabled-path overhead: %.1f ns/span x %.1f spans/request = %.0f ns \
+     per request (%.3f%% of %.0f ns) -- %s\n\n"
+    ns_off spans_per_request
+    (ns_off *. spans_per_request)
+    (100.0 *. overhead) request_ns
+    (if overhead < 0.01 then "OK (< 1%)" else "FAIL (>= 1%)");
+  if overhead >= 0.01 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -714,6 +795,7 @@ let all () =
   faults ();
   sdc ();
   lint ();
+  obs ();
   micro ()
 
 let () =
@@ -736,10 +818,11 @@ let () =
           | "faults" -> faults ()
           | "sdc" -> sdc ()
           | "lint" -> lint ()
+          | "obs" -> obs ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|obs|micro)\n"
                 other;
               exit 1)
         args

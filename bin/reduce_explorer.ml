@@ -187,7 +187,7 @@ let validate_service_flags ~requests ~batch ~fault_rate ~retry_max
   if verify_sample < 1 then usage_error "--verify-sample must be at least 1"
 
 let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-    ~retry_max ~bitflip_rate ~verify_sample ~no_verify =
+    ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~(obs : Obs_cli.t) =
   validate_service_flags ~requests ~batch ~fault_rate ~retry_max ~bitflip_rate
     ~verify_sample;
   let plan = Tangram.plan (Tangram.create ()) in
@@ -202,7 +202,9 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
               (Tangram.Plan_cache.length c) path;
             Some c
         | Error e ->
-            Printf.eprintf "warning: %s; starting with a cold cache\n"
+            Tangram.Obs.Log.warn
+              ~fields:[ ("path", path) ]
+              "%s; starting with a cold cache"
               (Tangram.Service.error_message e);
             None)
     | _ -> None
@@ -222,6 +224,7 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
     Tangram.Guard.config ~enabled:(not no_verify) ~sample:verify_sample ()
   in
   let svc = Tangram.Service.create ?cache ?fault ~resilience ~guard plan in
+  if obs.Obs_cli.kernel_counters then Tangram.Service.set_profiling svc true;
   (* journal tuner verdicts between saves so a crash loses no tuning *)
   (match cache_file with
   | Some path ->
@@ -244,7 +247,9 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
     Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
   in
   Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
-  print_string (Tangram.Service.report svc);
+  print_string (Obs_cli.render_report obs (Tangram.Service.stats svc));
+  Obs_cli.save_trace obs;
+  Obs_cli.write_metrics obs (Tangram.Service.stats svc);
   match cache_file with
   | Some path ->
       Tangram.Plan_cache.save (Tangram.Service.cache svc) path;
@@ -255,11 +260,12 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
 
 let run arch_name n version all baselines events tune program_file service
     requests seed batch cache_file fault_rate fault_seed retry_max bitflip_rate
-    verify_sample no_verify =
+    verify_sample no_verify obs =
+  Obs_cli.setup ~exe:"reduce-explorer" obs;
   let arch = lookup_arch arch_name in
   if service then (
     run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-      ~retry_max ~bitflip_rate ~verify_sample ~no_verify;
+      ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~obs;
     exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
@@ -327,6 +333,7 @@ let () =
       const run $ arch_arg $ n_arg $ version_arg $ all_arg $ baselines_arg
       $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
       $ seed_arg $ batch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
-      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg)
+      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
+      $ Obs_cli.term)
   in
   exit (Cmd.eval (Cmd.v info term))

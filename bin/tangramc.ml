@@ -341,7 +341,8 @@ let serve_cmd =
     Arg.(value & flag & info [ "no-verify" ] ~doc)
   in
   let run spectrum source requests seed batch arch_name cache_file fault_rate
-      fault_seed retry_max bitflip_rate verify_sample no_verify =
+      fault_seed retry_max bitflip_rate verify_sample no_verify obs =
+    Obs_cli.setup ~exe:"tangramc serve" obs;
     let usage_error msg =
       Printf.eprintf "tangramc serve: %s\n" msg;
       exit 2
@@ -379,7 +380,9 @@ let serve_cmd =
                     (Tangram.Plan_cache.length c) path;
                   Some c
               | Error e ->
-                  Printf.eprintf "warning: %s; starting with a cold cache\n"
+                  Tangram.Obs.Log.warn
+                    ~fields:[ ("path", path) ]
+                    "%s; starting with a cold cache"
                     (Tangram.Service.error_message e);
                   None)
           | _ -> None
@@ -399,6 +402,7 @@ let serve_cmd =
           Tangram.Guard.config ~enabled:(not no_verify) ~sample:verify_sample ()
         in
         let svc = Tangram.Service.create ?cache ?fault ~resilience ~guard plan in
+        if obs.Obs_cli.kernel_counters then Tangram.Service.set_profiling svc true;
         (* tuner verdicts journal to FILE.journal between saves, so a
            crash mid-replay loses no tuning work *)
         (match cache_file with
@@ -423,7 +427,9 @@ let serve_cmd =
           Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
         in
         Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
-        print_string (Tangram.Service.report svc);
+        print_string (Obs_cli.render_report obs (Tangram.Service.stats svc));
+        Obs_cli.save_trace obs;
+        Obs_cli.write_metrics obs (Tangram.Service.stats svc);
         match cache_file with
         | Some path ->
             Tangram.Plan_cache.save (Tangram.Service.cache svc) path;
@@ -440,7 +446,166 @@ let serve_cmd =
     Term.(
       const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
       $ arch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
-      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg)
+      $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
+      $ Obs_cli.term)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The nvprof-table analogue: run versions for one shape and print each
+   one's aggregated simulator counters (the same [Gpusim.Events] totals
+   the service aggregates under --kernel-counters), fastest first. *)
+let profile_cmd =
+  let arch_arg =
+    let doc = "Simulated architecture: kepler, maxwell, pascal or volta." in
+    Arg.(value & opt string "kepler" & info [ "arch"; "a" ] ~doc)
+  in
+  let n_arg =
+    let doc = "Input size (number of 32-bit elements)." in
+    Arg.(value & opt int 65536 & info [ "size"; "n" ] ~doc)
+  in
+  let tune_arg =
+    let doc = "Sweep tunables per version at this size before profiling." in
+    Arg.(value & flag & info [ "tune" ] ~doc)
+  in
+  let all_variants_arg =
+    let doc = "Profile every code version, not just the pruned survivors." in
+    Arg.(value & flag & info [ "all-variants" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Print the table as a JSON array instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run spectrum source arch_name n tune all_variants json =
+    let arch =
+      match Tangram.Arch.by_name arch_name with
+      | Some a -> a
+      | None ->
+          Printf.eprintf "unknown architecture %S (kepler|maxwell|pascal|volta)\n"
+            arch_name;
+          exit 1
+    in
+    if n < 1 then begin
+      Printf.eprintf "tangramc profile: --size must be at least 1\n";
+      exit 2
+    end;
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let versions =
+          if all_variants then Tangram.all_versions ()
+          else Tangram.pruned_versions ()
+        in
+        let opts =
+          if n <= 1 lsl 17 then Tangram.Interp.exact
+          else
+            { Tangram.Interp.max_blocks = Some 24; loop_cap = Some 48;
+              check_uniform = false }
+        in
+        let input =
+          if n <= 1 lsl 17 then
+            Tangram.Runner.Dense (Array.init n (fun i -> float_of_int (i land 7)))
+          else
+            Tangram.Runner.Synthetic
+              { n; pattern = Array.init 1024 (fun i -> float_of_int (i land 7)) }
+        in
+        let rows =
+          List.filter_map
+            (fun v ->
+              match
+                let cp = Tangram.Planner.compiled plan v in
+                let tunables =
+                  if tune then
+                    Some (Tangram.Tuner.tune ~arch ~n cp).Tangram.Tuner.best
+                  else None
+                in
+                Tangram.Runner.run_compiled ~opts ~arch ?tunables ~input cp
+              with
+              | o ->
+                  let totals =
+                    Tangram.Events.totals_of_list
+                      (List.map
+                         (fun (lr : Tangram.Interp.launch_result) ->
+                           lr.Tangram.Interp.lr_events)
+                         o.Tangram.Runner.launch_results)
+                  in
+                  Some (v, o, totals)
+              | exception Tangram.Interp.Sim_error _ -> None
+              | exception Tangram.Validate.Invalid _ -> None
+              | exception Tangram.Race.Racy _ -> None
+              | exception Invalid_argument _ -> None)
+            versions
+        in
+        let rows =
+          List.sort
+            (fun (_, (a : Tangram.Runner.outcome), _) (_, b, _) ->
+              compare a.Tangram.Runner.time_us b.Tangram.Runner.time_us)
+            rows
+        in
+        if json then begin
+          let row_json (v, (o : Tangram.Runner.outcome), totals) =
+            Tangram.Obs.Json.Obj
+              (("version", Tangram.Obs.Json.Str (Tangram.Version.name v))
+              :: ("time_us", Tangram.Obs.Json.Num o.Tangram.Runner.time_us)
+              :: List.map
+                   (fun (k, x) -> (k, Tangram.Obs.Json.Num x))
+                   (Tangram.Events.totals_fields totals))
+          in
+          print_endline
+            (Tangram.Obs.Json.to_string
+               (Tangram.Obs.Json.Arr (List.map row_json rows)))
+        end
+        else begin
+          Printf.printf "profiling %d version(s) on %s, n = %d%s\n\n"
+            (List.length rows) arch.Tangram.Arch.name n
+            (if tune then " (tuned)" else "");
+          Printf.printf "%-34s %12s %12s %10s %12s %12s %10s %14s\n" "version"
+            "time us" "warp insts" "shfl" "shared ser" "glb atomics" "max heat"
+            "dram bytes";
+          List.iter
+            (fun (v, (o : Tangram.Runner.outcome), t) ->
+              Printf.printf
+                "%-34s %12.2f %12.0f %10.0f %12.0f %12.0f %10.0f %14.0f\n"
+                (Tangram.Version.name v) o.Tangram.Runner.time_us
+                t.Tangram.Events.t_warp_insts t.Tangram.Events.t_shfl_insts
+                t.Tangram.Events.t_shared_serial
+                t.Tangram.Events.t_atomic_global_ops t.Tangram.Events.t_max_heat
+                t.Tangram.Events.t_bytes_dram)
+            rows
+        end)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run code versions for one shape and print their per-version \
+          simulator kernel counters (the nvprof-table analogue)")
+    Term.(
+      const run $ spectrum_arg $ source_arg $ arch_arg $ n_arg $ tune_arg
+      $ all_variants_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace-check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path =
+    match Tangram.Obs.Trace.validate_chrome_file path with
+    | Ok n -> Printf.printf "%s: OK (%d events)\n" path n
+    | Error msg ->
+        Printf.eprintf "%s: INVALID: %s\n" path msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace_event JSON file (--trace-out output): \
+          well-formed, monotone timestamps, balanced B/E spans")
+    Term.(const run $ file_arg)
 
 let () =
   let info =
@@ -450,4 +615,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd; serve_cmd ]))
+          [
+            emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd; serve_cmd;
+            profile_cmd; trace_check_cmd;
+          ]))

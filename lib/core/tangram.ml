@@ -56,6 +56,9 @@ module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance
 module Guard = Runtime.Guard
+(* the whole observability layer ([Obs.Trace], [Obs.Log], [Obs.Json]);
+   [Trace] above is the request-trace replayer, a different thing *)
+module Obs = Obs
 module Scan = Apps.Scan
 module Histogram = Apps.Histogram
 module Cub = Baselines.Cub

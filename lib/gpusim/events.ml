@@ -143,6 +143,132 @@ let scale_all (t : t) ~(factor : float) : unit =
   scale_from t dummy ~factor;
   Hashtbl.iter (fun _ r -> r := !r *. factor) t.addr_heat
 
+(* ------------------------------------------------------------------ *)
+(* Immutable totals (the profiler's currency)                          *)
+(* ------------------------------------------------------------------ *)
+
+type totals = {
+  t_launches : int;
+  t_warp_insts : float;
+  t_alu_insts : float;
+  t_gld_warp_ops : float;
+  t_gld_trans : float;
+  t_gst_trans : float;
+  t_bytes_dram : float;
+  t_shared_ops : float;
+  t_shared_serial : float;
+  t_shfl_insts : float;
+  t_syncs : float;
+  t_branches : float;
+  t_divergent_branches : float;
+  t_atomic_global_ops : float;
+  t_atomic_global_trans : float;
+  t_atomic_shared_ops : float;
+  t_atomic_shared_serial : float;
+  t_vec_load_ops : float;
+  t_max_heat : float;
+}
+
+let zero_totals : totals =
+  {
+    t_launches = 0;
+    t_warp_insts = 0.0;
+    t_alu_insts = 0.0;
+    t_gld_warp_ops = 0.0;
+    t_gld_trans = 0.0;
+    t_gst_trans = 0.0;
+    t_bytes_dram = 0.0;
+    t_shared_ops = 0.0;
+    t_shared_serial = 0.0;
+    t_shfl_insts = 0.0;
+    t_syncs = 0.0;
+    t_branches = 0.0;
+    t_divergent_branches = 0.0;
+    t_atomic_global_ops = 0.0;
+    t_atomic_global_trans = 0.0;
+    t_atomic_shared_ops = 0.0;
+    t_atomic_shared_serial = 0.0;
+    t_vec_load_ops = 0.0;
+    t_max_heat = 0.0;
+  }
+
+let totals_of (t : t) : totals =
+  {
+    t_launches = 1;
+    t_warp_insts = t.warp_insts;
+    t_alu_insts = t.alu_insts;
+    t_gld_warp_ops = t.gld_warp_ops;
+    t_gld_trans = t.gld_trans;
+    t_gst_trans = t.gst_trans;
+    t_bytes_dram = t.bytes_dram;
+    t_shared_ops = t.shared_ops;
+    t_shared_serial = t.shared_serial;
+    t_shfl_insts = t.shfl_insts;
+    t_syncs = t.syncs;
+    t_branches = t.branches;
+    t_divergent_branches = t.divergent_branches;
+    t_atomic_global_ops = t.atomic_global_ops;
+    t_atomic_global_trans = t.atomic_global_trans;
+    t_atomic_shared_ops = t.atomic_shared_ops;
+    t_atomic_shared_serial = t.atomic_shared_serial;
+    t_vec_load_ops = t.vec_load_ops;
+    t_max_heat = max_heat t;
+  }
+
+(* max_heat does not sum across launches: each launch serialises on its
+   own hottest address, so the aggregate keeps the worst launch *)
+let add_totals (a : totals) (b : totals) : totals =
+  {
+    t_launches = a.t_launches + b.t_launches;
+    t_warp_insts = a.t_warp_insts +. b.t_warp_insts;
+    t_alu_insts = a.t_alu_insts +. b.t_alu_insts;
+    t_gld_warp_ops = a.t_gld_warp_ops +. b.t_gld_warp_ops;
+    t_gld_trans = a.t_gld_trans +. b.t_gld_trans;
+    t_gst_trans = a.t_gst_trans +. b.t_gst_trans;
+    t_bytes_dram = a.t_bytes_dram +. b.t_bytes_dram;
+    t_shared_ops = a.t_shared_ops +. b.t_shared_ops;
+    t_shared_serial = a.t_shared_serial +. b.t_shared_serial;
+    t_shfl_insts = a.t_shfl_insts +. b.t_shfl_insts;
+    t_syncs = a.t_syncs +. b.t_syncs;
+    t_branches = a.t_branches +. b.t_branches;
+    t_divergent_branches = a.t_divergent_branches +. b.t_divergent_branches;
+    t_atomic_global_ops = a.t_atomic_global_ops +. b.t_atomic_global_ops;
+    t_atomic_global_trans = a.t_atomic_global_trans +. b.t_atomic_global_trans;
+    t_atomic_shared_ops = a.t_atomic_shared_ops +. b.t_atomic_shared_ops;
+    t_atomic_shared_serial = a.t_atomic_shared_serial +. b.t_atomic_shared_serial;
+    t_vec_load_ops = a.t_vec_load_ops +. b.t_vec_load_ops;
+    t_max_heat = Float.max a.t_max_heat b.t_max_heat;
+  }
+
+let totals_of_list (ts : t list) : totals =
+  List.fold_left (fun acc t -> add_totals acc (totals_of t)) zero_totals ts
+
+(* The canonical (name, value) view, in stable order. The profile table,
+   the Prometheus exposition and [Stats.to_json] all derive their field
+   names from here so they can never drift apart. *)
+let totals_fields (t : totals) : (string * float) list =
+  [
+    ("launches", float_of_int t.t_launches);
+    ("warp_insts", t.t_warp_insts);
+    ("alu_insts", t.t_alu_insts);
+    ("gld_warp_ops", t.t_gld_warp_ops);
+    ("gld_trans", t.t_gld_trans);
+    ("gst_trans", t.t_gst_trans);
+    ("bytes_dram", t.t_bytes_dram);
+    ("shared_ops", t.t_shared_ops);
+    ("shared_serial", t.t_shared_serial);
+    ("shfl_insts", t.t_shfl_insts);
+    ("syncs", t.t_syncs);
+    ("branches", t.t_branches);
+    ("divergent_branches", t.t_divergent_branches);
+    ("atomic_global_ops", t.t_atomic_global_ops);
+    ("atomic_global_trans", t.t_atomic_global_trans);
+    ("atomic_shared_ops", t.t_atomic_shared_ops);
+    ("atomic_shared_serial", t.t_atomic_shared_serial);
+    ("vec_load_ops", t.t_vec_load_ops);
+    ("max_heat", t.t_max_heat);
+  ]
+
 let pp fmt (t : t) =
   Format.fprintf fmt
     "@[<v>warp insts     %.0f@,alu            %.0f@,gld ops/trans  %.0f / %.0f@,\

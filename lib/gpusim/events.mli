@@ -57,3 +57,46 @@ val scale_from : t -> snapshot -> factor:float -> unit
 val scale_all : t -> factor:float -> unit
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Immutable totals}
+
+    The profiler's currency: a frozen sum of launch counters that the
+    service aggregates per (arch, version) and the [tangramc profile]
+    table, the Prometheus exposition and [Stats.to_json] all read. *)
+
+type totals = {
+  t_launches : int;
+  t_warp_insts : float;
+  t_alu_insts : float;
+  t_gld_warp_ops : float;
+  t_gld_trans : float;
+  t_gst_trans : float;
+  t_bytes_dram : float;
+  t_shared_ops : float;
+  t_shared_serial : float;
+  t_shfl_insts : float;
+  t_syncs : float;
+  t_branches : float;
+  t_divergent_branches : float;
+  t_atomic_global_ops : float;
+  t_atomic_global_trans : float;
+  t_atomic_shared_ops : float;
+  t_atomic_shared_serial : float;
+  t_vec_load_ops : float;
+  t_max_heat : float;
+}
+
+val zero_totals : totals
+
+(** Freeze one launch's counters ([t_launches] = 1). *)
+val totals_of : t -> totals
+
+(** Pointwise sum; [t_max_heat] takes the max (each launch serialises on
+    its own hottest address). *)
+val add_totals : totals -> totals -> totals
+
+val totals_of_list : t list -> totals
+
+(** The canonical (name, value) view in stable order — the single source
+    of counter field names for every machine-readable artifact. *)
+val totals_fields : totals -> (string * float) list

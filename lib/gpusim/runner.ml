@@ -192,6 +192,7 @@ let run_compiled ?opts ?(fault : Fault.t option)
     | Some v -> v
     | None -> ( match cp.cp_kernels with (name, _) :: _ -> name | [] -> "?")
   in
+  let body () =
   let verdict =
     match fault with
     | None -> Fault.Pass
@@ -221,6 +222,20 @@ let run_compiled ?opts ?(fault : Fault.t option)
           { o with time_us = o.time_us *. Fault.stall_factor f }
       | Fault.Fault Fault.Corrupt, _ -> { o with result = nan; exact = false }
       | _ -> o)
+  in
+  (* faulted runs that abort still record their span: the E is emitted by
+     Fun.protect, so a trace accounts for every attempt, not just the
+     successful ones *)
+  if not (Obs.Trace.enabled ()) then body ()
+  else
+    Obs.Trace.span
+      ~attrs:
+        [
+          ("arch", arch.Arch.name);
+          ("version", version);
+          ("n", string_of_int (input_size input));
+        ]
+      ~name:"run" body
 
 (** One-shot convenience wrapper around {!compile} and {!run_compiled}. *)
 let run ?opts ?fault ?fault_version ~arch ?tunables ~input (p : Ir.program) :

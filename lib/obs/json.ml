@@ -1,0 +1,300 @@
+(* A minimal JSON tree, printer and parser.
+
+   The observability layer emits several machine-readable artifacts —
+   Chrome trace files, JSON log lines, the [Stats] twin report — and the
+   CI jobs must validate them without external tooling. This module is
+   deliberately tiny: object key order is preserved verbatim (emission
+   order is the stability contract of [Stats.to_json]), numbers are
+   floats (JSON's own model), and the parser accepts exactly the
+   standard grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* integral values print without a fractional part (counter values, ids,
+   fake-clock timestamps stay stable and diffable); everything else gets
+   enough digits to round-trip the measurements we take *)
+let number_to_string (x : float) : string =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let rec write (b : Buffer.t) (j : t) : unit =
+  match j with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num x -> Buffer.add_string b (number_to_string x)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          write b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string (j : t) : string =
+  let b = Buffer.create 256 in
+  write b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let fail_at (c : cursor) fmt =
+  Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "%s at byte %d" m c.pos))) fmt
+
+let skip_ws (c : cursor) : unit =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        c.pos <- c.pos + 1;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail_at c "expected %C, found %C" ch x
+  | None -> fail_at c "expected %C, found end of input" ch
+
+let literal (c : cursor) (word : string) (v : t) : t =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail_at c "invalid literal"
+
+(* UTF-8 encode one scalar value (surrogate pairs are combined by the
+   caller) *)
+let add_utf8 (b : Buffer.t) (u : int) : unit =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 (c : cursor) : int =
+  if c.pos + 4 > String.length c.src then fail_at c "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d =
+      match c.src.[c.pos + i] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | _ -> fail_at c "invalid \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let parse_string (c : cursor) : string =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail_at c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> Buffer.add_char b '"'; c.pos <- c.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; c.pos <- c.pos + 1; go ()
+        | Some '/' -> Buffer.add_char b '/'; c.pos <- c.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char b '\n'; c.pos <- c.pos + 1; go ()
+        | Some 't' -> Buffer.add_char b '\t'; c.pos <- c.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; c.pos <- c.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char b '\b'; c.pos <- c.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char b '\012'; c.pos <- c.pos + 1; go ()
+        | Some 'u' ->
+            c.pos <- c.pos + 1;
+            let u = hex4 c in
+            let u =
+              (* high surrogate: combine with the following low one *)
+              if u >= 0xD800 && u <= 0xDBFF
+                 && c.pos + 2 <= String.length c.src
+                 && c.src.[c.pos] = '\\'
+                 && c.src.[c.pos + 1] = 'u'
+              then begin
+                c.pos <- c.pos + 2;
+                let lo = hex4 c in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                else fail_at c "unpaired surrogate"
+              end
+              else u
+            in
+            add_utf8 b u;
+            go ()
+        | _ -> fail_at c "invalid escape")
+    | Some ch ->
+        Buffer.add_char b ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number (c : cursor) : float =
+  let start = c.pos in
+  let consume pred =
+    while (match peek c with Some ch -> pred ch | None -> false) do
+      c.pos <- c.pos + 1
+    done
+  in
+  (match peek c with Some '-' -> c.pos <- c.pos + 1 | _ -> ());
+  consume (function '0' .. '9' -> true | _ -> false);
+  (match peek c with
+  | Some '.' ->
+      c.pos <- c.pos + 1;
+      consume (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+      c.pos <- c.pos + 1;
+      (match peek c with Some ('+' | '-') -> c.pos <- c.pos + 1 | _ -> ());
+      consume (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some x -> x
+  | None -> fail_at c "invalid number"
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> fail_at c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin c.pos <- c.pos + 1; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec go () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; go ()
+          | Some '}' -> c.pos <- c.pos + 1
+          | _ -> fail_at c "expected ',' or '}'"
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin c.pos <- c.pos + 1; Arr [] end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; go ()
+          | Some ']' -> c.pos <- c.pos + 1
+          | _ -> fail_at c "expected ',' or ']'"
+        in
+        go ();
+        Arr (List.rev !items)
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> fail_at c "unexpected character %C" ch
+
+let of_string (src : string) : (t, string) result =
+  let c = { src; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos = String.length src then Ok v
+      else Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member (name : string) (j : t) : t option =
+  match j with Obj fields -> List.assoc_opt name fields | _ -> None
+
+let to_list (j : t) : t list option =
+  match j with Arr items -> Some items | _ -> None
+
+let to_float (j : t) : float option = match j with Num x -> Some x | _ -> None
+let to_str (j : t) : string option = match j with Str s -> Some s | _ -> None

@@ -1,0 +1,32 @@
+(** A minimal JSON tree, printer and parser, shared by every
+    machine-readable artifact of the observability layer (Chrome trace
+    files, JSON log lines, [Stats.to_json]) and by the CI validators
+    that read them back. Object key order is preserved verbatim in both
+    directions — emission order is the stability contract. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** JSON string-body escaping (no surrounding quotes). *)
+val escape : string -> string
+
+(** Integral floats print without a fractional part; others with enough
+    digits to round-trip our measurements. *)
+val number_to_string : float -> string
+
+(** Compact rendering (no whitespace), object keys in list order. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document (standard grammar, including [\uXXXX]
+    escapes and surrogate pairs). *)
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

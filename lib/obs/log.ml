@@ -1,0 +1,97 @@
+(* The leveled, structured logger.
+
+   One process-wide logger (matching the one stderr the binaries own),
+   with two renderings of the same record: a human text line
+
+     [warn] corrupt journal record at byte 132; skipped  (path=cache.journal)
+
+   and a machine JSON line ([--log-json])
+
+     {"ts":1754462400.12,"level":"warn","msg":"...","path":"cache.journal"}
+
+   Messages below the current level are not even formatted: the format
+   string is consumed by [ikfprintf], so a [debug] call in a hot loop
+   costs a couple of branches. The writer is replaceable (tests capture
+   lines; a server could ship them), and the clock is injectable so JSON
+   golden tests stay deterministic. *)
+
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string (s : string) : level option =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let current_level = ref Warn
+let set_level (l : level) : unit = current_level := l
+let level () : level = !current_level
+let json_mode = ref false
+let set_json (b : bool) : unit = json_mode := b
+let json () : bool = !json_mode
+let enabled (l : level) : bool = severity l <= severity !current_level
+
+let stderr_writer (line : string) : unit =
+  output_string stderr line;
+  output_char stderr '\n';
+  flush stderr
+
+let writer = ref stderr_writer
+let set_writer (w : string -> unit) : unit = writer := w
+let use_stderr () : unit = writer := stderr_writer
+
+(* epoch seconds; injectable for deterministic tests *)
+let clock = ref Unix.gettimeofday
+let set_clock (c : unit -> float) : unit = clock := c
+
+let render_text (l : level) (fields : (string * string) list) (msg : string) :
+    string =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (Printf.sprintf "[%s] %s" (level_name l) msg);
+  (match fields with
+  | [] -> ()
+  | fields ->
+      Buffer.add_string b "  (";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          Buffer.add_string b v)
+        fields;
+      Buffer.add_char b ')');
+  Buffer.contents b
+
+let render_json (l : level) (fields : (string * string) list) (msg : string) :
+    string =
+  Json.to_string
+    (Json.Obj
+       (("ts", Json.Num (!clock ()))
+       :: ("level", Json.Str (level_name l))
+       :: ("msg", Json.Str msg)
+       :: List.map (fun (k, v) -> (k, Json.Str v)) fields))
+
+let emit (l : level) (fields : (string * string) list) (msg : string) : unit =
+  let line =
+    if !json_mode then render_json l fields msg else render_text l fields msg
+  in
+  !writer line
+
+let log (l : level) ?(fields = []) fmt =
+  if enabled l then Printf.ksprintf (emit l fields) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let error ?fields fmt = log Error ?fields fmt
+let warn ?fields fmt = log Warn ?fields fmt
+let info ?fields fmt = log Info ?fields fmt
+let debug ?fields fmt = log Debug ?fields fmt

@@ -1,0 +1,46 @@
+(** Leveled structured logging for the whole stack.
+
+    One process-wide logger with two renderings of the same record: a
+    human text line and a JSON line (one object per line, [--log-json]).
+    Messages below the current level are not formatted at all. The
+    default level is {!Warn}, so replacing an ad-hoc
+    [Printf.eprintf "warning: ..."] with {!warn} keeps it visible by
+    default while making it filterable and machine-readable. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+val level : unit -> level
+
+(** Would a message at this level be emitted? *)
+val enabled : level -> bool
+
+(** JSON-lines mode: every record becomes one
+    [{"ts":...,"level":...,"msg":...,<fields>}] object. *)
+val set_json : bool -> unit
+
+val json : unit -> bool
+
+(** Replace the line sink (default: stderr, flushed per line). *)
+val set_writer : (string -> unit) -> unit
+
+val use_stderr : unit -> unit
+
+(** Replace the JSON timestamp clock (epoch seconds); for deterministic
+    tests. *)
+val set_clock : (unit -> float) -> unit
+
+val error :
+  ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+
+val warn :
+  ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+
+val info :
+  ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a
+
+val debug :
+  ?fields:(string * string) list -> ('a, unit, string, unit) format4 -> 'a

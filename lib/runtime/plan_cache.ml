@@ -414,7 +414,7 @@ let replay_journal (t : t) (jpath : string) : int =
   let src = really_input_string ic len in
   close_in ic;
   let warn fmt =
-    Printf.ksprintf (fun m -> Printf.eprintf "warning: %s: %s\n%!" jpath m) fmt
+    Printf.ksprintf (fun m -> Obs.Log.warn ~fields:[ ("path", jpath) ] "%s" m) fmt
   in
   let replayed = ref 0 in
   let pos = ref 0 in

@@ -109,6 +109,10 @@ type t = {
   breakers : (string * string, breaker) Hashtbl.t;
   mutable tick : int;
   mutable jitter_state : int64;
+  mutable profile : bool;
+      (* when on, every served outcome's launch counters aggregate into
+         the stats per (arch, version); off by default so the plain-text
+         report stays byte-identical for existing consumers *)
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
@@ -143,6 +147,7 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
     jitter_state =
       Int64.add (Int64.mul (Int64.of_int jitter_seed) 6364136223846793005L)
         1442695040888963407L;
+    profile = false;
   }
 
 let planner t = t.planner
@@ -151,6 +156,8 @@ let stats t = t.stats
 let guard t = t.guard
 let fault t = t.fault
 let set_fault t f = t.fault <- f
+let profiling t = t.profile
+let set_profiling t b = t.profile <- b
 
 let load_cache ?capacity (path : string) : (Plan_cache.t, error) result =
   match Plan_cache.load_result ?capacity path with
@@ -190,6 +197,10 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
      (memoized in the planner across buckets and architectures); a racy
      variant must never be cached, let alone served *)
   let compiled =
+    Obs.Trace.span
+      ~attrs:[ ("candidates", string_of_int (List.length t.candidates)) ]
+      ~name:"plan"
+    @@ fun () ->
     List.filter_map
       (fun v ->
         match P.compiled t.planner v with
@@ -201,8 +212,14 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
   Stats.plan_us t.stats (now_us () -. t0);
   let t1 = now_us () in
   let ranking =
+    Obs.Trace.span
+      ~attrs:[ ("n", string_of_int rep) ]
+      ~name:"tune"
+    @@ fun () ->
     List.filter_map
       (fun (v, cp) ->
+        Obs.Trace.span ~attrs:[ ("version", V.name v) ] ~name:"candidate"
+        @@ fun () ->
         match Tuner.tune ~arch ~n:rep cp with
         | o ->
             Some
@@ -243,7 +260,10 @@ let ensure (t : t) (arch : Gpusim.Arch.t) (n : int) :
     (Plan_cache.entry * bool, error) result =
   let k = key_of t arch n in
   let bucket = Plan_cache.key_name k in
-  match Plan_cache.find t.cache k with
+  match
+    Obs.Trace.span ~attrs:[ ("bucket", bucket) ] ~name:"lookup" (fun () ->
+        Plan_cache.find t.cache k)
+  with
   | Some e ->
       Stats.hit t.stats ~bucket;
       Ok (e, true)
@@ -283,13 +303,18 @@ let breaker_success (b : breaker) : unit =
   b.br_faults <- 0;
   b.br_open_until <- 0
 
-let breaker_fault (t : t) (b : breaker) : unit =
+let breaker_fault (t : t) ~(arch : string) ~(version : string) : unit =
+  let b = breaker_for t arch version in
   b.br_faults <- b.br_faults + 1;
   if b.br_faults >= t.resilience.r_quarantine_threshold then begin
     (* opening (or re-opening after a failed half-open probe) is one
        quarantine event either way *)
     b.br_open_until <- t.tick + t.resilience.r_cooldown_requests;
-    Stats.quarantine t.stats
+    Stats.quarantine t.stats;
+    Obs.Log.info
+      ~fields:[ ("arch", arch); ("version", version) ]
+      "version quarantined after %d faults (cooldown %d requests)" b.br_faults
+      t.resilience.r_cooldown_requests
   end
 
 let quarantined (t : t) ~(arch : string) ~(version : string) : bool =
@@ -340,18 +365,36 @@ let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
               (Device_ir.Diag.render (Device_ir.Diag.errors diags))))
   | cp ->
       let opts = opts_for t req.req_input in
-      let rec go attempt retries backoff_us =
+      (* each try is its own "attempt" span (exceptions caught inside, so
+         the span also times aborted runs), and each transient retry is a
+         "retry" mark — a trace accounts for the full retry schedule *)
+      let try_once attempt =
+        Obs.Trace.span
+          ~attrs:[ ("version", vname); ("attempt", string_of_int attempt) ]
+          ~name:"attempt"
+        @@ fun () ->
         match
           R.run_compiled ~opts ?fault:t.fault ~fault_version:vname
             ~arch:req.req_arch ~tunables:rung.Plan_cache.r_tunables
             ~input:req.req_input cp
         with
-        | o when Float.is_nan o.R.result ->
+        | o -> `Done o
+        | exception Gpusim.Interp.Sim_error msg -> `Transient msg
+        | exception Fault.Injected (_, msg) -> `Injected msg
+        | exception Invalid_argument msg -> `Invalid msg
+      in
+      let rec go attempt retries backoff_us =
+        match try_once attempt with
+        | `Done o when Float.is_nan o.R.result ->
             Error (Af_fault (Printf.sprintf "%s returned a corrupted (NaN) result" vname))
-        | o -> Ok (o, retries, backoff_us)
-        | exception Gpusim.Interp.Sim_error msg ->
+        | `Done o -> Ok (o, retries, backoff_us)
+        | `Transient msg ->
             if attempt <= t.resilience.r_retry_max then begin
               Stats.retry t.stats;
+              Obs.Trace.mark ~attrs:[ ("version", vname) ] "retry";
+              Obs.Log.debug
+                ~fields:[ ("version", vname) ]
+                "transient fault, retrying (attempt %d): %s" attempt msg;
               let delay = backoff_delay_us t attempt in
               Stats.backoff_us t.stats delay;
               go (attempt + 1) (retries + 1) (backoff_us +. delay)
@@ -361,9 +404,8 @@ let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
                 (Af_transient
                    (Printf.sprintf "%s: transient retries exhausted (%s)" vname
                       msg))
-        | exception Fault.Injected (_, msg) -> Error (Af_fault msg)
-        | exception Invalid_argument msg ->
-            Error (Af_fault (Printf.sprintf "%s: %s" vname msg))
+        | `Injected msg -> Error (Af_fault msg)
+        | `Invalid msg -> Error (Af_fault (Printf.sprintf "%s: %s" vname msg))
       in
       go 1 0 0.0
 
@@ -372,6 +414,13 @@ let response_of_outcome (t : t) (req : request) (rung : Plan_cache.rung)
     ~(started_us : float) (o : R.outcome) : response =
   Stats.winner t.stats (V.name rung.Plan_cache.r_version);
   if fallback > 0 then Stats.fallback t.stats;
+  if t.profile then
+    Stats.kernel t.stats ~arch:req.req_arch.Gpusim.Arch.name
+      ~version:(V.name rung.Plan_cache.r_version)
+      (Gpusim.Events.totals_of_list
+         (List.map
+            (fun (lr : Gpusim.Interp.launch_result) -> lr.Gpusim.Interp.lr_events)
+            o.R.launch_results));
   {
     resp_value = o.R.result;
     resp_exact = o.R.exact;
@@ -393,6 +442,8 @@ let degraded_response (t : t) (req : request) (e : Plan_cache.entry)
     ~(hit : bool) ~(started_us : float) : response =
   Stats.degrade t.stats;
   Stats.winner t.stats "host-reference (degraded)";
+  Obs.Trace.mark "degraded";
+  Obs.Log.info "every rung down; serving the host reference (degraded)";
   {
     resp_value = P.reference_input t.planner req.req_input;
     resp_exact = true;
@@ -420,6 +471,10 @@ let sdc_degraded_response (t : t) (req : request) (rung : Plan_cache.rung)
     response =
   Stats.degrade t.stats;
   Stats.winner t.stats "host-reference (sdc)";
+  Obs.Trace.mark "degraded";
+  Obs.Log.info
+    "confirmed corruption with no in-tolerance execution; serving the witness \
+     value (degraded)";
   {
     resp_value = value;
     resp_exact = true;
@@ -455,9 +510,14 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
       (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
          ~started_us o)
   else begin
+    Obs.Trace.span
+      ~attrs:[ ("version", V.name rung.Plan_cache.r_version) ]
+      ~name:"verify"
+    @@ fun () ->
     let t0 = now_us () in
     Stats.sdc_check t.stats;
     let ck =
+      Obs.Trace.span ~name:"witness" @@ fun () ->
       Guard.make ~planner:t.planner ~version:rung.Plan_cache.r_version
         ~input:req.req_input ~sample:t.guard.Guard.g_sample ()
     in
@@ -474,11 +534,19 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
         let vname = V.name r.Plan_cache.r_version in
         Stats.sdc_catch t.stats;
         Stats.fault t.stats ~version:vname;
-        breaker_fault t (breaker_for t arch vname)
+        Obs.Log.info
+          ~fields:[ ("arch", arch); ("version", vname) ]
+          "silent data corruption confirmed";
+        breaker_fault t ~arch ~version:vname
       in
       (* 1. dual-modular re-execution on the suspect's own rung *)
       Stats.sdc_reexec t.stats;
-      let same = attempt_rung t req rung in
+      let same =
+        Obs.Trace.span
+          ~attrs:[ ("version", V.name rung.Plan_cache.r_version) ]
+          ~name:"reexec"
+          (fun () -> attempt_rung t req rung)
+      in
       match same with
       | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result ->
           (* the deviation vanished on re-run: one-off corruption *)
@@ -508,7 +576,12 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
                     vote budget (cidx + 1) more
                   else begin
                     Stats.sdc_reexec t.stats;
-                    match attempt_rung t req c with
+                    match
+                      Obs.Trace.span
+                        ~attrs:[ ("version", vname) ]
+                        ~name:"vote"
+                        (fun () -> attempt_rung t req c)
+                    with
                     | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result
                       ->
                         Some (cidx, c, o2, r2, b2)
@@ -517,7 +590,7 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
                         vote (budget - 1) (cidx + 1) more
                     | Error _ ->
                         Stats.fault t.stats ~version:vname;
-                        breaker_fault t (breaker_for t arch vname);
+                        breaker_fault t ~arch ~version:vname;
                         vote (budget - 1) (cidx + 1) more
                   end
           in
@@ -556,9 +629,18 @@ let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
         let vname = V.name rung.Plan_cache.r_version in
         let br = breaker_for t arch vname in
         match availability t br with
-        | Av_open -> walk (idx + 1) rest
+        | Av_open ->
+            Obs.Trace.mark
+              ~attrs:[ ("version", vname); ("rung", string_of_int idx) ]
+              "rung.quarantined";
+            walk (idx + 1) rest
         | (Av_closed | Av_half_open) as avail -> (
-            match attempt_rung t req rung with
+            match
+              Obs.Trace.span
+                ~attrs:[ ("version", vname); ("rung", string_of_int idx) ]
+                ~name:"rung"
+                (fun () -> attempt_rung t req rung)
+            with
             | Ok (o, retries, backoff_us) ->
                 (* faults accumulate across successes while the breaker is
                    closed (a lightly-faulting version must still trip it
@@ -568,7 +650,7 @@ let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
                 Some (idx, rung, o, retries, backoff_us)
             | Error failure ->
                 Stats.fault t.stats ~version:vname;
-                breaker_fault t br;
+                breaker_fault t ~arch ~version:vname;
                 last_failure := Some failure;
                 walk (idx + 1) rest))
   in
@@ -625,17 +707,32 @@ let validate (req : request) : (unit, error) result =
         else Ok ()
 
 let submit_result (t : t) (req : request) : (response, error) result =
-  let started_us = now_us () in
-  match validate req with
-  | Error e ->
-      Stats.bad_request t.stats;
-      Error e
-  | Ok () ->
-      if R.input_size req.req_input = 0 then Ok (empty_response t req ~started_us)
-      else (
-        match ensure t req.req_arch (R.input_size req.req_input) with
-        | Error e -> Error e
-        | Ok (entry, hit) -> serve t req entry hit started_us)
+  let body () =
+    let started_us = now_us () in
+    match validate req with
+    | Error e ->
+        Stats.bad_request t.stats;
+        Error e
+    | Ok () ->
+        if R.input_size req.req_input = 0 then
+          Ok (empty_response t req ~started_us)
+        else (
+          match ensure t req.req_arch (R.input_size req.req_input) with
+          | Error e -> Error e
+          | Ok (entry, hit) -> serve t req entry hit started_us)
+  in
+  (* one root span per request under a fresh trace id: every span the
+     stack records below (lookup, plan, tune, rungs, attempts, verify...)
+     lands on this request's track in the exported trace *)
+  if not (Obs.Trace.enabled ()) then body ()
+  else
+    Obs.Trace.with_request
+      ~attrs:
+        [
+          ("arch", req.req_arch.Gpusim.Arch.name);
+          ("n", string_of_int (R.input_size req.req_input));
+        ]
+      ~name:"request" body
 
 let submit (t : t) (req : request) : response =
   match submit_result t req with

@@ -137,6 +137,15 @@ val fault : t -> Gpusim.Fault.t option
 (** Arm ([Some]) or disarm ([None]) fault injection on a live service. *)
 val set_fault : t -> Gpusim.Fault.t option -> unit
 
+(** Is per-request kernel profiling on? Off by default. *)
+val profiling : t -> bool
+
+(** Toggle kernel profiling: when on, every served outcome's simulator
+    launch counters aggregate into [Stats] per (arch, version) (see
+    [Stats.kernel_rows]); when off (the default) nothing is recorded and
+    the text report is unchanged. *)
+val set_profiling : t -> bool -> unit
+
 (** Is (architecture, version) currently quarantined (breaker open and
     still cooling down)? *)
 val quarantined : t -> arch:string -> version:string -> bool

@@ -48,10 +48,18 @@ let summarize (s : samples) : series =
 
 type counters = { mutable c_hits : int; mutable c_misses : int }
 
+(* per-(arch, version) kernel-counter aggregation: one cell per pair,
+   populated only when the service has profiling on *)
+type kernel_cell = {
+  mutable k_requests : int;
+  mutable k_totals : Gpusim.Events.totals;
+}
+
 type t = {
   buckets : (string, counters) Hashtbl.t;
   winners : (string, int) Hashtbl.t;
   version_faults : (string, int) Hashtbl.t;
+  kernels : (string * string, kernel_cell) Hashtbl.t;
   plan : samples;
   tune : samples;
   run : samples;
@@ -79,6 +87,7 @@ let create () : t =
     buckets = Hashtbl.create 32;
     winners = Hashtbl.create 32;
     version_faults = Hashtbl.create 32;
+    kernels = Hashtbl.create 32;
     plan = samples_create ();
     tune = samples_create ();
     run = samples_create ();
@@ -154,6 +163,16 @@ let sdc_false_alarm (t : t) =
 let sdc_reexec (t : t) = t.total_sdc_reexecs <- t.total_sdc_reexecs + 1
 let verify_us (t : t) (x : float) = sample t.verify x
 
+let kernel (t : t) ~(arch : string) ~(version : string)
+    (totals : Gpusim.Events.totals) : unit =
+  let key = (arch, version) in
+  match Hashtbl.find_opt t.kernels key with
+  | Some cell ->
+      cell.k_requests <- cell.k_requests + 1;
+      cell.k_totals <- Gpusim.Events.add_totals cell.k_totals totals
+  | None ->
+      Hashtbl.add t.kernels key { k_requests = 1; k_totals = totals }
+
 let hits t = t.total_hits
 let misses t = t.total_misses
 let evictions t = t.total_evictions
@@ -187,6 +206,15 @@ let plan_series t = summarize t.plan
 let tune_series t = summarize t.tune
 let run_series t = summarize t.run
 let verify_series t = summarize t.verify
+
+(** Aggregated kernel counters as ((arch, version), (requests, totals)),
+    sorted by (arch, version). *)
+let kernel_rows (t : t) :
+    ((string * string) * (int * Gpusim.Events.totals)) list =
+  Hashtbl.fold
+    (fun key cell acc -> (key, (cell.k_requests, cell.k_totals)) :: acc)
+    t.kernels []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let report (t : t) : string =
   let b = Buffer.create 1024 in
@@ -258,4 +286,255 @@ let report (t : t) : string =
       pr "  verify overhead: p50 %.1f us   p95 %.1f us   max %.1f us\n" v.p50
         v.p95 v.max
   end;
+  (* the profiler section appears only when the service aggregated kernel
+     counters (profiling is off by default), keeping the default report
+     byte-identical *)
+  (match kernel_rows t with
+  | [] -> ()
+  | rows ->
+      pr "\nkernel counters (per arch, version):\n";
+      pr "  %-10s %-26s %8s %12s %10s %12s %12s %10s %14s\n" "arch" "version"
+        "requests" "warp insts" "shfl" "shared ser" "glb atomics" "max heat"
+        "dram bytes";
+      List.iter
+        (fun ((arch, version), (requests, tot)) ->
+          pr "  %-10s %-26s %8d %12.0f %10.0f %12.0f %12.0f %10.0f %14.0f\n"
+            arch version requests tot.Gpusim.Events.t_warp_insts
+            tot.Gpusim.Events.t_shfl_insts tot.Gpusim.Events.t_shared_serial
+            tot.Gpusim.Events.t_atomic_global_ops tot.Gpusim.Events.t_max_heat
+            tot.Gpusim.Events.t_bytes_dram)
+        rows);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable twins of the report                                *)
+(* ------------------------------------------------------------------ *)
+
+module J = Obs.Json
+
+let series_json (s : series) : J.t =
+  J.Obj
+    [
+      ("count", J.Num (float_of_int s.count));
+      ("mean", J.Num s.mean);
+      ("p50", J.Num s.p50);
+      ("p95", J.Num s.p95);
+      ("max", J.Num s.max);
+    ]
+
+(** One JSON object mirroring {!report}, with a stable key order —
+    emitting it twice from the same stats yields identical strings. *)
+let to_json (t : t) : string =
+  let int n = J.Num (float_of_int n) in
+  J.to_string
+    (J.Obj
+       [
+         ( "cache",
+           J.Obj
+             [
+               ("lookups", int (t.total_hits + t.total_misses));
+               ("hits", int t.total_hits);
+               ("misses", int t.total_misses);
+               ("evictions", int t.total_evictions);
+             ] );
+         ( "batching",
+           J.Obj
+             [
+               ("batches", int t.total_batches);
+               ("coalesced", int t.total_coalesced);
+             ] );
+         ( "buckets",
+           J.Arr
+             (List.map
+                (fun (bucket, (h, m)) ->
+                  J.Obj
+                    [
+                      ("bucket", J.Str bucket); ("hits", int h); ("misses", int m);
+                    ])
+                (bucket_counts t)) );
+         ( "latencies_us",
+           J.Obj
+             [
+               ("plan", series_json (plan_series t));
+               ("tune", series_json (tune_series t));
+               ("run", series_json (run_series t));
+               ("verify", series_json (verify_series t));
+             ] );
+         ( "winners",
+           J.Arr
+             (List.map
+                (fun (v, n) -> J.Obj [ ("version", J.Str v); ("served", int n) ])
+                (winner_histogram t)) );
+         ( "fault_tolerance",
+           J.Obj
+             [
+               ("faults", int t.total_faults);
+               ("retries", int t.total_retries);
+               ("backoff_us", J.Num t.backoff_total_us);
+               ("quarantines", int t.total_quarantines);
+               ("fallbacks", int t.total_fallbacks);
+               ("degraded", int t.total_degraded);
+               ("bad_requests", int t.total_bad_requests);
+               ( "by_version",
+                 J.Arr
+                   (List.map
+                      (fun (v, n) ->
+                        J.Obj [ ("version", J.Str v); ("faults", int n) ])
+                      (fault_histogram t)) );
+             ] );
+         ( "sdc",
+           J.Obj
+             [
+               ("checks", int t.total_sdc_checks);
+               ("catches", int t.total_sdc_catches);
+               ("reexecs", int t.total_sdc_reexecs);
+               ("false_alarms", int t.total_sdc_false_alarms);
+             ] );
+         ( "kernels",
+           J.Arr
+             (List.map
+                (fun ((arch, version), (requests, tot)) ->
+                  J.Obj
+                    (("arch", J.Str arch) :: ("version", J.Str version)
+                    :: ("requests", int requests)
+                    :: List.map
+                         (fun (k, v) -> (k, J.Num v))
+                         (Gpusim.Events.totals_fields tot)))
+                (kernel_rows t)) );
+       ])
+
+(* Prometheus text exposition. Counter families end in _total; the
+   latency series render as summaries (quantile labels + _sum/_count).
+   Label values escape backslash, quote and newline per the format. *)
+let prom_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_prometheus (t : t) : string =
+  let b = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let number = J.number_to_string in
+  let counter name ?(labels = []) (v : float) =
+    match labels with
+    | [] -> pr "%s %s\n" name (number v)
+    | labels ->
+        pr "%s{%s} %s\n" name
+          (String.concat ","
+             (List.map
+                (fun (k, value) -> Printf.sprintf "%s=\"%s\"" k (prom_escape value))
+                labels))
+          (number v)
+  in
+  let typ name kind = pr "# TYPE %s %s\n" name kind in
+  let i = float_of_int in
+  typ "tangram_cache_hits_total" "counter";
+  counter "tangram_cache_hits_total" (i t.total_hits);
+  typ "tangram_cache_misses_total" "counter";
+  counter "tangram_cache_misses_total" (i t.total_misses);
+  typ "tangram_cache_evictions_total" "counter";
+  counter "tangram_cache_evictions_total" (i t.total_evictions);
+  typ "tangram_batches_total" "counter";
+  counter "tangram_batches_total" (i t.total_batches);
+  typ "tangram_coalesced_requests_total" "counter";
+  counter "tangram_coalesced_requests_total" (i t.total_coalesced);
+  typ "tangram_retries_total" "counter";
+  counter "tangram_retries_total" (i t.total_retries);
+  typ "tangram_faults_total" "counter";
+  counter "tangram_faults_total" (i t.total_faults);
+  typ "tangram_quarantines_total" "counter";
+  counter "tangram_quarantines_total" (i t.total_quarantines);
+  typ "tangram_fallback_serves_total" "counter";
+  counter "tangram_fallback_serves_total" (i t.total_fallbacks);
+  typ "tangram_degraded_serves_total" "counter";
+  counter "tangram_degraded_serves_total" (i t.total_degraded);
+  typ "tangram_bad_requests_total" "counter";
+  counter "tangram_bad_requests_total" (i t.total_bad_requests);
+  typ "tangram_backoff_simulated_us_total" "counter";
+  counter "tangram_backoff_simulated_us_total" t.backoff_total_us;
+  typ "tangram_sdc_checks_total" "counter";
+  counter "tangram_sdc_checks_total" (i t.total_sdc_checks);
+  typ "tangram_sdc_catches_total" "counter";
+  counter "tangram_sdc_catches_total" (i t.total_sdc_catches);
+  typ "tangram_sdc_reexecs_total" "counter";
+  counter "tangram_sdc_reexecs_total" (i t.total_sdc_reexecs);
+  typ "tangram_sdc_false_alarms_total" "counter";
+  counter "tangram_sdc_false_alarms_total" (i t.total_sdc_false_alarms);
+  (match bucket_counts t with
+  | [] -> ()
+  | buckets ->
+      typ "tangram_bucket_lookups_total" "counter";
+      List.iter
+        (fun (bucket, (h, m)) ->
+          counter "tangram_bucket_lookups_total"
+            ~labels:[ ("bucket", bucket); ("result", "hit") ]
+            (i h);
+          counter "tangram_bucket_lookups_total"
+            ~labels:[ ("bucket", bucket); ("result", "miss") ]
+            (i m))
+        buckets);
+  (match winner_histogram t with
+  | [] -> ()
+  | winners ->
+      typ "tangram_requests_served_total" "counter";
+      List.iter
+        (fun (v, n) ->
+          counter "tangram_requests_served_total"
+            ~labels:[ ("version", v) ]
+            (i n))
+        winners);
+  (match fault_histogram t with
+  | [] -> ()
+  | hist ->
+      typ "tangram_version_faults_total" "counter";
+      List.iter
+        (fun (v, n) ->
+          counter "tangram_version_faults_total" ~labels:[ ("version", v) ] (i n))
+        hist);
+  typ "tangram_latency_us" "summary";
+  List.iter
+    (fun (stage, s) ->
+      counter "tangram_latency_us"
+        ~labels:[ ("stage", stage); ("quantile", "0.5") ]
+        s.p50;
+      counter "tangram_latency_us"
+        ~labels:[ ("stage", stage); ("quantile", "0.95") ]
+        s.p95;
+      counter "tangram_latency_us_sum"
+        ~labels:[ ("stage", stage) ]
+        (s.mean *. i s.count);
+      counter "tangram_latency_us_count" ~labels:[ ("stage", stage) ] (i s.count))
+    [
+      ("plan", plan_series t);
+      ("tune", tune_series t);
+      ("run", run_series t);
+      ("verify", verify_series t);
+    ];
+  (match kernel_rows t with
+  | [] -> ()
+  | rows ->
+      typ "tangram_kernel_requests_total" "counter";
+      List.iter
+        (fun ((arch, version), (requests, _)) ->
+          counter "tangram_kernel_requests_total"
+            ~labels:[ ("arch", arch); ("version", version) ]
+            (i requests))
+        rows;
+      typ "tangram_kernel_counter_total" "counter";
+      List.iter
+        (fun ((arch, version), (_, tot)) ->
+          List.iter
+            (fun (name, v) ->
+              counter "tangram_kernel_counter_total"
+                ~labels:[ ("arch", arch); ("version", version); ("counter", name) ]
+                v)
+            (Gpusim.Events.totals_fields tot))
+        rows);
   Buffer.contents b

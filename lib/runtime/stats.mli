@@ -77,6 +77,15 @@ val sdc_reexec : t -> unit
 (** Host microseconds one witness check (plus any voting) cost. *)
 val verify_us : t -> float -> unit
 
+(** {2 Kernel profiling}
+
+    Populated only when the service has profiling enabled
+    ([Service.set_profiling]); the aggregation keys are (arch, version). *)
+
+(** Fold one served outcome's launch-counter totals into the
+    per-(arch, version) aggregate. *)
+val kernel : t -> arch:string -> version:string -> Gpusim.Events.totals -> unit
+
 (** {1 Reading} *)
 
 val hits : t -> int
@@ -114,6 +123,22 @@ val run_series : t -> series
 (** Witness-check overhead per checked response. *)
 val verify_series : t -> series
 
+(** Aggregated kernel counters as ((arch, version), (requests, totals)),
+    sorted by (arch, version); empty unless profiling was on. *)
+val kernel_rows :
+  t -> ((string * string) * (int * Gpusim.Events.totals)) list
+
 (** The text report printed by [reduce-explorer --service] and
-    [tangramc serve]. *)
+    [tangramc serve]. Sections gated on activity (fault tolerance, SDC
+    guard, kernel counters) are omitted when their counters are all
+    zero, so a default run's report is byte-stable across releases. *)
 val report : t -> string
+
+(** One JSON object mirroring {!report} with a stable key order —
+    emitting it twice from the same stats yields identical strings. *)
+val to_json : t -> string
+
+(** Prometheus text exposition of every counter and latency summary,
+    including per-bucket, per-version and per-(arch, version) kernel
+    series. *)
+val to_prometheus : t -> string

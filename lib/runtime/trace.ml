@@ -101,8 +101,18 @@ let replay ?(batch_size = 64) ?(dense_upto = 0) (svc : Service.t)
   in
   let degraded = ref 0 and failed = ref 0 in
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun batch ->
+  List.iteri
+    (fun i batch ->
+      (* trace id 0 (outside any request) — per-request root spans open
+         inside submit; the batch span shows dispatch boundaries *)
+      Obs.Trace.span
+        ~attrs:
+          [
+            ("batch", string_of_int i);
+            ("requests", string_of_int (List.length batch));
+          ]
+        ~name:"batch"
+      @@ fun () ->
       List.iter
         (function
           | Ok r -> if r.Service.resp_degraded then incr degraded

@@ -83,7 +83,12 @@ let compiled (t : t) (v : Version.t) : Gpusim.Runner.compiled_program =
   match Hashtbl.find_opt t.cache v with
   | Some cp -> cp
   | None ->
-      let cp = Gpusim.Runner.compile (program t v) in
+      let cp =
+        Obs.Trace.span
+          ~attrs:[ ("version", Version.name v) ]
+          ~name:"compile"
+          (fun () -> Gpusim.Runner.compile (program t v))
+      in
       Hashtbl.add t.cache v cp;
       cp
 

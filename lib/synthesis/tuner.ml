@@ -57,6 +57,10 @@ let tune ?(opts = tuning_opts) ?(max_configs = max_configurations)
          count max_configs
          (String.concat ", " (List.map fst candidates)));
   incr invocation_count;
+  Obs.Trace.span
+    ~attrs:[ ("n", string_of_int n); ("configs", string_of_int count) ]
+    ~name:"sweep"
+  @@ fun () ->
   let assignments = cartesian candidates in
   (* skip configurations whose tile is gratuitously larger than the input:
      they all degenerate to a single partially-filled block *)

@@ -1,0 +1,591 @@
+(* Observability tests: the span tracer (nesting, trace-id propagation,
+   ring overflow, Chrome trace_event export + validator, golden file),
+   the leveled logger (filtering, fields, JSON lines), the per-request
+   kernel profiler (Stats aggregation, profile-table consistency with
+   the simulator's counters), and the machine-readable Stats twins
+   (JSON and Prometheus exposition).
+
+   The service-level tests replay real requests through Runtime.Service
+   with fault / bit-flip injection armed and assert the recorded span
+   forest accounts for every retry, fallback descent, witness check and
+   redundant re-execution the counters report. *)
+
+module V = Synthesis.Version
+module P = Synthesis.Planner
+module Service = Runtime.Service
+module Stats = Runtime.Stats
+module R = Gpusim.Runner
+module Fault = Gpusim.Fault
+module Trace = Obs.Trace
+module Log = Obs.Log
+module J = Obs.Json
+
+let arch = Gpusim.Arch.kepler_k40c
+
+let plan = lazy (P.sum ())
+
+let dense n = R.Dense (Array.init n (fun i -> float_of_int ((i * 5 mod 17) - 8)))
+
+let request input = { Service.req_arch = arch; req_input = input }
+
+let parse_json s =
+  match J.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable JSON: %s" e
+
+let get name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON member %S" name
+
+let str j =
+  match J.to_str j with Some s -> s | None -> Alcotest.fail "not a string"
+
+let num j =
+  match J.to_float j with Some f -> f | None -> Alcotest.fail "not a number"
+
+let arr j =
+  match J.to_list j with Some l -> l | None -> Alcotest.fail "not an array"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* A deterministic microsecond clock: 0, 1, 2, ... *)
+let fake_clock () =
+  let t = ref (-1.0) in
+  fun () ->
+    t := !t +. 1.0;
+    !t
+
+let wall_clock () = Unix.gettimeofday () *. 1e6
+
+(* Run [f] with tracing enabled on a fresh ring and a clean tracer
+   afterwards, whatever happens. *)
+let with_tracing ?clock f =
+  Trace.set_enabled true;
+  Trace.clear ();
+  (match clock with Some c -> Trace.set_clock c | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.set_clock wall_clock;
+      Trace.clear ())
+    f
+
+let count_nodes pred forest =
+  Trace.fold_nodes (fun acc n -> if pred n then acc + 1 else acc) 0 forest
+
+let count_marks name forest =
+  Trace.fold_nodes
+    (fun acc n ->
+      acc + List.length (List.filter (fun (m, _) -> m = name) n.Trace.n_marks))
+    0 forest
+
+(* -------------------------------------------------------------- *)
+(* Tracer core                                                     *)
+(* -------------------------------------------------------------- *)
+
+let tracer_tests =
+  [
+    Alcotest.test_case "span nesting reconstructs as a forest" `Quick (fun () ->
+        with_tracing ~clock:(fake_clock ()) (fun () ->
+            let r =
+              Trace.span ~name:"a" (fun () ->
+                  Trace.span ~name:"b" (fun () -> Trace.mark "tick");
+                  Trace.span ~attrs:[ ("k", "v") ] ~name:"c" (fun () -> 42))
+            in
+            Alcotest.(check int) "span returns f's value" 42 r;
+            match Trace.forest () with
+            | [ a ] ->
+                Alcotest.(check string) "root" "a" a.Trace.n_name;
+                Alcotest.(check (list string))
+                  "children in order" [ "b"; "c" ]
+                  (List.map (fun n -> n.Trace.n_name) a.Trace.n_children);
+                let b = List.nth a.Trace.n_children 0 in
+                let c = List.nth a.Trace.n_children 1 in
+                Alcotest.(check (list string))
+                  "mark lands under b" [ "tick" ]
+                  (List.map fst b.Trace.n_marks);
+                Alcotest.(check (list (pair string string)))
+                  "attrs survive" [ ("k", "v") ] c.Trace.n_attrs;
+                Alcotest.(check bool) "durations nest" true
+                  (a.Trace.n_dur_us
+                  >= b.Trace.n_dur_us +. c.Trace.n_dur_us)
+            | f ->
+                Alcotest.failf "expected one root, got %d" (List.length f)));
+    Alcotest.test_case "disabled tracer records nothing" `Quick (fun () ->
+        Trace.set_enabled false;
+        Trace.clear ();
+        let r = Trace.span ~name:"x" (fun () -> 7) in
+        Trace.mark "y";
+        Alcotest.(check int) "value passes through" 7 r;
+        Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+        Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ()));
+    Alcotest.test_case "span closes on exceptions" `Quick (fun () ->
+        with_tracing ~clock:(fake_clock ()) (fun () ->
+            (try Trace.span ~name:"boom" (fun () -> failwith "no") with
+            | Failure _ -> ());
+            match Trace.events () with
+            | [ b; e ] ->
+                Alcotest.(check bool) "B then E" true
+                  (b.Trace.ev_ph = Trace.B && e.Trace.ev_ph = Trace.E)
+            | evs -> Alcotest.failf "expected B/E, got %d events"
+                       (List.length evs)));
+    Alcotest.test_case "with_request allocates fresh trace ids" `Quick
+      (fun () ->
+        with_tracing ~clock:(fake_clock ()) (fun () ->
+            Trace.with_request ~name:"request" (fun () ->
+                Trace.span ~name:"inner" (fun () -> ()));
+            Trace.with_request ~name:"request" (fun () -> ());
+            let forest = Trace.forest () in
+            Alcotest.(check int) "two roots" 2 (List.length forest);
+            let tids = List.map (fun n -> n.Trace.n_tid) forest in
+            Alcotest.(check bool) "distinct tids" true
+              (List.nth tids 0 <> List.nth tids 1);
+            let root = List.hd forest in
+            List.iter
+              (fun child ->
+                Alcotest.(check int) "children inherit the request tid"
+                  root.Trace.n_tid child.Trace.n_tid)
+              root.Trace.n_children;
+            Alcotest.(check int) "tid restored after requests" 0
+              (Trace.current_tid ())));
+    Alcotest.test_case "ring overflow still exports a valid trace" `Quick
+      (fun () ->
+        let old_cap = Trace.capacity () in
+        Fun.protect
+          ~finally:(fun () -> Trace.set_capacity old_cap)
+          (fun () ->
+            Trace.set_capacity 64;
+            with_tracing ~clock:(fake_clock ()) (fun () ->
+                for _ = 1 to 1000 do
+                  Trace.span ~name:"s" (fun () -> Trace.mark "m")
+                done;
+                Alcotest.(check bool) "ring dropped events" true
+                  (Trace.dropped () > 0);
+                match Trace.validate_chrome (Trace.to_chrome_json ()) with
+                | Ok n -> Alcotest.(check bool) "events exported" true (n > 0)
+                | Error e -> Alcotest.failf "export invalid: %s" e)));
+    Alcotest.test_case "validator rejects unbalanced documents" `Quick
+      (fun () ->
+        let bad =
+          {|{"traceEvents":[{"name":"a","ph":"B","pid":1,"tid":3,"ts":0}]}|}
+        in
+        (match Trace.validate_chrome bad with
+        | Ok _ -> Alcotest.fail "unbalanced B accepted"
+        | Error _ -> ());
+        match Trace.validate_chrome "{\"events\":[]}" with
+        | Ok _ -> Alcotest.fail "missing traceEvents accepted"
+        | Error _ -> ());
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Chrome export golden                                            *)
+(* -------------------------------------------------------------- *)
+
+let golden_trace () =
+  with_tracing ~clock:(fake_clock ()) (fun () ->
+      Trace.with_request
+        ~attrs:[ ("arch", "kepler"); ("n", "4096") ]
+        ~name:"request"
+        (fun () ->
+          Trace.span ~attrs:[ ("bucket", "4096") ] ~name:"lookup" (fun () -> ());
+          Trace.span
+            ~attrs:[ ("version", "DT,A/direct:Vs"); ("rung", "0") ]
+            ~name:"rung"
+            (fun () ->
+              Trace.span
+                ~attrs:[ ("version", "DT,A/direct:Vs"); ("attempt", "0") ]
+                ~name:"attempt"
+                (fun () -> Trace.mark ~attrs:[ ("version", "DT,A/direct:Vs") ] "retry")));
+      Trace.to_chrome_json ())
+
+let golden_tests =
+  [
+    Alcotest.test_case "Chrome export matches the golden file" `Quick (fun () ->
+        let got = golden_trace () in
+        (* cwd is test/ under `dune runtest`, the repo root under
+           `dune exec test/test_obs.exe` *)
+        let path =
+          if Sys.file_exists "golden/obs_trace.json" then
+            "golden/obs_trace.json"
+          else "test/golden/obs_trace.json"
+        in
+        let ic = open_in_bin path in
+        let want = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Alcotest.(check string) "golden/obs_trace.json" (String.trim want)
+          (String.trim got));
+    Alcotest.test_case "golden trace passes the validator" `Quick (fun () ->
+        match Trace.validate_chrome (golden_trace ()) with
+        | Ok n -> Alcotest.(check int) "event count" 9 n
+        | Error e -> Alcotest.failf "invalid: %s" e);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Logger                                                          *)
+(* -------------------------------------------------------------- *)
+
+let with_captured_log ?(level = Log.Debug) ?(json = false) f =
+  let lines = ref [] in
+  Log.set_writer (fun l -> lines := l :: !lines);
+  Log.set_level level;
+  Log.set_json json;
+  Log.set_clock (fun () -> 1754462400.5);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.use_stderr ();
+      Log.set_level Log.Warn;
+      Log.set_json false;
+      Log.set_clock Unix.gettimeofday)
+    (fun () ->
+      f ();
+      List.rev !lines)
+
+let logger_tests =
+  [
+    Alcotest.test_case "levels below the threshold are suppressed" `Quick
+      (fun () ->
+        let lines =
+          with_captured_log ~level:Log.Warn (fun () ->
+              Log.debug "invisible %d" 1;
+              Log.info "invisible too";
+              Log.warn "visible";
+              Log.error "also visible")
+        in
+        Alcotest.(check (list string))
+          "only warn and error" [ "[warn] visible"; "[error] also visible" ]
+          lines);
+    Alcotest.test_case "text rendering appends fields" `Quick (fun () ->
+        let lines =
+          with_captured_log (fun () ->
+              Log.warn
+                ~fields:[ ("path", "cache.journal"); ("bytes", "132") ]
+                "corrupt record %s" "skipped")
+        in
+        Alcotest.(check (list string))
+          "field suffix"
+          [ "[warn] corrupt record skipped  (path=cache.journal, bytes=132)" ]
+          lines);
+    Alcotest.test_case "JSON mode emits one parseable object per line" `Quick
+      (fun () ->
+        let lines =
+          with_captured_log ~json:true (fun () ->
+              Log.info ~fields:[ ("arch", "kepler") ] "quarantined %S" "m")
+        in
+        match lines with
+        | [ line ] ->
+            let j = parse_json line in
+            Alcotest.(check string) "level" "info" (str (get "level" j));
+            Alcotest.(check string) "msg" "quarantined \"m\""
+              (str (get "msg" j));
+            Alcotest.(check string) "field" "kepler" (str (get "arch" j));
+            Alcotest.(check (float 1e-9)) "clock" 1754462400.5
+              (num (get "ts" j))
+        | l -> Alcotest.failf "expected one line, got %d" (List.length l));
+    Alcotest.test_case "level_of_string round-trips and rejects junk" `Quick
+      (fun () ->
+        List.iter
+          (fun l ->
+            match Log.level_of_string (Log.level_name l) with
+            | Some l' -> Alcotest.(check string) "round trip"
+                           (Log.level_name l) (Log.level_name l')
+            | None -> Alcotest.fail "level name did not parse")
+          [ Log.Error; Log.Warn; Log.Info; Log.Debug ];
+        Alcotest.(check bool) "junk rejected" true
+          (Log.level_of_string "loud" = None));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Trace-id propagation through the service under faults           *)
+(* -------------------------------------------------------------- *)
+
+let fault_service rate =
+  let fault = Fault.create (Fault.plan ~rate ~seed:1 ()) in
+  Service.create ~fault
+    ~candidates:(List.map V.of_figure6 [ "a"; "m"; "o" ])
+    (Lazy.force plan)
+
+let service_tests =
+  [
+    Alcotest.test_case "every span of a faulty request shares its trace id"
+      `Slow (fun () ->
+        let svc = fault_service 0.3 in
+        let stats = Service.stats svc in
+        with_tracing (fun () ->
+            for _ = 1 to 40 do
+              ignore (Service.submit svc (request (dense 4096)))
+            done;
+            let forest = Trace.forest () in
+            let roots =
+              List.filter (fun n -> n.Trace.n_name = "request") forest
+            in
+            Alcotest.(check int) "one root span per request" 40
+              (List.length roots);
+            (* the scenario actually fired *)
+            Alcotest.(check bool) "faults were injected" true
+              (Stats.faults stats > 0);
+            Alcotest.(check bool) "retries happened" true
+              (Stats.retries stats > 0);
+            List.iter
+              (fun root ->
+                Trace.fold_nodes
+                  (fun () n ->
+                    Alcotest.(check int) "descendant shares the request tid"
+                      root.Trace.n_tid n.Trace.n_tid)
+                  () [ root ])
+              roots;
+            let tids =
+              List.sort_uniq compare (List.map (fun n -> n.Trace.n_tid) roots)
+            in
+            Alcotest.(check int) "distinct trace id per request" 40
+              (List.length tids)));
+    Alcotest.test_case "span forest accounts for every retry and fallback"
+      `Slow (fun () ->
+        let svc = fault_service 0.3 in
+        let stats = Service.stats svc in
+        with_tracing (fun () ->
+            let responses = ref [] in
+            for _ = 1 to 40 do
+              responses :=
+                Service.submit svc (request (dense 4096)) :: !responses
+            done;
+            let responses = List.rev !responses in
+            let forest = Trace.forest () in
+            Alcotest.(check int) "one retry mark per counted retry"
+              (Stats.retries stats)
+              (count_marks "retry" forest);
+            (* every attempt beyond the first in a rung is a retry *)
+            let attempts = count_nodes (fun n -> n.Trace.n_name = "attempt") forest in
+            let rungs = count_nodes (fun n -> n.Trace.n_name = "rung") forest in
+            Alcotest.(check int) "attempts - rungs = retries"
+              (Stats.retries stats) (attempts - rungs);
+            (* the ladder walk spans every rung it attempts and marks every
+               quarantined rung it skips; the serving rung's ladder index is
+               resp_fallback, so per request the two together count
+               resp_fallback + 1 *)
+            let roots =
+              List.filter (fun n -> n.Trace.n_name = "request") forest
+            in
+            Alcotest.(check int) "a root per response" (List.length responses)
+              (List.length roots);
+            List.iter2
+              (fun resp root ->
+                if not resp.Service.resp_degraded then
+                  Alcotest.(check int)
+                    "rung spans + quarantined marks = resp_fallback + 1"
+                    (resp.Service.resp_fallback + 1)
+                    (count_nodes
+                       (fun n -> n.Trace.n_name = "rung")
+                       [ root ]
+                    + count_marks "rung.quarantined" [ root ])
+                else
+                  Alcotest.(check bool) "degraded requests are marked" true
+                    (count_marks "degraded" [ root ] > 0))
+              responses roots));
+    Alcotest.test_case "witness checks and re-executions are spanned" `Slow
+      (fun () ->
+        let fault =
+          Fault.create (Fault.plan ~rate:0.0 ~bitflip_rate:1.0 ~seed:5 ())
+        in
+        let svc =
+          Service.create ~fault
+            ~candidates:(List.map V.of_figure6 [ "a"; "m"; "o" ])
+            (Lazy.force plan)
+        in
+        let stats = Service.stats svc in
+        with_tracing (fun () ->
+            for _ = 1 to 30 do
+              ignore (Service.submit svc (request (dense 4096)))
+            done;
+            let forest = Trace.forest () in
+            Alcotest.(check bool) "sdc machinery fired" true
+              (Stats.sdc_reexecs stats > 0);
+            Alcotest.(check int) "one verify span per witness check"
+              (Stats.sdc_checks stats)
+              (count_nodes (fun n -> n.Trace.n_name = "verify") forest);
+            let reexecs =
+              count_nodes (fun n -> n.Trace.n_name = "reexec") forest
+            in
+            let votes = count_nodes (fun n -> n.Trace.n_name = "vote") forest in
+            Alcotest.(check int) "reexec + vote spans = counted re-executions"
+              (Stats.sdc_reexecs stats) (reexecs + votes);
+            Alcotest.(check int) "witness spans live inside verify spans"
+              (Stats.sdc_checks stats)
+              (count_nodes (fun n -> n.Trace.n_name = "witness") forest)));
+    Alcotest.test_case "service trace exports as valid Chrome JSON" `Slow
+      (fun () ->
+        let svc = fault_service 0.2 in
+        with_tracing (fun () ->
+            for _ = 1 to 10 do
+              ignore (Service.submit svc (request (dense 4096)))
+            done;
+            match Trace.validate_chrome (Trace.to_chrome_json ()) with
+            | Ok n -> Alcotest.(check bool) "events exported" true (n > 0)
+            | Error e -> Alcotest.failf "invalid: %s" e));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Kernel profiler                                                 *)
+(* -------------------------------------------------------------- *)
+
+let profiler_tests =
+  [
+    Alcotest.test_case "profiling is off by default and opt-in" `Quick
+      (fun () ->
+        let svc = Service.create (Lazy.force plan) in
+        Alcotest.(check bool) "off by default" false (Service.profiling svc);
+        ignore (Service.submit svc (request (dense 1024)));
+        Alcotest.(check int) "nothing recorded while off" 0
+          (List.length (Stats.kernel_rows (Service.stats svc)));
+        Service.set_profiling svc true;
+        ignore (Service.submit svc (request (dense 1024)));
+        let rows = Stats.kernel_rows (Service.stats svc) in
+        Alcotest.(check int) "one (arch, version) row" 1 (List.length rows);
+        let (_, _), (requests, totals) = List.hd rows in
+        Alcotest.(check int) "one request aggregated" 1 requests;
+        Alcotest.(check bool) "launches counted" true
+          (totals.Gpusim.Events.t_launches >= 1));
+    Alcotest.test_case "aggregation sums requests per (arch, version)" `Quick
+      (fun () ->
+        let svc = Service.create (Lazy.force plan) in
+        Service.set_profiling svc true;
+        for _ = 1 to 5 do
+          ignore (Service.submit svc (request (dense 1024)))
+        done;
+        let rows = Stats.kernel_rows (Service.stats svc) in
+        let total =
+          List.fold_left (fun acc (_, (r, _)) -> acc + r) 0 rows
+        in
+        Alcotest.(check int) "5 requests attributed" 5 total);
+    Alcotest.test_case
+      "profile counters separate shuffle from shared-memory versions" `Slow
+      (fun () ->
+        let p = Lazy.force plan in
+        let totals_for name =
+          let v =
+            List.find
+              (fun v -> V.name v = name)
+              (V.enumerate_pruned ())
+          in
+          let o =
+            R.run_compiled ~arch ~tunables:[ ("bsize", 128) ]
+              ~input:(dense 4096) (P.compiled p v)
+          in
+          Gpusim.Events.totals_of_list
+            (List.map
+               (fun lr -> lr.Gpusim.Interp.lr_events)
+               o.R.launch_results)
+        in
+        let shuffle = totals_for "DT,A/direct:Vs" in
+        let tree = totals_for "DT,A/direct:V" in
+        Alcotest.(check bool) "shuffle version executes shfl" true
+          (shuffle.Gpusim.Events.t_shfl_insts > 0.0);
+        Alcotest.(check (float 0.0)) "tree version executes no shfl" 0.0
+          tree.Gpusim.Events.t_shfl_insts;
+        Alcotest.(check bool) "tree version serialises shared memory more"
+          true
+          (tree.Gpusim.Events.t_shared_serial
+          > shuffle.Gpusim.Events.t_shared_serial);
+        (* totals_fields is the one name list every exporter shares *)
+        let fields = Gpusim.Events.totals_fields shuffle in
+        Alcotest.(check (float 0.0)) "totals_fields mirrors the record"
+          shuffle.Gpusim.Events.t_shfl_insts
+          (List.assoc "shfl_insts" fields);
+        Alcotest.(check (float 0.0)) "launches lead the field list"
+          (float_of_int shuffle.Gpusim.Events.t_launches)
+          (List.assoc "launches" fields));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Stats twins: JSON and Prometheus                                *)
+(* -------------------------------------------------------------- *)
+
+let exporter_tests =
+  [
+    Alcotest.test_case "to_json parses and mirrors the accessors" `Quick
+      (fun () ->
+        let svc = fault_service 0.2 in
+        Service.set_profiling svc true;
+        for _ = 1 to 20 do
+          ignore (Service.submit svc (request (dense 4096)))
+        done;
+        let stats = Service.stats svc in
+        let j = parse_json (Stats.to_json stats) in
+        let cache = get "cache" j in
+        Alcotest.(check (float 0.0)) "hits"
+          (float_of_int (Stats.hits stats))
+          (num (get "hits" cache));
+        Alcotest.(check (float 0.0)) "misses"
+          (float_of_int (Stats.misses stats))
+          (num (get "misses" cache));
+        let ft = get "fault_tolerance" j in
+        Alcotest.(check (float 0.0)) "retries"
+          (float_of_int (Stats.retries stats))
+          (num (get "retries" ft));
+        Alcotest.(check bool) "kernels array populated" true
+          (List.length (arr (get "kernels" j)) > 0);
+        Alcotest.(check string) "stable output" (Stats.to_json stats)
+          (Stats.to_json stats));
+    Alcotest.test_case "Prometheus exposition round-trips the counters" `Quick
+      (fun () ->
+        let svc = fault_service 0.2 in
+        for _ = 1 to 20 do
+          ignore (Service.submit svc (request (dense 4096)))
+        done;
+        let stats = Service.stats svc in
+        let text = Stats.to_prometheus stats in
+        let value_of metric =
+          let lines = String.split_on_char '\n' text in
+          let prefix = metric ^ " " in
+          match
+            List.find_opt
+              (fun l ->
+                String.length l > String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+              lines
+          with
+          | Some l ->
+              float_of_string
+                (String.sub l (String.length prefix)
+                   (String.length l - String.length prefix))
+          | None -> Alcotest.failf "metric %s not exposed" metric
+        in
+        Alcotest.(check (float 0.0)) "retries_total"
+          (float_of_int (Stats.retries stats))
+          (value_of "tangram_retries_total");
+        Alcotest.(check (float 0.0)) "faults_total"
+          (float_of_int (Stats.faults stats))
+          (value_of "tangram_faults_total");
+        Alcotest.(check (float 0.0)) "cache_hits_total"
+          (float_of_int (Stats.hits stats))
+          (value_of "tangram_cache_hits_total");
+        Alcotest.(check bool) "types declared" true
+          (contains ~needle:"# TYPE tangram_retries_total counter" text);
+        Alcotest.(check bool) "latency summary exposed" true
+          (contains ~needle:"tangram_latency_us{stage=\"run\",quantile=\"0.5\"}"
+             text));
+    Alcotest.test_case "quiet services keep the plain report" `Quick (fun () ->
+        let svc = Service.create (Lazy.force plan) in
+        for _ = 1 to 5 do
+          ignore (Service.submit svc (request (dense 1024)))
+        done;
+        let report = Stats.report (Service.stats svc) in
+        Alcotest.(check bool) "no kernel section without profiling" false
+          (contains ~needle:"kernel counters" report);
+        Alcotest.(check bool) "no fault section without faults" false
+          (contains ~needle:"fault tolerance" report));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("tracer", tracer_tests);
+      ("golden", golden_tests);
+      ("logger", logger_tests);
+      ("service", service_tests);
+      ("profiler", profiler_tests);
+      ("exporters", exporter_tests);
+    ]
