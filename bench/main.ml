@@ -635,6 +635,47 @@ let lint () =
     (fst !worst) (snd !worst)
 
 (* ------------------------------------------------------------------ *)
+(* Prover cost: wall time of the symbolic equivalence proof per        *)
+(* version, plus one proof-guided synthesis sweep                      *)
+(* ------------------------------------------------------------------ *)
+
+let prove () =
+  print_endline
+    "=== Symbolic-prover wall time per code version (all 88, sum spectrum) ===";
+  let plan = P.sum () in
+  let versions = V.enumerate () in
+  Printf.printf "%-42s %16s %11s\n" "version" "verdict" "wall (ms)";
+  let total = ref 0.0 in
+  let worst = ref (0.0, "-") in
+  List.iter
+    (fun v ->
+      let t0 = Unix.gettimeofday () in
+      let verdict = P.prove plan v in
+      let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      total := !total +. dt_ms;
+      if dt_ms > fst !worst then worst := (dt_ms, V.name v);
+      Printf.printf "%-42s %16s %11.2f\n" (V.name v)
+        (match verdict with
+        | Symbolic.Prove.Proved -> "exact"
+        | Symbolic.Prove.Proved_reassoc _ -> "reassoc"
+        | Symbolic.Prove.Refuted _ -> "REFUTED")
+        dt_ms)
+    versions;
+  Printf.printf
+    "\n%d versions proved in %.1f ms total (mean %.2f ms, worst %.2f ms on %s)\n"
+    (List.length versions) !total
+    (!total /. float_of_int (List.length versions))
+    (fst !worst) (snd !worst);
+  V.clear_synthesized ();
+  let t0 = Unix.gettimeofday () in
+  let r = P.synthesize plan in
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Printf.printf "synthesis sweep: %s in %.1f ms\n\n"
+    (Symbolic.Synth.describe_summary r.P.sr_summary)
+    dt_ms;
+  V.clear_synthesized ()
+
+(* ------------------------------------------------------------------ *)
 (* Observability: tracing overhead, disabled vs enabled vs exported    *)
 (* ------------------------------------------------------------------ *)
 
@@ -795,6 +836,7 @@ let all () =
   faults ();
   sdc ();
   lint ();
+  prove ();
   obs ();
   micro ()
 
@@ -818,11 +860,12 @@ let () =
           | "faults" -> faults ()
           | "sdc" -> sdc ()
           | "lint" -> lint ()
+          | "prove" -> prove ()
           | "obs" -> obs ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|obs|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|prove|obs|micro)\n"
                 other;
               exit 1)
         args

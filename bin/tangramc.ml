@@ -11,6 +11,10 @@
    - [check]    parse and semantically check a codelet source file;
    - [lint]     run the device-IR race sanitizer and perf lints over the
                 synthesized code versions and print the diagnostics;
+   - [prove]    machine-check code versions against the tree-loop
+                reference with the symbolic prover;
+   - [synth]    sweep the shuffle exchange space and register the
+                proof-checked survivors;
    - [serve]    run the reduction service against a synthetic request
                 trace and print the plan-cache metrics report. *)
 
@@ -276,6 +280,127 @@ let lint_cmd =
          "Run the barrier-phase race sanitizer and performance lints over \
           the synthesized code versions (exit 1 on any error diagnostic)")
     Term.(const run $ spectrum_arg $ source_arg $ json_arg $ all_variants_arg)
+
+(* ------------------------------------------------------------------ *)
+(* prove                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prove_cmd =
+  let json_arg =
+    let doc = "Print the verdicts as a JSON array instead of text lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let all_variants_arg =
+    let doc =
+      "Prove every code version in the search space (88 for sum), not just \
+       the pruned survivors."
+    in
+    Arg.(value & flag & info [ "all-variants" ] ~doc)
+  in
+  let run spectrum source json all_variants =
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let versions =
+          if all_variants then Tangram.all_versions ()
+          else Tangram.pruned_versions ()
+        in
+        let verdicts =
+          List.map (fun v -> (v, Tangram.Planner.prove plan v)) versions
+        in
+        let refuted =
+          List.filter
+            (fun (_, verdict) -> not (Tangram.Symbolic.Prove.proved verdict))
+            verdicts
+        in
+        if json then begin
+          let row (v, verdict) =
+            Tangram.Obs.Json.Obj
+              [
+                ("version", Tangram.Obs.Json.Str (Tangram.Version.name v));
+                ( "verdict",
+                  Tangram.Obs.Json.Str
+                    (match verdict with
+                    | Tangram.Symbolic.Prove.Proved -> "proved"
+                    | Tangram.Symbolic.Prove.Proved_reassoc _ ->
+                        "proved-reassoc"
+                    | Tangram.Symbolic.Prove.Refuted _ -> "refuted") );
+                ( "codes",
+                  Tangram.Obs.Json.Arr
+                    (List.map
+                       (fun c -> Tangram.Obs.Json.Str c)
+                       (Tangram.Symbolic.Prove.codes verdict)) );
+                ( "detail",
+                  Tangram.Obs.Json.Str (Tangram.Symbolic.Prove.describe verdict)
+                );
+              ]
+          in
+          print_endline
+            (Tangram.Obs.Json.to_string
+               (Tangram.Obs.Json.Arr (List.map row verdicts)))
+        end
+        else begin
+          List.iter
+            (fun (v, verdict) ->
+              Printf.printf "%-34s %s\n" (Tangram.Version.name v)
+                (Tangram.Symbolic.Prove.describe verdict))
+            verdicts;
+          let exact, reassoc =
+            List.fold_left
+              (fun (e, r) (_, verdict) ->
+                match verdict with
+                | Tangram.Symbolic.Prove.Proved -> (e + 1, r)
+                | Tangram.Symbolic.Prove.Proved_reassoc _ -> (e, r + 1)
+                | Tangram.Symbolic.Prove.Refuted _ -> (e, r))
+              (0, 0) verdicts
+          in
+          Printf.printf
+            "\n%d version(s) proved: %d exact, %d modulo reassociation, %d \
+             refuted\n"
+            (List.length verdicts) exact reassoc (List.length refuted)
+        end;
+        if refuted <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Machine-check every synthesized code version against the tree-loop \
+          reference with the symbolic prover (exit 1 on any refutation)")
+    Term.(const run $ spectrum_arg $ source_arg $ json_arg $ all_variants_arg)
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run spectrum source =
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let r = Tangram.Planner.synthesize plan in
+        List.iter
+          (fun (v, verdict) ->
+            Printf.printf "%-34s %s\n" (Tangram.Version.name v)
+              (Tangram.Symbolic.Prove.describe verdict))
+          r.Tangram.Planner.sr_verdicts;
+        Printf.printf "\n%s\n"
+          (Tangram.Symbolic.Synth.describe_summary
+             r.Tangram.Planner.sr_summary);
+        if r.Tangram.Planner.sr_registered <> [] then begin
+          Printf.printf "registered:\n";
+          List.iter
+            (fun v -> Printf.printf "  %s\n" (Tangram.Version.name v))
+            r.Tangram.Planner.sr_registered
+        end)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Enumerate the shuffle exchange space, prove each composed version \
+          and register the proof-checked survivors")
+    Term.(const run $ spectrum_arg $ source_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -616,6 +741,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd; serve_cmd;
-            profile_cmd; trace_check_cmd;
+            emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd;
+            prove_cmd; synth_cmd; serve_cmd; profile_cmd; trace_check_cmd;
           ]))

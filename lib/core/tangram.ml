@@ -50,6 +50,11 @@ module Vectorize = Device_ir.Vectorize
 module Ptx = Device_ir.Ptx
 module Serialize = Device_ir.Serialize
 module Ir_analysis = Device_ir.Analysis
+(* the symbolic shuffle engine: term normal forms, the warp-level
+   symbolic evaluator, the equivalence prover and proof-guided synthesis
+   ([Symbolic.Term], [Symbolic.Eval], [Symbolic.Prove], [Symbolic.Synth],
+   [Symbolic.Exchange]) *)
+module Symbolic = Symbolic
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
 module Stats = Runtime.Stats

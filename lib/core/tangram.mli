@@ -50,6 +50,12 @@ module Unroll = Device_ir.Unroll
 module Vectorize = Device_ir.Vectorize
 module Ptx = Device_ir.Ptx
 module Serialize = Device_ir.Serialize
+module Symbolic = Symbolic
+(** The symbolic shuffle engine: term normal forms ({!Symbolic.Term}),
+    the warp-level symbolic evaluator ({!Symbolic.Eval}), the
+    equivalence prover ({!Symbolic.Prove}) and proof-guided synthesis
+    ({!Symbolic.Synth}, {!Symbolic.Exchange}). *)
+
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
 module Stats = Runtime.Stats

@@ -21,32 +21,19 @@ let to_string d =
   let where = if d.loc = "" then d.kernel else d.kernel ^ " @ " ^ d.loc in
   Printf.sprintf "%s[%s] %s: %s" (severity_name d.severity) d.code where d.message
 
-(* Minimal JSON string escaping: the messages only ever contain printable
-   ASCII, but quotes/backslashes in array names must survive. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json d =
+  Obs.Json.Obj
+    [
+      ("code", Obs.Json.Str d.code);
+      ("severity", Obs.Json.Str (severity_name d.severity));
+      ("kernel", Obs.Json.Str d.kernel);
+      ("loc", Obs.Json.Str d.loc);
+      ("message", Obs.Json.Str d.message);
+    ]
 
-let to_json d =
-  Printf.sprintf
-    {|{"code":"%s","severity":"%s","kernel":"%s","loc":"%s","message":"%s"}|}
-    (json_escape d.code)
-    (severity_name d.severity)
-    (json_escape d.kernel) (json_escape d.loc) (json_escape d.message)
-
-let list_to_json ds =
-  "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+let list_json ds = Obs.Json.Arr (List.map json ds)
+let to_json d = Obs.Json.to_string (json d)
+let list_to_json ds = Obs.Json.to_string (list_json ds)
 
 let render ds = String.concat "\n" (List.map to_string ds)
 

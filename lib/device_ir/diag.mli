@@ -8,7 +8,10 @@
     Codes are stable identifiers, never reused:
     - [TVAL001] — well-formedness error from {!Validate};
     - [TSAN001..TSAN005] — race/synchronization errors from {!Race};
-    - [TLINT001..TLINT003] — performance lints (warnings) from {!Race}. *)
+    - [TLINT001..TLINT003] — performance lints (warnings) from {!Race};
+    - [TSYM001..TSYM004] — symbolic-equivalence refutations from
+      {!Symbolic.Prove} (refuted result term, aborted symbolic execution,
+      unsynchronized hazard, invalid shuffle geometry). *)
 
 type severity = Error | Warn
 
@@ -28,10 +31,16 @@ val severity_name : severity -> string
 (** ["error[TSAN001] reduce_block @ body[3].then[0]: ..."] *)
 val to_string : t -> string
 
-(** One-object JSON rendering, no trailing newline. *)
+(** Structured JSON value (rendered through {!Obs.Json}). *)
+val json : t -> Obs.Json.t
+
+(** JSON array of {!json} objects. *)
+val list_json : t list -> Obs.Json.t
+
+(** One-object JSON rendering of {!json}, no trailing newline. *)
 val to_json : t -> string
 
-(** JSON array of {!to_json} objects. *)
+(** JSON array rendering of {!list_json}. *)
 val list_to_json : t list -> string
 
 (** One {!to_string} line per diagnostic. *)

@@ -195,7 +195,12 @@ let version_by_name : (string, V.t) Hashtbl.t Lazy.t =
 let resolve_version (name : string) : V.t =
   match Hashtbl.find_opt (Lazy.force version_by_name) name with
   | Some v -> v
-  | None -> fail "plan-cache: unknown version %S" name
+  | None -> (
+      (* synthesized exchanges live outside the stock enumeration; a cache
+         written after a synthesis sweep may legitimately name one *)
+      match List.find_opt (fun v -> V.name v = name) (V.synthesized ()) with
+      | Some v -> v
+      | None -> fail "plan-cache: unknown version %S" name)
 
 let field (fields : S.sexp list) (name : string) : S.sexp list option =
   List.find_map

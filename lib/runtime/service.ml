@@ -193,9 +193,10 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
     (Plan_cache.entry, error) result =
   let rep = Plan_cache.representative_size k.Plan_cache.k_bucket in
   let t0 = now_us () in
-  (* planning: lower, validate, sanitize and compile every candidate
-     (memoized in the planner across buckets and architectures); a racy
-     variant must never be cached, let alone served *)
+  (* planning: lower, validate, sanitize, prove and compile every
+     candidate (memoized in the planner across buckets and
+     architectures); a racy or proof-refuted variant must never be
+     cached, let alone served *)
   let compiled =
     Obs.Trace.span
       ~attrs:[ ("candidates", string_of_int (List.length t.candidates)) ]
@@ -203,10 +204,13 @@ let plan_bucket (t : t) (arch : Gpusim.Arch.t) (k : Plan_cache.key) :
     @@ fun () ->
     List.filter_map
       (fun v ->
-        match P.compiled t.planner v with
-        | cp -> Some (v, cp)
-        | exception Device_ir.Validate.Invalid _ -> None
-        | exception Device_ir.Race.Racy _ -> None)
+        match P.prove t.planner v with
+        | Symbolic.Prove.Refuted _ -> None
+        | Symbolic.Prove.Proved | Symbolic.Prove.Proved_reassoc _ -> (
+            match P.compiled t.planner v with
+            | cp -> Some (v, cp)
+            | exception Device_ir.Validate.Invalid _ -> None
+            | exception Device_ir.Race.Racy _ -> None))
       t.candidates
   in
   Stats.plan_us t.stats (now_us () -. t0);
@@ -352,6 +356,18 @@ type attempt_failure = Af_transient of string | Af_fault of string
 let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
     ((R.outcome * int * float), attempt_failure) result =
   let vname = V.name rung.Plan_cache.r_version in
+  match P.prove t.planner rung.Plan_cache.r_version with
+  | Symbolic.Prove.Refuted failures ->
+      Error
+        (Af_fault
+           (Printf.sprintf "%s refuted by the symbolic prover: %s" vname
+              (String.concat "; "
+                 (List.map
+                    (fun (f : Symbolic.Prove.failure) ->
+                      Printf.sprintf "[%s] %s" f.Symbolic.Prove.f_code
+                        f.Symbolic.Prove.f_message)
+                    failures))))
+  | Symbolic.Prove.Proved | Symbolic.Prove.Proved_reassoc _ -> (
   match P.compiled t.planner rung.Plan_cache.r_version with
   | exception Device_ir.Validate.Invalid errs ->
       Error
@@ -407,7 +423,7 @@ let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
         | `Injected msg -> Error (Af_fault msg)
         | `Invalid msg -> Error (Af_fault (Printf.sprintf "%s: %s" vname msg))
       in
-      go 1 0 0.0
+      go 1 0 0.0)
 
 let response_of_outcome (t : t) (req : request) (rung : Plan_cache.rung)
     ~(hit : bool) ~(fallback : int) ~(retries : int) ~(backoff_us : float)

@@ -69,6 +69,22 @@ let bound ~(op : Tir.Ast.atomic_kind) ~(elem : Ir.scalar) ?version ~(n : int)
          for float comparisons *)
       Absolute (Float.max b 1e-12)
 
+(* A reassociation certificate from the symbolic prover records the
+   machine-measured rounding-step depth of one proved geometry (version
+   term depth plus reference chain depth). The [Absolute] bound derived
+   from [steps] tolerates [safety] times its analytic chain, so it
+   covers the certified reassociation iff the measured depth stays under
+   that safety-scaled chain. The [steps] shape model assumes 1024-thread
+   blocks; proof geometries tune much smaller blocks (a longer atomic
+   fan-in at tiny sizes), which the safety factor absorbs. *)
+let admits_certificate ?(version : V.t option) (c : Symbolic.Prove.cert) : bool
+    =
+  let n = max c.Symbolic.Prove.c_n 1 in
+  let nf = float_of_int n in
+  let analytic = nf +. (match version with Some v -> steps v n | None -> nf) in
+  float_of_int (c.Symbolic.Prove.c_depth + c.Symbolic.Prove.c_ref_depth)
+  <= safety *. analytic
+
 let acceptable (t : t) ~(expected : float) ~(got : float) : bool =
   match t with
   | Exact -> got = expected

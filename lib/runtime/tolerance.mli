@@ -28,6 +28,16 @@ val bound :
   unit ->
   t
 
+(** Whether the analytic model covers one of the symbolic prover's
+    reassociation certificates: true iff the safety-scaled rounding-step
+    chain the {!bound} computation assumes for [version] at the
+    certificate's size dominates the machine-measured term depth
+    recorded in the certificate. An admitted certificate means the
+    prover's modulo-reassociation equivalence is within the deviation
+    this module already tolerates. *)
+val admits_certificate :
+  ?version:Synthesis.Version.t -> Symbolic.Prove.cert -> bool
+
 (** Whether [got] is a legal answer when the true value is [expected].
     NaN and infinite [got] are never acceptable under an {!Absolute}
     bound; under {!Exact} only bitwise-equal finite values (or equal

@@ -1,0 +1,55 @@
+(* Shuffle exchange networks: the candidate space the synthesiser
+   enumerates and the prover filters.
+
+   An exchange is a straight-line sequence of shuffle-and-combine steps
+   run by every lane of a warp. Each step publishes the lane's partial,
+   reads a peer lane's partial through [shfl_down] (shift) or [shfl_xor]
+   (butterfly) at some width, and folds it in. A correct exchange leaves
+   the reduction of all 32 lane partials in lane 0; whether a given step
+   list does so is not decided here — the symbolic prover checks each
+   candidate after it is composed into a full version. *)
+
+module Ir = Device_ir.Ir
+
+type mode = Down | Xor
+
+type step = {
+  s_mode : mode;
+  s_arg : int;  (** shift distance ([Down]) or lane mask ([Xor]) *)
+  s_width : int;  (** shuffle width the step claims *)
+}
+
+(* Pure structural data: Synthesis.Version embeds exchanges in its
+   version type, which is compared and hashed structurally. *)
+type t = { x_name : string; x_steps : step list }
+
+let make name steps = { x_name = name; x_steps = steps }
+let name t = t.x_name
+let steps t = t.x_steps
+
+let down ?(width = 32) arg = { s_mode = Down; s_arg = arg; s_width = width }
+let xor ?(width = 32) arg = { s_mode = Xor; s_arg = arg; s_width = width }
+
+let describe_step s =
+  Printf.sprintf "%s(%d)@%d"
+    (match s.s_mode with Down -> "down" | Xor -> "xor")
+    s.s_arg s.s_width
+
+let describe t =
+  Printf.sprintf "%s: %s" t.x_name
+    (String.concat " ; " (List.map describe_step t.x_steps))
+
+(** Emit the exchange as IR statements folding the warp's partials held
+    in register [v], using [tmp] as the shuffle landing register and
+    [combine] as the operation's expression-level combiner. *)
+let warp_stage ~(combine : Ir.exp -> Ir.exp -> Ir.exp) ~(v : string)
+    ~(tmp : string) (t : t) : Ir.stmt list =
+  List.concat_map
+    (fun s ->
+      let shfl =
+        match s.s_mode with
+        | Down -> Ir.shfl_down tmp (Ir.Reg v) (Ir.Int s.s_arg) ~width:s.s_width
+        | Xor -> Ir.shfl_xor tmp (Ir.Reg v) (Ir.Int s.s_arg) ~width:s.s_width
+      in
+      [ shfl; Ir.let_ v (combine (Ir.Reg v) (Ir.Reg tmp)) ])
+    t.x_steps

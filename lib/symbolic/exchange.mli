@@ -1,0 +1,40 @@
+(** Shuffle exchange networks: straight-line shuffle-and-combine
+    sequences over a warp's partials, the raw material of proof-guided
+    synthesis. Values are pure structural data so {!Synthesis.Version}
+    can embed them in its structurally-compared version type. *)
+
+type mode = Down | Xor
+
+type step = {
+  s_mode : mode;
+  s_arg : int;  (** shift distance ([Down]) or lane mask ([Xor]) *)
+  s_width : int;  (** shuffle width the step claims *)
+}
+
+type t = { x_name : string; x_steps : step list }
+
+val make : string -> step list -> t
+val name : t -> string
+val steps : t -> step list
+
+(** [down ?width d] / [xor ?width m] build steps; [width] defaults to the
+    full 32-lane warp. *)
+val down : ?width:int -> int -> step
+
+val xor : ?width:int -> int -> step
+
+(** [describe t] renders the step list, e.g.
+    ["bfly32: xor(1)@32 ; xor(2)@32 ; ..."]. *)
+val describe : t -> string
+
+(** Emit the exchange as IR statements folding the warp's partials held
+    in register [v], using [tmp] as the shuffle landing register and
+    [combine] as the operation's expression-level combiner. Every lane
+    runs every step; correctness (the full warp reduction landing in
+    lane 0) is established by the symbolic prover, not assumed. *)
+val warp_stage :
+  combine:(Device_ir.Ir.exp -> Device_ir.Ir.exp -> Device_ir.Ir.exp) ->
+  v:string ->
+  tmp:string ->
+  t ->
+  Device_ir.Ir.stmt list

@@ -1,0 +1,49 @@
+(* Proof-guided synthesis: the enumerated shuffle exchange space.
+
+   The enumeration is deliberately unfiltered — it mixes classically
+   correct networks (down-shift trees, butterflies, segmented and
+   mixed-width hybrids) with plausible-looking broken ones (truncated
+   trees, an over-wide shuffle). No candidate is trusted: the planner
+   composes each into a full version and keeps only those the symbolic
+   prover certifies, so the broken seeds double as a built-in soundness
+   check that the proof filter actually rejects something. *)
+
+let candidates () : Exchange.t list =
+  let d = Exchange.down and x = Exchange.xor in
+  [
+    (* classic down-shift tree: lane 0 accumulates halves *)
+    Exchange.make "down32" [ d 16; d 8; d 4; d 2; d 1 ];
+    (* butterfly: every lane converges to the full reduction *)
+    Exchange.make "bfly32" [ x 1; x 2; x 4; x 8; x 16 ];
+    (* butterfly, descending masks — same network, different schedule *)
+    Exchange.make "bfly32r" [ x 16; x 8; x 4; x 2; x 1 ];
+    (* two 16-lane segment trees, then one cross-segment shift *)
+    Exchange.make "seg16+down"
+      [ d ~width:16 8; d ~width:16 4; d ~width:16 2; d ~width:16 1; d 16 ];
+    (* four 8-lane butterflies, then a two-level shift tree *)
+    Exchange.make "seg8+tree"
+      [ x ~width:8 1; x ~width:8 2; x ~width:8 4; d 8; d 16 ];
+    (* shift down to quarter-sums, finish with an 8-lane butterfly *)
+    Exchange.make "mix" [ d 16; d 8; x ~width:8 4; x ~width:8 2; x ~width:8 1 ];
+    (* broken: tree truncated before the last exchange — misses lanes *)
+    Exchange.make "down-short" [ d 16; d 8; d 4; d 2 ];
+    (* broken: butterfly missing its top mask — only half the warp *)
+    Exchange.make "bfly-short" [ x 1; x 2; x 4; x 8 ];
+    (* broken: 64-lane tree on 32-lane hardware *)
+    Exchange.make "wide64"
+      [ d ~width:64 32; d ~width:64 16; d ~width:64 8; d ~width:64 4;
+        d ~width:64 2; d ~width:64 1 ];
+  ]
+
+(** Outcome of one synthesis sweep. *)
+type summary = {
+  sy_enumerated : int;
+  sy_proven : int;  (** distinct composed versions the prover certified *)
+  sy_refuted : int;
+  sy_registered : int;  (** versions registered into the version space *)
+}
+
+let describe_summary s =
+  Printf.sprintf
+    "%d exchanges enumerated -> %d version(s) proven, %d refuted, %d registered"
+    s.sy_enumerated s.sy_proven s.sy_refuted s.sy_registered

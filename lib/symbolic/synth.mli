@@ -1,0 +1,18 @@
+(** Proof-guided synthesis: the enumerated shuffle exchange space.
+
+    {!candidates} deliberately mixes classically correct networks with
+    plausible-looking broken ones; {!Synthesis.Planner.synthesize}
+    composes each into full versions and registers only those
+    {!Prove.equiv} certifies. *)
+
+val candidates : unit -> Exchange.t list
+
+(** Outcome of one synthesis sweep. *)
+type summary = {
+  sy_enumerated : int;
+  sy_proven : int;  (** distinct composed versions the prover certified *)
+  sy_refuted : int;
+  sy_registered : int;  (** versions registered into the version space *)
+}
+
+val describe_summary : summary -> string

@@ -87,6 +87,55 @@ let thread_map (pattern : Ast.access_pattern) (i : Ir.exp) : Ir.exp =
   | Ast.Strided -> Ir.(tid +: (i *: bdim))
 
 (* ------------------------------------------------------------------ *)
+(* Synthesized shuffle exchanges                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A proof-checked exchange network stands in for a cooperative codelet:
+   emitted straight at the IR level (there is no TIR codelet behind it).
+   Stage 1 folds each warp's partials with the exchange; warp leaders
+   park their results in a 32-cell shared array (seeded with the
+   identity so dead-warp slots read clean), and every warp redundantly
+   folds the slots with the canonical down-shift tree — shuffles stay
+   out of divergent control, the same discipline the stock shuffle
+   codelets follow, and thread 0 ends up with the block total. Returns
+   the result register, the statements, and the shared declaration. *)
+let exchange_reduce (ctx : context) (e : Symbolic.Exchange.t) ~(v : string) :
+    string * Ir.stmt list * Ir.shared_decl list =
+  let combine = Lower.combine_exp ctx.op in
+  let ident = Lower.identity_exp ctx.op ctx.elem in
+  let wpart = fresh ctx "wpart" in
+  let tmp = fresh ctx "xc" in
+  let res = fresh ctx "xr" in
+  let tmp2 = fresh ctx "xc2" in
+  let stage1 = Symbolic.Exchange.warp_stage ~combine ~v ~tmp e in
+  let tree =
+    List.concat_map
+      (fun d ->
+        [
+          Ir.shfl_down tmp2 (Ir.Reg res) (Ir.Int d) ~width:32;
+          Ir.let_ res (combine (Ir.Reg res) (Ir.Reg tmp2));
+        ])
+      [ 16; 8; 4; 2; 1 ]
+  in
+  let body =
+    stage1
+    @ [
+        Ir.if_ Ir.(tid <: Int 32) [ Ir.store_shared wpart Ir.tid ident ] [];
+        Ir.Sync;
+        Ir.if_
+          Ir.(lane_id =: Int 0)
+          [ Ir.store_shared wpart Ir.warp_id (Ir.Reg v) ]
+          [];
+        Ir.Sync;
+        Ir.load_shared res wpart Ir.lane_id;
+      ]
+    @ tree
+  in
+  ( res,
+    body,
+    [ { Ir.sh_name = wpart; sh_ty = ctx.elem; sh_size = Ir.Static_size 32 } ] )
+
+(* ------------------------------------------------------------------ *)
 (* Block-level pieces                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -103,6 +152,27 @@ let lower_block (ctx : context) (v : Version.t) : block_piece =
   let gmap = grid_map v.Version.grid_pattern in
   let bound = Ir.Param "SourceSize" in
   match v.Version.block with
+  | Version.Direct (Version.X e) ->
+      (* one guarded element per thread straight off the grid map, then
+         the synthesized exchange *)
+      let xv = fresh ctx "xv" in
+      let gi = fresh ctx "gi" in
+      let load =
+        [
+          Ir.let_ xv (Lower.identity_exp ctx.op ctx.elem);
+          Ir.let_ gi (gmap Ir.tid);
+          Ir.if_ Ir.(Reg gi <: bound) [ Ir.load_global xv "input_x" (Ir.Reg gi) ] [];
+        ]
+      in
+      let res, body, shared = exchange_reduce ctx e ~v:xv in
+      {
+        bp_body = load @ body;
+        bp_shared = shared;
+        bp_result = Some res;
+        bp_dynamic = false;
+        bp_extra_arrays = [];
+        bp_needs_coarsen = false;
+      }
   | Version.Direct c ->
       let lc =
         Lower.lower_codelet ~fresh:(fresh ctx) ~prefix:"c" ~op:ctx.op ~elem:ctx.elem
@@ -162,6 +232,16 @@ let lower_block (ctx : context) (v : Version.t) : block_piece =
       in
       let tval = serial.Lower.lc_result in
       match finisher with
+      | Version.F_coop (Version.X e) ->
+          let res, body, shared = exchange_reduce ctx e ~v:tval in
+          {
+            bp_body = serial.Lower.lc_body @ body;
+            bp_shared = serial.Lower.lc_shared @ shared;
+            bp_result = Some res;
+            bp_dynamic = serial.Lower.lc_needs_dynamic;
+            bp_extra_arrays = [];
+            bp_needs_coarsen = true;
+          }
       | Version.F_coop c ->
           let fin =
             Lower.lower_codelet ~fresh:(fresh ctx) ~prefix:"f" ~op:ctx.op

@@ -27,6 +27,7 @@ type t = {
   op : Ast.atomic_kind;
   elem : Ir.scalar;
   cache : (Version.t, Gpusim.Runner.compiled_program) Hashtbl.t;
+  prove_cache : (Version.t, Symbolic.Prove.verdict) Hashtbl.t;
 }
 
 exception Plan_error of string
@@ -65,7 +66,16 @@ let create ?(elem = Ir.F32) (unit_info : (Ast.codelet * Check.info) list) : t =
     | Some op -> op
     | None -> Ast.At_add
   in
-  { unit_info; variants; spectrum; combiner; op; elem; cache = Hashtbl.create 32 }
+  {
+    unit_info;
+    variants;
+    spectrum;
+    combiner;
+    op;
+    elem;
+    cache = Hashtbl.create 32;
+    prove_cache = Hashtbl.create 32;
+  }
 
 let sum () = create (Builtins.sum_unit ())
 let max_reduction () = create (Builtins.max_unit ())
@@ -92,16 +102,46 @@ let compiled (t : t) (v : Version.t) : Gpusim.Runner.compiled_program =
       Hashtbl.add t.cache v cp;
       cp
 
+(** Machine-check [v] against the tree-loop reference with the symbolic
+    prover; cached per version. Total like {!lint}: a version whose
+    composition itself fails refutes with [TSYM002] instead of raising. *)
+let prove (t : t) (v : Version.t) : Symbolic.Prove.verdict =
+  match Hashtbl.find_opt t.prove_cache v with
+  | Some verdict -> verdict
+  | None ->
+      let verdict =
+        Obs.Trace.span
+          ~attrs:[ ("version", Version.name v) ]
+          ~name:"prove"
+          (fun () ->
+            match program t v with
+            | p -> Symbolic.Prove.equiv ~op:(Lower.ir_atomic_op t.op) ~elem:t.elem p
+            | exception e ->
+                Symbolic.Prove.Refuted
+                  [
+                    {
+                      Symbolic.Prove.f_code = "TSYM002";
+                      f_geometry = "";
+                      f_message =
+                        Printf.sprintf "composition failed: %s" (Printexc.to_string e);
+                    };
+                  ])
+      in
+      Hashtbl.add t.prove_cache v verdict;
+      verdict
+
 (** All sanitizer diagnostics for one version: well-formedness errors
-    (via {!Device_ir.Validate}, rendered as [TVAL001] diagnostics) plus
-    the {!Device_ir.Race} barrier-phase race report. Unlike {!compiled}
-    this never raises on a bad variant — it is the reporting path of
-    [tangramc lint]. *)
+    (via {!Device_ir.Validate}, rendered as [TVAL001] diagnostics), the
+    {!Device_ir.Race} barrier-phase race report, and the symbolic
+    prover's verdict ([TSYM...] refutations via {!prove}). Unlike
+    {!compiled} this never raises on a bad variant — it is the reporting
+    path of [tangramc lint]. *)
 let lint (t : t) (v : Version.t) : Device_ir.Diag.t list =
   let p = program t v in
   Device_ir.Diag.sort
     (Device_ir.Validate.to_diags (Device_ir.Validate.check_program p)
-    @ Device_ir.Race.check_program p)
+    @ Device_ir.Race.check_program p
+    @ Symbolic.Prove.to_diags ~program:p.Ir.p_name (prove t v))
 
 (** Stable string renderings of the planner's operation and element type,
     used by the runtime layer as plan-cache key components. *)
@@ -162,3 +202,72 @@ let run ?(opts = Gpusim.Interp.exact) ~(arch : Gpusim.Arch.t)
     ?(tunables : (string * int) list option) (t : t)
     ~(input : Gpusim.Runner.input) (v : Version.t) : Gpusim.Runner.outcome =
   Gpusim.Runner.run_compiled ~opts ~arch ?tunables ~input (compiled t v)
+
+(* ------------------------------------------------------------------ *)
+(* Proof-guided synthesis                                              *)
+(* ------------------------------------------------------------------ *)
+
+type synth_result = {
+  sr_summary : Symbolic.Synth.summary;
+  sr_registered : Version.t list;
+  sr_verdicts : (Version.t * Symbolic.Prove.verdict) list;
+}
+
+(** Sweep the {!Symbolic.Synth} exchange space: compose each candidate
+    exchange as a direct block scheme (plus, for the first two proven
+    exchanges, as tiled/strided compound finishers), prove every composed
+    version, and {!Version.register_synthesized} the survivors that also
+    compile. Refuted candidates — the enumeration seeds some on purpose —
+    are reported in [sr_verdicts], never registered. *)
+let synthesize (t : t) : synth_result =
+  let exchanges = Symbolic.Synth.candidates () in
+  let ga block = { Version.grid_pattern = Ast.Tiled; grid_finish = Version.Atomic; block } in
+  let direct e = ga (Version.Direct (Version.X e)) in
+  let compound pat e = ga (Version.Compound (pat, Version.F_coop (Version.X e))) in
+  let judged_direct =
+    List.map (fun e -> (e, direct e, prove t (direct e))) exchanges
+  in
+  let proven_exchanges =
+    List.filter_map
+      (fun (e, _, verdict) -> if Symbolic.Prove.proved verdict then Some e else None)
+      judged_direct
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let compounds =
+    List.concat_map
+      (fun e -> [ compound Ast.Tiled e; compound Ast.Strided e ])
+      (take 2 proven_exchanges)
+  in
+  let verdicts =
+    List.map (fun (_, v, verdict) -> (v, verdict)) judged_direct
+    @ List.map (fun v -> (v, prove t v)) compounds
+  in
+  let registered =
+    List.filter_map
+      (fun (v, verdict) ->
+        if Symbolic.Prove.proved verdict then
+          match compiled t v with
+          | _ ->
+              Version.register_synthesized v;
+              Some v
+          | exception _ -> None
+        else None)
+      verdicts
+  in
+  let proven =
+    List.length (List.filter (fun (_, verdict) -> Symbolic.Prove.proved verdict) verdicts)
+  in
+  {
+    sr_summary =
+      {
+        Symbolic.Synth.sy_enumerated = List.length exchanges;
+        sy_proven = proven;
+        sy_refuted = List.length verdicts - proven;
+        sy_registered = List.length registered;
+      };
+    sr_registered = registered;
+    sr_verdicts = verdicts;
+  }

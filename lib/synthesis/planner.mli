@@ -15,6 +15,7 @@ type t = {
   op : Tir.Ast.atomic_kind;
   elem : Device_ir.Ir.scalar;
   cache : (Version.t, Gpusim.Runner.compiled_program) Hashtbl.t;
+  prove_cache : (Version.t, Symbolic.Prove.verdict) Hashtbl.t;
 }
 
 exception Plan_error of string
@@ -42,9 +43,15 @@ val program : t -> Version.t -> Device_ir.Ir.program
 (** Validated and compiled, cached per version. *)
 val compiled : t -> Version.t -> Gpusim.Runner.compiled_program
 
+(** Machine-check one version against the tree-loop reference with the
+    symbolic prover ({!Symbolic.Prove.equiv}); cached per version. Total:
+    composition failures refute with [TSYM002] instead of raising. *)
+val prove : t -> Version.t -> Symbolic.Prove.verdict
+
 (** All sanitizer diagnostics for one version (validator errors as
-    [TVAL001] plus the {!Device_ir.Race} report), sorted errors-first.
-    Never raises on a bad variant. *)
+    [TVAL001], the {!Device_ir.Race} report, and [TSYM...] refutations
+    from {!prove}), sorted errors-first. Never raises on a bad
+    variant. *)
 val lint : t -> Version.t -> Device_ir.Diag.t list
 
 (** Stable rendering of the combining operation ("atomicAdd", ...), a
@@ -79,3 +86,14 @@ val run :
   input:Gpusim.Runner.input ->
   Version.t ->
   Gpusim.Runner.outcome
+
+type synth_result = {
+  sr_summary : Symbolic.Synth.summary;
+  sr_registered : Version.t list;
+  sr_verdicts : (Version.t * Symbolic.Prove.verdict) list;
+}
+
+(** Sweep the {!Symbolic.Synth} exchange space: compose each candidate,
+    prove every composed version, and register the proof-checked,
+    compiling survivors with {!Version.register_synthesized}. *)
+val synthesize : t -> synth_result

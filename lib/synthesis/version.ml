@@ -39,14 +39,24 @@ type coop =
           pass. Not part of the paper's 89-version search space; only
           enumerated with [~extensions:true] and used by the ablation
           bench. *)
+  | X of Symbolic.Exchange.t
+      (** a synthesized shuffle exchange ({!Symbolic.Synth}), emitted
+          directly at the IR level rather than lowered from a TIR codelet.
+          Never part of {!enumerate}'s stock space; versions built on it
+          enter the pipeline only through the synthesized-version
+          {!register_synthesized} registry, and only after the symbolic
+          prover certifies them. *)
 
 let all_coops = [ V; Vs; A1; A2; A2s ]
 let extension_coops = [ A1g ]
 
 let coop_name = function
   | V -> "V" | Vs -> "Vs" | A1 -> "A1" | A2 -> "A2" | A2s -> "A2s" | A1g -> "A1g"
+  | X e -> "X." ^ Symbolic.Exchange.name e
 
-(** The variant tag (from {!Passes.Driver}) implementing each shape. *)
+(** The variant tag (from {!Passes.Driver}) implementing each shape.
+    Synthesized exchanges have no TIR variant — {!Compose} emits their IR
+    directly, so looking one up here is a composition bug. *)
 let coop_variant_name = function
   | V -> "coop_tree"
   | Vs -> "coop_tree+shfl"
@@ -54,9 +64,13 @@ let coop_variant_name = function
   | A2 -> "shared_v2"
   | A2s -> "shared_v2+shfl"
   | A1g -> "shared_v1+agg"
+  | X e ->
+      invalid_arg
+        (Printf.sprintf "synthesized exchange %S has no TIR variant"
+           (Symbolic.Exchange.name e))
 
-let coop_uses_shuffle = function Vs | A2s | A1g -> true | V | A1 | A2 -> false
-let coop_uses_shared_atomic = function A1 | A2 | A2s | A1g -> true | V | Vs -> false
+let coop_uses_shuffle = function Vs | A2s | A1g | X _ -> true | V | A1 | A2 -> false
+let coop_uses_shared_atomic = function A1 | A2 | A2s | A1g -> true | V | Vs | X _ -> false
 
 (** How per-thread partials are combined within a block (compound block
     schemes only). *)
@@ -189,6 +203,26 @@ let enumerate ?(extensions = false) () : t list =
     finishing with atomic instructions on global memory. *)
 let enumerate_pruned () : t list =
   List.filter (fun v -> not (needs_second_kernel v)) (enumerate ())
+
+(* ------------------------------------------------------------------ *)
+(* Synthesized versions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Kept out of enumerate() on purpose: the stock space is the paper's
+   fixed 88 and several tests assert its census. Proof-checked
+   synthesized versions live in this process-wide registry and are
+   appended to candidate lists explicitly (planner, service, bench). *)
+let synthesized_registry : t list ref = ref []
+
+(** Register a proof-checked synthesized version (idempotent). *)
+let register_synthesized (v : t) : unit =
+  if not (List.mem v !synthesized_registry) then
+    synthesized_registry := !synthesized_registry @ [ v ]
+
+(** All synthesized versions registered so far, in registration order. *)
+let synthesized () : t list = !synthesized_registry
+
+let clear_synthesized () : unit = synthesized_registry := []
 
 (** Search-space accounting mirroring Section IV-B's buckets. *)
 type census = {

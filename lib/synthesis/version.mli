@@ -20,12 +20,19 @@ type coop =
   | A1g
       (** A1 with warp-aggregated atomics (the Section III-D future-work
           extension); only enumerated with [~extensions:true]. *)
+  | X of Symbolic.Exchange.t
+      (** a synthesized shuffle exchange ({!Symbolic.Synth}), emitted
+          directly at the IR level; enters the pipeline only through
+          {!register_synthesized}, after the symbolic prover certifies
+          the composed version. *)
 
 val all_coops : coop list
 val extension_coops : coop list
 val coop_name : coop -> string
 
-(** The {!Passes.Driver} variant tag implementing each shape. *)
+(** The {!Passes.Driver} variant tag implementing each shape.
+    @raise Invalid_argument on synthesized exchanges, which have no TIR
+    variant. *)
 val coop_variant_name : coop -> string
 
 val coop_uses_shuffle : coop -> bool
@@ -90,6 +97,15 @@ val enumerate : ?extensions:bool -> unit -> t list
 
 (** The paper's pruning: versions not needing a second kernel launch. *)
 val enumerate_pruned : unit -> t list
+
+(** Register a proof-checked synthesized version (idempotent). The stock
+    {!enumerate} space never includes these; candidate lists opt in. *)
+val register_synthesized : t -> unit
+
+(** All synthesized versions registered so far, in registration order. *)
+val synthesized : unit -> t list
+
+val clear_synthesized : unit -> unit
 
 (** Section IV-B's accounting buckets. *)
 type census = {
