@@ -20,6 +20,8 @@
                                                  code version (all 88)
      dune exec bench/main.exe obs             -- tracing overhead: disabled vs
                                                  enabled vs Chrome-trace export
+     dune exec bench/main.exe overload        -- goodput vs offered load with
+                                                 shedding/deadlines/brownout
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
@@ -755,6 +757,106 @@ let obs () =
   if overhead >= 0.01 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Overload resilience: goodput vs offered load                        *)
+(* ------------------------------------------------------------------ *)
+
+let overload () =
+  print_endline
+    "=== Overload resilience: goodput vs offered load, protected vs \
+     unprotected ===";
+  let requests = 600 and seed = 7 in
+  let spec = Runtime.Trace.default ~requests ~seed () in
+  (* one warmed plan cache shared by every run: the sweep measures the
+     admission layer, not cold plan/tune sweeps *)
+  let cache = Runtime.Plan_cache.create () in
+  ignore
+    (Runtime.Trace.replay ~batch_size:256
+       (Runtime.Service.create ~cache (P.sum ()))
+       (Runtime.Trace.generate spec));
+  (* capacity estimate: mean warm virtual cost per request over the
+     trace's own mix *)
+  let base = Runtime.Admission.default in
+  let mean_cost_us =
+    let svc = Runtime.Service.create ~cache (P.sum ()) in
+    let reqs = Runtime.Trace.generate spec in
+    List.fold_left
+      (fun acc (arch, n) ->
+        let r =
+          Runtime.Service.submit svc
+            {
+              Runtime.Service.req_arch = arch;
+              req_input = Runtime.Trace.replay_input ~dense_upto:0 n;
+            }
+        in
+        acc +. r.Runtime.Service.resp_sim_us
+        +. base.Runtime.Admission.a_cost_hit_us)
+      0.0 reqs
+    /. float_of_int requests
+  in
+  let capacity_rps = 1e6 /. mean_cost_us in
+  Printf.printf
+    "trace: %d requests, sizes 64..268M, warm cache; mean virtual cost %.0f \
+     us -> capacity ~%.0f rps\n\n"
+    requests mean_cost_us capacity_rps;
+  let run config rate_rps =
+    let svc = Runtime.Service.create ~cache (P.sum ()) in
+    Runtime.Admission.replay ~config svc
+      (Runtime.Trace.arrivals ~rate_rps spec)
+  in
+  let protected_cfg =
+    { base with Runtime.Admission.a_brownout = true }
+  in
+  let unprotected_cfg = Runtime.Admission.unprotected base in
+  Printf.printf "%-8s %-9s | %13s %10s %6s %5s %8s | %13s %10s %6s\n" "load"
+    "offered" "prot goodput" "p95" "shed" "bout" "violate" "unprot gdput" "p95"
+    "viol";
+  let protected_goodputs =
+    List.map
+      (fun mult ->
+        let rate = capacity_rps *. mult in
+        let p = run protected_cfg rate in
+        let u = run unprotected_cfg rate in
+        Printf.printf
+          "%-8s %7.0f/s | %9.0f rps %7.1f ms %6d %5d %8d | %9.0f rps %7.1f ms \
+           %6d\n"
+          (Printf.sprintf "%.1fx" mult)
+          rate p.Runtime.Admission.a_goodput_rps
+          (p.Runtime.Admission.a_p95_us /. 1e3)
+          p.Runtime.Admission.a_shed p.Runtime.Admission.a_max_brownout
+          p.Runtime.Admission.a_interactive_violations
+          u.Runtime.Admission.a_goodput_rps
+          (u.Runtime.Admission.a_p95_us /. 1e3)
+          u.Runtime.Admission.a_violations;
+        (mult, p.Runtime.Admission.a_goodput_rps, u))
+      [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  (* the acceptance bar: with shedding + brownout, goodput at 4x offered
+     load must hold within 20% of the peak across the sweep, while the
+     unprotected service collapses past saturation *)
+  let peak =
+    List.fold_left (fun m (_, g, _) -> Float.max m g) 0.0 protected_goodputs
+  in
+  let at4, u4 =
+    match List.rev protected_goodputs with
+    | (_, g, u) :: _ -> (g, u)
+    | [] -> assert false
+  in
+  let held = at4 >= 0.8 *. peak in
+  let collapsed =
+    u4.Runtime.Admission.a_goodput_rps < 0.5 *. peak
+    || u4.Runtime.Admission.a_violations > 0
+  in
+  Printf.printf
+    "\nprotected goodput at 4x: %.0f rps vs peak %.0f rps (%.0f%%) -- %s\n"
+    at4 peak
+    (100.0 *. at4 /. Float.max peak 1e-9)
+    (if held then "OK (>= 80%)" else "FAIL (< 80%)");
+  Printf.printf "unprotected at 4x: %.0f rps goodput, %d late completions -- %s\n\n"
+    u4.Runtime.Admission.a_goodput_rps u4.Runtime.Admission.a_violations
+    (if collapsed then "collapsed as expected" else "FAIL (did not collapse)");
+  if not (held && collapsed) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -838,6 +940,7 @@ let all () =
   lint ();
   prove ();
   obs ();
+  overload ();
   micro ()
 
 let () =
@@ -862,10 +965,11 @@ let () =
           | "lint" -> lint ()
           | "prove" -> prove ()
           | "obs" -> obs ()
+          | "overload" -> overload ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|prove|obs|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|prove|obs|overload|micro)\n"
                 other;
               exit 1)
         args

@@ -187,7 +187,8 @@ let validate_service_flags ~requests ~batch ~fault_rate ~retry_max
   if verify_sample < 1 then usage_error "--verify-sample must be at least 1"
 
 let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-    ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~(obs : Obs_cli.t) =
+    ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~(obs : Obs_cli.t)
+    ~(overload : Overload_cli.t) =
   validate_service_flags ~requests ~batch ~fault_rate ~retry_max ~bitflip_rate
     ~verify_sample;
   let plan = Tangram.plan (Tangram.create ()) in
@@ -238,15 +239,25 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
       bitflip_rate fault_seed
       (if no_verify then "OFF" else "on");
   let spec = Tangram.Trace.default ~requests ~seed ~archs:[ arch ] () in
-  let trace = Tangram.Trace.generate spec in
-  Printf.printf "replaying %d mixed-size requests on %s (batch %d)...\n" requests
-    arch.Tangram.Arch.name batch;
-  (* sizes <= 4096 replay as dense inputs: they run exact, so the SDC
-     guard witness-checks them *)
-  let summary =
-    Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
-  in
-  Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
+  (match overload.Overload_cli.rate_rps with
+  | Some rate_rps ->
+      (* open-loop: timestamped Poisson arrivals through the admission
+         queue, deadline budgets and (optionally) the brownout ladder *)
+      Printf.printf "replaying %d mixed-size requests open-loop on %s...\n"
+        requests arch.Tangram.Arch.name;
+      ignore
+        (Overload_cli.run_open_loop ~exe:"reduce-explorer" overload ~rate_rps
+           ~dense_upto:4096 svc spec)
+  | None ->
+      let trace = Tangram.Trace.generate spec in
+      Printf.printf "replaying %d mixed-size requests on %s (batch %d)...\n"
+        requests arch.Tangram.Arch.name batch;
+      (* sizes <= 4096 replay as dense inputs: they run exact, so the SDC
+         guard witness-checks them *)
+      let summary =
+        Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
+      in
+      Format.printf "%a@.@." Tangram.Trace.pp_summary summary);
   print_string (Obs_cli.render_report obs (Tangram.Service.stats svc));
   Obs_cli.save_trace obs;
   Obs_cli.write_metrics obs (Tangram.Service.stats svc);
@@ -260,12 +271,12 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
 
 let run arch_name n version all baselines events tune program_file service
     requests seed batch cache_file fault_rate fault_seed retry_max bitflip_rate
-    verify_sample no_verify obs =
+    verify_sample no_verify obs overload =
   Obs_cli.setup ~exe:"reduce-explorer" obs;
   let arch = lookup_arch arch_name in
   if service then (
     run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-      ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~obs;
+      ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~obs ~overload;
     exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
@@ -334,6 +345,6 @@ let () =
       $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
       $ seed_arg $ batch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
       $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
-      $ Obs_cli.term)
+      $ Obs_cli.term $ Overload_cli.term)
   in
   exit (Cmd.eval (Cmd.v info term))

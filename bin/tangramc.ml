@@ -466,7 +466,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "no-verify" ] ~doc)
   in
   let run spectrum source requests seed batch arch_name cache_file fault_rate
-      fault_seed retry_max bitflip_rate verify_sample no_verify obs =
+      fault_seed retry_max bitflip_rate verify_sample no_verify obs overload =
     Obs_cli.setup ~exe:"tangramc serve" obs;
     let usage_error msg =
       Printf.eprintf "tangramc serve: %s\n" msg;
@@ -543,15 +543,29 @@ let serve_cmd =
             bitflip_rate fault_seed
             (if no_verify then "OFF" else "on");
         let spec = Tangram.Trace.default ~requests ~seed ~archs () in
-        let trace = Tangram.Trace.generate spec in
-        Printf.printf "replaying %d mixed-size requests over %d architecture(s)...\n"
-          requests (List.length archs);
-        (* sizes <= 4096 replay as dense inputs: they run exact, so the
-           SDC guard witness-checks them *)
-        let summary =
-          Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
-        in
-        Format.printf "%a@.@." Tangram.Trace.pp_summary summary;
+        (match overload.Overload_cli.rate_rps with
+        | Some rate_rps ->
+            (* open-loop: timestamped Poisson arrivals through the
+               admission queue, deadline budgets and (optionally) the
+               brownout ladder *)
+            Printf.printf
+              "replaying %d mixed-size requests open-loop over %d \
+               architecture(s)...\n"
+              requests (List.length archs);
+            ignore
+              (Overload_cli.run_open_loop ~exe:"tangramc serve" overload
+                 ~rate_rps ~dense_upto:4096 svc spec)
+        | None ->
+            let trace = Tangram.Trace.generate spec in
+            Printf.printf
+              "replaying %d mixed-size requests over %d architecture(s)...\n"
+              requests (List.length archs);
+            (* sizes <= 4096 replay as dense inputs: they run exact, so
+               the SDC guard witness-checks them *)
+            let summary =
+              Tangram.Trace.replay ~batch_size:batch ~dense_upto:4096 svc trace
+            in
+            Format.printf "%a@.@." Tangram.Trace.pp_summary summary);
         print_string (Obs_cli.render_report obs (Tangram.Service.stats svc));
         Obs_cli.save_trace obs;
         Obs_cli.write_metrics obs (Tangram.Service.stats svc);
@@ -572,7 +586,7 @@ let serve_cmd =
       const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
       $ arch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
       $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
-      $ Obs_cli.term)
+      $ Obs_cli.term $ Overload_cli.term)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)

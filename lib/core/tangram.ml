@@ -57,6 +57,7 @@ module Ir_analysis = Device_ir.Analysis
 module Symbolic = Symbolic
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
+module Admission = Runtime.Admission
 module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance

@@ -58,6 +58,7 @@ module Symbolic = Symbolic
 
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
+module Admission = Runtime.Admission
 module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance

@@ -102,6 +102,11 @@ let find (t : t) (k : key) : entry option =
       touch t s;
       Some s.s_entry
 
+(* recency is deliberately not refreshed: admission-control cost
+   prediction peeks at many keys it will never serve, and letting those
+   peeks reorder the LRU would evict entries the server still needs *)
+let mem (t : t) (k : key) : bool = Hashtbl.mem t.table k
+
 let evict_lru (t : t) : unit =
   let victim =
     Hashtbl.fold

@@ -88,6 +88,12 @@ val evictions : t -> int
 (** Lookup; a hit refreshes the entry's LRU recency. *)
 val find : t -> key -> entry option
 
+(** Is the key cached, without refreshing its LRU recency? The admission
+    layer's cost-aware shed policy predicts whether a request would hit
+    the cold plan/tune path; a prediction must not perturb eviction
+    order. *)
+val mem : t -> key -> bool
+
 (** Insert (or replace) an entry, evicting the least-recently-used key
     if the cache is full. *)
 val add : t -> key -> entry -> unit

@@ -52,6 +52,7 @@ type error =
   | Version_fault of string
   | Cache_corrupt of string
   | Sdc of string
+  | Deadline_exceeded of string
 
 exception Service_error of error
 
@@ -61,6 +62,7 @@ let error_message = function
   | Version_fault m -> "version fault: " ^ m
   | Cache_corrupt m -> "corrupt plan cache: " ^ m
   | Sdc m -> "silent data corruption: " ^ m
+  | Deadline_exceeded m -> "deadline exceeded: " ^ m
 
 type resilience = {
   r_retry_max : int;
@@ -113,6 +115,9 @@ type t = {
       (* when on, every served outcome's launch counters aggregate into
          the stats per (arch, version); off by default so the plain-text
          report stays byte-identical for existing consumers *)
+  mutable brownout : int;
+      (* degradation ladder position, 0 (full service) .. 4 (host path);
+         driven by [Admission]'s controller or [set_brownout] *)
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
@@ -148,6 +153,7 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
       Int64.add (Int64.mul (Int64.of_int jitter_seed) 6364136223846793005L)
         1442695040888963407L;
     profile = false;
+    brownout = 0;
   }
 
 let planner t = t.planner
@@ -158,6 +164,33 @@ let fault t = t.fault
 let set_fault t f = t.fault <- f
 let profiling t = t.profile
 let set_profiling t b = t.profile <- b
+
+let max_brownout = 4
+let brownout_level t = t.brownout
+
+(* every transition is an overload event: counted, warn-logged with the
+   direction, and visible in the report's overload section *)
+let set_brownout (t : t) (level : int) : unit =
+  if level < 0 || level > max_brownout then
+    invalid_arg
+      (Printf.sprintf "Service.set_brownout: level must be within 0..%d"
+         max_brownout);
+  if level <> t.brownout then begin
+    let dir = if level > t.brownout then "raise" else "lower" in
+    Stats.brownout_transition t.stats ~level;
+    Obs.Trace.mark
+      ~attrs:[ ("level", string_of_int level); ("direction", dir) ]
+      "brownout";
+    Obs.Log.warn
+      ~fields:
+        [
+          ("from", string_of_int t.brownout);
+          ("to", string_of_int level);
+          ("direction", dir);
+        ]
+      "brownout level %s to %d" dir level;
+    t.brownout <- level
+  end
 
 let load_cache ?capacity (path : string) : (Plan_cache.t, error) result =
   match Plan_cache.load_result ?capacity path with
@@ -348,12 +381,41 @@ let backoff_delay_us (t : t) (attempt : int) : float =
   in
   Float.min base r.r_backoff_max_us *. jitter_draw t
 
-type attempt_failure = Af_transient of string | Af_fault of string
+(* Per-request deadline budget, measured in simulated microseconds so
+   expiry is deterministic under replay: kernel time, retry backoff and
+   redundant executions all charge against it. Checks happen before new
+   work starts — an answer already computed is never thrown away. *)
+type budget = { b_total_us : float; mutable b_spent_us : float }
+
+let budget_of_deadline : float option -> budget option = function
+  | None -> None
+  | Some d ->
+      if Float.is_nan d || d <= 0.0 then
+        invalid_arg "Service.submit: deadline_us must be positive";
+      Some { b_total_us = d; b_spent_us = 0.0 }
+
+let budget_charge (b : budget option) (us : float) : unit =
+  match b with Some b -> b.b_spent_us <- b.b_spent_us +. us | None -> ()
+
+let budget_exhausted : budget option -> bool = function
+  | None -> false
+  | Some b -> b.b_spent_us >= b.b_total_us
+
+let budget_would_exhaust (b : budget option) (us : float) : bool =
+  match b with None -> false | Some b -> b.b_spent_us +. us > b.b_total_us
+
+type attempt_failure =
+  | Af_transient of string
+  | Af_fault of string
+  | Af_deadline of string
+      (* the budget died mid-attempt: never charged to the breaker — the
+         version did nothing wrong, the client stopped waiting *)
 
 (* One rung: run with bounded exponential-backoff retries over transient
    simulator errors. Backoff is charged to simulated time (the simulator
    has no wall clock of its own) and to the stats. *)
-let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
+let attempt_rung ?(budget : budget option) (t : t) (req : request)
+    (rung : Plan_cache.rung) :
     ((R.outcome * int * float), attempt_failure) result =
   let vname = V.name rung.Plan_cache.r_version in
   match P.prove t.planner rung.Plan_cache.r_version with
@@ -403,17 +465,32 @@ let attempt_rung (t : t) (req : request) (rung : Plan_cache.rung) :
         match try_once attempt with
         | `Done o when Float.is_nan o.R.result ->
             Error (Af_fault (Printf.sprintf "%s returned a corrupted (NaN) result" vname))
-        | `Done o -> Ok (o, retries, backoff_us)
+        | `Done o ->
+            budget_charge budget o.R.time_us;
+            Ok (o, retries, backoff_us)
         | `Transient msg ->
             if attempt <= t.resilience.r_retry_max then begin
-              Stats.retry t.stats;
-              Obs.Trace.mark ~attrs:[ ("version", vname) ] "retry";
-              Obs.Log.debug
-                ~fields:[ ("version", vname) ]
-                "transient fault, retrying (attempt %d): %s" attempt msg;
               let delay = backoff_delay_us t attempt in
-              Stats.backoff_us t.stats delay;
-              go (attempt + 1) (retries + 1) (backoff_us +. delay)
+              (* the budget check happens before the sleep: a request
+                 whose deadline dies during backoff stops here, without
+                 spending the delay or charging the breaker *)
+              if budget_would_exhaust budget delay then
+                Error
+                  (Af_deadline
+                     (Printf.sprintf
+                        "%s: deadline budget died during retry backoff \
+                         (%.1f us delay would overrun it)"
+                        vname delay))
+              else begin
+                Stats.retry t.stats;
+                Obs.Trace.mark ~attrs:[ ("version", vname) ] "retry";
+                Obs.Log.debug
+                  ~fields:[ ("version", vname) ]
+                  "transient fault, retrying (attempt %d): %s" attempt msg;
+                Stats.backoff_us t.stats delay;
+                budget_charge budget delay;
+                go (attempt + 1) (retries + 1) (backoff_us +. delay)
+              end
             end
             else
               Error
@@ -430,7 +507,10 @@ let response_of_outcome (t : t) (req : request) (rung : Plan_cache.rung)
     ~(started_us : float) (o : R.outcome) : response =
   Stats.winner t.stats (V.name rung.Plan_cache.r_version);
   if fallback > 0 then Stats.fallback t.stats;
-  if t.profile then
+  (* profiling is the first rung of the brownout ladder: the cheapest
+     work to shed, and invisible to the answer *)
+  if t.profile && t.brownout >= 1 then Stats.brownout_shed t.stats ~what:"profile";
+  if t.profile && t.brownout < 1 then
     Stats.kernel t.stats ~arch:req.req_arch.Gpusim.Arch.name
       ~version:(V.name rung.Plan_cache.r_version)
       (Gpusim.Events.totals_of_list
@@ -474,6 +554,29 @@ let degraded_response (t : t) (req : request) (e : Plan_cache.entry)
     resp_fallback = List.length (Plan_cache.ladder e);
   }
 
+(* Brownout level 4, the last ladder step: the device path itself is
+   shed — no planning, no tuning, no simulation — and the host reference
+   answers every request until the controller lowers the level. *)
+let brownout_degraded_response (t : t) (req : request) ~(started_us : float) :
+    response =
+  Stats.degrade t.stats;
+  Stats.winner t.stats "host-reference (brownout)";
+  Obs.Trace.mark "degraded";
+  Obs.Log.warn "brownout level 4: serving the host reference (degraded)";
+  {
+    resp_value = P.reference_input t.planner req.req_input;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = List.hd t.candidates;
+    resp_tunables = [];
+    resp_hit = false;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = true;
+    resp_retries = 0;
+    resp_fallback = 0;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* The SDC guard: witness verification and redundant-execution voting  *)
 (* ------------------------------------------------------------------ *)
@@ -505,6 +608,30 @@ let sdc_degraded_response (t : t) (req : request) (rung : Plan_cache.rung)
     resp_fallback = fallback;
   }
 
+(* A witness already in hand serves the request when re-execution is off
+   the table — the deadline budget died, or the brownout ladder shed
+   redundant execution. No breaker is charged on either path: no
+   corruption was confirmed, the service just stopped double-checking. *)
+let witness_degraded_response (t : t) (req : request) (rung : Plan_cache.rung)
+    ~(winner : string) ~(hit : bool) ~(fallback : int) ~(started_us : float)
+    (value : float) : response =
+  Stats.degrade t.stats;
+  Stats.winner t.stats winner;
+  Obs.Trace.mark "degraded";
+  {
+    resp_value = value;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = rung.Plan_cache.r_version;
+    resp_tunables = [];
+    resp_hit = hit;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = true;
+    resp_retries = 0;
+    resp_fallback = fallback;
+  }
+
 (* Every exact result is checked against the witness before it leaves
    the service. A rejected result is re-executed on its own rung first
    (dual-modular: a one-off flip cannot reproduce — the simulator is
@@ -517,10 +644,10 @@ let sdc_degraded_response (t : t) (req : request) (rung : Plan_cache.rung)
    When nothing the ladder produces is acceptable, the witness value
    itself serves (degraded), or [Error (Sdc _)] when degraded mode is
    off: an out-of-tolerance answer is never returned. *)
-let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
-    ~(hit : bool) ~(started_us : float) (idx : int) (rung : Plan_cache.rung)
-    (o : R.outcome) (retries : int) (backoff_us : float) :
-    (response, error) result =
+let verify_and_serve ?(budget : budget option) (t : t) (req : request)
+    (e : Plan_cache.entry) ~(hit : bool) ~(started_us : float) (idx : int)
+    (rung : Plan_cache.rung) (o : R.outcome) (retries : int)
+    (backoff_us : float) : (response, error) result =
   if not (t.guard.Guard.g_enabled && o.R.exact) then
     Ok
       (response_of_outcome t req rung ~hit ~fallback:idx ~retries ~backoff_us
@@ -532,10 +659,19 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
     @@ fun () ->
     let t0 = now_us () in
     Stats.sdc_check t.stats;
+    (* brownout level 3 sheds witness sampling density: the check still
+       runs, but at the cheapest sample count *)
+    let sample =
+      if t.brownout >= 3 && t.guard.Guard.g_sample > 1 then begin
+        Stats.brownout_shed t.stats ~what:"witness-sample";
+        1
+      end
+      else t.guard.Guard.g_sample
+    in
     let ck =
       Obs.Trace.span ~name:"witness" @@ fun () ->
       Guard.make ~planner:t.planner ~version:rung.Plan_cache.r_version
-        ~input:req.req_input ~sample:t.guard.Guard.g_sample ()
+        ~input:req.req_input ~sample ()
     in
     let finish idx rung o retries backoff_us =
       Stats.verify_us t.stats (now_us () -. t0);
@@ -546,6 +682,22 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
     if Guard.acceptable ck ~got:o.R.result then finish idx rung o retries backoff_us
     else begin
       let arch = req.req_arch.Gpusim.Arch.name in
+      (* the witness value is in hand: the deadline/brownout paths below
+         serve it directly instead of erroring, and charge no breaker *)
+      let serve_witness winner =
+        Stats.verify_us t.stats (now_us () -. t0);
+        Ok
+          (witness_degraded_response t req rung ~winner ~hit ~fallback:idx
+             ~started_us (Guard.expected ck))
+      in
+      let deadline_witness () =
+        Stats.deadline_witness_serve t.stats;
+        Obs.Log.warn
+          ~fields:[ ("version", V.name rung.Plan_cache.r_version) ]
+          "deadline budget died before redundant execution; serving the \
+           witness value (degraded)";
+        serve_witness "host-reference (deadline)"
+      in
       let confirm_sdc (r : Plan_cache.rung) =
         let vname = V.name r.Plan_cache.r_version in
         Stats.sdc_catch t.stats;
@@ -555,138 +707,182 @@ let verify_and_serve (t : t) (req : request) (e : Plan_cache.entry)
           "silent data corruption confirmed";
         breaker_fault t ~arch ~version:vname
       in
-      (* 1. dual-modular re-execution on the suspect's own rung *)
-      Stats.sdc_reexec t.stats;
-      let same =
-        Obs.Trace.span
-          ~attrs:[ ("version", V.name rung.Plan_cache.r_version) ]
-          ~name:"reexec"
-          (fun () -> attempt_rung t req rung)
-      in
-      match same with
-      | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result ->
-          (* the deviation vanished on re-run: one-off corruption *)
-          confirm_sdc rung;
-          finish idx rung o2 (retries + r2) (backoff_us +. b2)
-      | _ ->
-          let reproduced =
-            match same with
-            | Ok (o2, _, _) -> Guard.agree ck o2.R.result o.R.result
-            | Error _ -> false
-          in
-          if reproduced then Stats.sdc_false_alarm t.stats
-          else confirm_sdc rung;
-          (* 2. vote down the remaining rungs *)
-          let rec drop n l =
-            if n <= 0 then l
-            else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
-          in
-          let rec vote budget cidx rungs =
-            if budget <= 0 then None
-            else
-              match rungs with
-              | [] -> None
-              | (c : Plan_cache.rung) :: more ->
-                  let vname = V.name c.Plan_cache.r_version in
-                  if quarantined t ~arch ~version:vname then
-                    vote budget (cidx + 1) more
-                  else begin
-                    Stats.sdc_reexec t.stats;
-                    match
-                      Obs.Trace.span
-                        ~attrs:[ ("version", vname) ]
-                        ~name:"vote"
-                        (fun () -> attempt_rung t req c)
-                    with
-                    | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result
-                      ->
-                        Some (cidx, c, o2, r2, b2)
-                    | Ok _ ->
-                        confirm_sdc c;
-                        vote (budget - 1) (cidx + 1) more
-                    | Error _ ->
-                        Stats.fault t.stats ~version:vname;
-                        breaker_fault t ~arch ~version:vname;
-                        vote (budget - 1) (cidx + 1) more
-                  end
-          in
-          (match
-             vote (t.guard.Guard.g_votes - 1) (idx + 1)
-               (drop (idx + 1) (Plan_cache.ladder e))
-           with
-          | Some (cidx, c, o2, r2, b2) -> finish cidx c o2 r2 b2
-          | None ->
-              Stats.verify_us t.stats (now_us () -. t0);
-              if t.resilience.r_allow_degraded then
-                Ok
-                  (sdc_degraded_response t req rung ~hit ~fallback:idx
-                     ~started_us (Guard.expected ck))
+      if t.brownout >= 2 then begin
+        (* brownout level 2 sheds redundant execution: the witness value
+           serves, and no corruption verdict is reached — the breaker is
+           only ever charged on evidence the service actually gathered *)
+        Stats.brownout_shed t.stats ~what:"reexec";
+        Obs.Log.warn
+          ~fields:[ ("version", V.name rung.Plan_cache.r_version) ]
+          "witness rejected a result under brownout; redundant execution \
+           shed, serving the witness value (degraded)";
+        serve_witness "host-reference (brownout)"
+      end
+      else if budget_exhausted budget then deadline_witness ()
+      else begin
+        (* 1. dual-modular re-execution on the suspect's own rung *)
+        Stats.sdc_reexec t.stats;
+        let same =
+          Obs.Trace.span
+            ~attrs:[ ("version", V.name rung.Plan_cache.r_version) ]
+            ~name:"reexec"
+            (fun () -> attempt_rung ?budget t req rung)
+        in
+        match same with
+        | Ok (o2, r2, b2) when Guard.acceptable ck ~got:o2.R.result ->
+            (* the deviation vanished on re-run: one-off corruption *)
+            confirm_sdc rung;
+            finish idx rung o2 (retries + r2) (backoff_us +. b2)
+        | Error (Af_deadline _) -> deadline_witness ()
+        | _ ->
+            let reproduced =
+              match same with
+              | Ok (o2, _, _) -> Guard.agree ck o2.R.result o.R.result
+              | Error _ -> false
+            in
+            if reproduced then Stats.sdc_false_alarm t.stats
+            else confirm_sdc rung;
+            (* 2. vote down the remaining rungs *)
+            let rec drop n l =
+              if n <= 0 then l
+              else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+            in
+            let rec vote votes cidx rungs =
+              if votes <= 0 then `Spent
+              else if budget_exhausted budget then `Deadline
               else
-                Error
-                  (Sdc
-                     (Printf.sprintf
-                        "%s returned %.9g, witness expected %.9g (%s); no \
-                         execution within tolerance"
-                        (V.name rung.Plan_cache.r_version)
-                        o.R.result (Guard.expected ck)
-                        (Tolerance.describe (Guard.tolerance ck)))))
+                match rungs with
+                | [] -> `Spent
+                | (c : Plan_cache.rung) :: more ->
+                    let vname = V.name c.Plan_cache.r_version in
+                    if quarantined t ~arch ~version:vname then
+                      vote votes (cidx + 1) more
+                    else begin
+                      Stats.sdc_reexec t.stats;
+                      match
+                        Obs.Trace.span
+                          ~attrs:[ ("version", vname) ]
+                          ~name:"vote"
+                          (fun () -> attempt_rung ?budget t req c)
+                      with
+                      | Ok (o2, r2, b2)
+                        when Guard.acceptable ck ~got:o2.R.result ->
+                          `Agree (cidx, c, o2, r2, b2)
+                      | Ok _ ->
+                          confirm_sdc c;
+                          vote (votes - 1) (cidx + 1) more
+                      | Error (Af_deadline _) -> `Deadline
+                      | Error _ ->
+                          Stats.fault t.stats ~version:vname;
+                          breaker_fault t ~arch ~version:vname;
+                          vote (votes - 1) (cidx + 1) more
+                    end
+            in
+            (match
+               vote (t.guard.Guard.g_votes - 1) (idx + 1)
+                 (drop (idx + 1) (Plan_cache.ladder e))
+             with
+            | `Agree (cidx, c, o2, r2, b2) -> finish cidx c o2 r2 b2
+            | `Deadline -> deadline_witness ()
+            | `Spent ->
+                Stats.verify_us t.stats (now_us () -. t0);
+                if t.resilience.r_allow_degraded then
+                  Ok
+                    (sdc_degraded_response t req rung ~hit ~fallback:idx
+                       ~started_us (Guard.expected ck))
+                else
+                  Error
+                    (Sdc
+                       (Printf.sprintf
+                          "%s returned %.9g, witness expected %.9g (%s); no \
+                           execution within tolerance"
+                          (V.name rung.Plan_cache.r_version)
+                          o.R.result (Guard.expected ck)
+                          (Tolerance.describe (Guard.tolerance ck)))))
+      end
     end
   end
 
-let serve (t : t) (req : request) (e : Plan_cache.entry) (hit : bool)
-    (started_us : float) : (response, error) result =
+let serve ?(budget : budget option) (t : t) (req : request)
+    (e : Plan_cache.entry) (hit : bool) (started_us : float) :
+    (response, error) result =
   t.tick <- t.tick + 1;
   let arch = req.req_arch.Gpusim.Arch.name in
   let run_started = now_us () in
   let last_failure = ref None in
+  let deadline = ref None in
   let rec walk idx = function
     | [] -> None
     | rung :: rest -> (
         let vname = V.name rung.Plan_cache.r_version in
-        let br = breaker_for t arch vname in
-        match availability t br with
-        | Av_open ->
-            Obs.Trace.mark
-              ~attrs:[ ("version", vname); ("rung", string_of_int idx) ]
-              "rung.quarantined";
-            walk (idx + 1) rest
-        | (Av_closed | Av_half_open) as avail -> (
-            match
-              Obs.Trace.span
+        if budget_exhausted budget then begin
+          deadline :=
+            Some
+              (Printf.sprintf
+                 "deadline budget exhausted before rung %d (%s) could run" idx
+                 vname);
+          None
+        end
+        else
+          let br = breaker_for t arch vname in
+          match availability t br with
+          | Av_open ->
+              Obs.Trace.mark
                 ~attrs:[ ("version", vname); ("rung", string_of_int idx) ]
-                ~name:"rung"
-                (fun () -> attempt_rung t req rung)
-            with
-            | Ok (o, retries, backoff_us) ->
-                (* faults accumulate across successes while the breaker is
-                   closed (a lightly-faulting version must still trip it
-                   eventually); only a successful half-open probe earns a
-                   clean slate *)
-                if avail = Av_half_open then breaker_success br;
-                Some (idx, rung, o, retries, backoff_us)
-            | Error failure ->
-                Stats.fault t.stats ~version:vname;
-                breaker_fault t ~arch ~version:vname;
-                last_failure := Some failure;
-                walk (idx + 1) rest))
+                "rung.quarantined";
+              walk (idx + 1) rest
+          | (Av_closed | Av_half_open) as avail -> (
+              match
+                Obs.Trace.span
+                  ~attrs:[ ("version", vname); ("rung", string_of_int idx) ]
+                  ~name:"rung"
+                  (fun () -> attempt_rung ?budget t req rung)
+              with
+              | Ok (o, retries, backoff_us) ->
+                  (* faults accumulate across successes while the breaker is
+                     closed (a lightly-faulting version must still trip it
+                     eventually); only a successful half-open probe earns a
+                     clean slate *)
+                  if avail = Av_half_open then breaker_success br;
+                  Some (idx, rung, o, retries, backoff_us)
+              | Error (Af_deadline msg) ->
+                  (* the client stopped waiting, the version did nothing
+                     wrong: no fault, no breaker charge, no further rungs *)
+                  deadline := Some msg;
+                  None
+              | Error failure ->
+                  Stats.fault t.stats ~version:vname;
+                  breaker_fault t ~arch ~version:vname;
+                  last_failure := Some failure;
+                  walk (idx + 1) rest))
   in
   match walk 0 (Plan_cache.ladder e) with
   | Some (idx, rung, o, retries, backoff_us) ->
       Stats.run_us t.stats (now_us () -. run_started);
-      verify_and_serve t req e ~hit ~started_us idx rung o retries backoff_us
-  | None ->
-      if t.resilience.r_allow_degraded then
-        Ok (degraded_response t req e ~hit ~started_us)
-      else
-        Error
-          (match !last_failure with
-          | Some (Af_transient msg) -> Transient msg
-          | Some (Af_fault msg) -> Version_fault msg
-          | None ->
-              Version_fault
-                (Printf.sprintf "every version of %s is quarantined"
-                   (Plan_cache.key_name
-                      (key_of t req.req_arch (R.input_size req.req_input)))))
+      verify_and_serve ?budget t req e ~hit ~started_us idx rung o retries
+        backoff_us
+  | None -> (
+      match !deadline with
+      | Some msg ->
+          Stats.deadline_expire t.stats;
+          Obs.Trace.mark "deadline";
+          Obs.Log.warn
+            ~fields:[ ("arch", arch) ]
+            "deadline exceeded: %s" msg;
+          Error (Deadline_exceeded msg)
+      | None ->
+          if t.resilience.r_allow_degraded then
+            Ok (degraded_response t req e ~hit ~started_us)
+          else
+            Error
+              (match !last_failure with
+              | Some (Af_transient msg) -> Transient msg
+              | Some (Af_fault msg) -> Version_fault msg
+              | Some (Af_deadline _) | None ->
+                  Version_fault
+                    (Printf.sprintf "every version of %s is quarantined"
+                       (Plan_cache.key_name
+                          (key_of t req.req_arch (R.input_size req.req_input))))))
 
 (* reduce of nothing is the combining operation's identity, served off the
    host without touching the simulator *)
@@ -722,7 +918,9 @@ let validate (req : request) : (unit, error) result =
                   plen))
         else Ok ()
 
-let submit_result (t : t) (req : request) : (response, error) result =
+let submit_result ?deadline_us (t : t) (req : request) :
+    (response, error) result =
+  let budget = budget_of_deadline deadline_us in
   let body () =
     let started_us = now_us () in
     match validate req with
@@ -732,10 +930,17 @@ let submit_result (t : t) (req : request) : (response, error) result =
     | Ok () ->
         if R.input_size req.req_input = 0 then
           Ok (empty_response t req ~started_us)
+        else if t.brownout >= 4 then begin
+          (* the host path sheds everything device-side, the cold
+             plan/tune path included — answer before even touching the
+             cache *)
+          Stats.brownout_shed t.stats ~what:"host-path";
+          Ok (brownout_degraded_response t req ~started_us)
+        end
         else (
           match ensure t req.req_arch (R.input_size req.req_input) with
           | Error e -> Error e
-          | Ok (entry, hit) -> serve t req entry hit started_us)
+          | Ok (entry, hit) -> serve ?budget t req entry hit started_us)
   in
   (* one root span per request under a fresh trace id: every span the
      stack records below (lookup, plan, tune, rungs, attempts, verify...)
@@ -750,8 +955,8 @@ let submit_result (t : t) (req : request) : (response, error) result =
         ]
       ~name:"request" body
 
-let submit (t : t) (req : request) : response =
-  match submit_result t req with
+let submit ?deadline_us (t : t) (req : request) : response =
+  match submit_result ?deadline_us t req with
   | Ok r -> r
   | Error e -> raise (Service_error e)
 
@@ -767,11 +972,11 @@ let same_shape (a : request) (b : request) : bool =
       sx.n = sy.n && (sx.pattern == sy.pattern || sx.pattern = sy.pattern)
   | _ -> false
 
-let submit_batch_result (t : t) (reqs : request list) :
+let submit_batch_result ?deadline_us (t : t) (reqs : request list) :
     (response, error) result list =
   match reqs with
   | [] -> []
-  | [ req ] -> [ submit_result t req ]
+  | [ req ] -> [ submit_result ?deadline_us t req ]
   | _ ->
       (* group indices by shape, preserving first-seen group order *)
       let groups : (request * int list ref) list ref = ref [] in
@@ -787,15 +992,17 @@ let submit_batch_result (t : t) (reqs : request list) :
       let responses = Array.make n_reqs None in
       List.iter
         (fun (rep, idxs) ->
-          let r = submit_result t rep in
+          (* each coalesced group gets a fresh budget: the deadline is
+             per-request, and coalesced requests share one execution *)
+          let r = submit_result ?deadline_us t rep in
           List.iter (fun i -> responses.(i) <- Some r) !idxs)
         !groups;
       Array.to_list responses
       |> List.map (function Some r -> r | None -> assert false)
 
-let submit_batch (t : t) (reqs : request list) : response list =
+let submit_batch ?deadline_us (t : t) (reqs : request list) : response list =
   List.map
     (function Ok r -> r | Error e -> raise (Service_error e))
-    (submit_batch_result t reqs)
+    (submit_batch_result ?deadline_us t reqs)
 
 let report (t : t) : string = Stats.report t.stats

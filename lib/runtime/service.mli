@@ -28,7 +28,23 @@
     corruptions charge the version's circuit breaker like loud faults.
     An out-of-tolerance answer is never returned: when no execution is
     acceptable the witness value itself serves (degraded), or the
-    request fails with [Sdc] when degraded mode is off. *)
+    request fails with [Sdc] when degraded mode is off.
+
+    Under overload the service stays predictable rather than fast.
+    [submit ?deadline_us] gives a request a budget in {e simulated}
+    microseconds (kernel time, retry backoff and redundant executions
+    all charge it — deterministic under replay); the budget is checked
+    before each new piece of work, so an answer already computed is
+    never thrown away, and a budget that dies with the witness in hand
+    serves the witness value degraded instead of erroring. Deadline
+    expiry is never charged to any circuit breaker. Orthogonally, the
+    brownout ladder ({!set_brownout}) sheds optional work step by step:
+    level 1 drops kernel profiling, level 2 drops redundant re-execution
+    (a rejected result serves the witness value), level 3 drops witness
+    sampling density to 1, and level 4 answers every request from the
+    host reference without touching the device path at all. The
+    {!Admission} layer drives both knobs from queue depth and observed
+    latency. *)
 
 type request = {
   req_arch : Gpusim.Arch.t;
@@ -46,7 +62,8 @@ type response = {
           this field then records the last-attempted rung (the one the
           degraded path gave up on), and [resp_exact] describes the
           host recomputation. The winner stat names the real server
-          (["host-reference (degraded)"] / ["host-reference (sdc)"]). *)
+          (["host-reference (degraded)"] / ["host-reference (sdc)"] /
+          ["host-reference (deadline)"] / ["host-reference (brownout)"]). *)
   resp_tunables : (string * int) list;
   resp_hit : bool;  (** plan-cache hit? *)
   resp_bucket : int;  (** size bucket the request dispatched to *)
@@ -73,6 +90,10 @@ type error =
   | Sdc of string
       (** a result failed witness verification and no redundant execution
           produced an acceptable answer (only with degraded mode off) *)
+  | Deadline_exceeded of string
+      (** the request's [deadline_us] budget died before any answer was
+          in hand. Never charged to a circuit breaker: the version did
+          nothing wrong, the client stopped waiting *)
 
 exception Service_error of error
 
@@ -146,6 +167,29 @@ val profiling : t -> bool
     the text report is unchanged. *)
 val set_profiling : t -> bool -> unit
 
+(** The deepest brownout ladder step (4: host path only). *)
+val max_brownout : int
+
+(** The current brownout ladder position, 0 (full service) ..
+    {!max_brownout}. *)
+val brownout_level : t -> int
+
+(** Move the brownout ladder to [level]:
+    {ul
+    {- [0] — full service.}
+    {- [1] — shed kernel-counter profiling.}
+    {- [2] — also shed redundant re-execution: a witness-rejected result
+       serves the witness value (degraded) without re-running, and no
+       corruption verdict is charged to any breaker.}
+    {- [3] — also drop witness sampling density to 1.}
+    {- [4] — serve every request from the host reference immediately,
+       shedding the whole device path including cold planning/tuning.}}
+    Each actual change is warn-logged and counted as a
+    [Stats.brownout_transition]. Normally driven by the {!Admission}
+    controller, but callable directly (e.g. from an operator CLI).
+    @raise Invalid_argument when [level] is outside 0..{!max_brownout}. *)
+val set_brownout : t -> int -> unit
+
 (** Is (architecture, version) currently quarantined (breaker open and
     still cooling down)? *)
 val quarantined : t -> arch:string -> version:string -> bool
@@ -155,20 +199,32 @@ val quarantined : t -> arch:string -> version:string -> bool
 val load_cache : ?capacity:int -> string -> (Plan_cache.t, error) result
 
 (** Serve one request. Empty inputs return the operation's identity
-    without touching the simulator. *)
-val submit_result : t -> request -> (response, error) result
+    without touching the simulator.
+
+    [deadline_us] gives the request a budget in simulated microseconds
+    (must be positive). Kernel time, retry backoff and redundant
+    executions charge it; the check happens before each new piece of
+    work, never after — an answer in hand is always served. A budget
+    that dies with no answer returns [Error (Deadline_exceeded _)]; one
+    that dies after the witness was computed serves the witness value,
+    flagged [resp_degraded].
+    @raise Invalid_argument when [deadline_us] is zero, negative or NaN. *)
+val submit_result :
+  ?deadline_us:float -> t -> request -> (response, error) result
 
 (** [submit_result], raising {!Service_error} on failure. *)
-val submit : t -> request -> response
+val submit : ?deadline_us:float -> t -> request -> response
 
 (** Serve a batch: requests with equal architecture and input share one
     cache lookup and one simulation; results come back in request
-    order. *)
-val submit_batch_result : t -> request list -> (response, error) result list
+    order. [deadline_us] applies to each coalesced group
+    independently. *)
+val submit_batch_result :
+  ?deadline_us:float -> t -> request list -> (response, error) result list
 
 (** [submit_batch_result], raising {!Service_error} on the first
     failure. *)
-val submit_batch : t -> request list -> response list
+val submit_batch : ?deadline_us:float -> t -> request list -> response list
 
 (** The {!Stats.report} of this service. *)
 val report : t -> string

@@ -60,10 +60,12 @@ type t = {
   winners : (string, int) Hashtbl.t;
   version_faults : (string, int) Hashtbl.t;
   kernels : (string * string, kernel_cell) Hashtbl.t;
+  brownout_shed_work : (string, int) Hashtbl.t;
   plan : samples;
   tune : samples;
   run : samples;
   verify : samples;
+  queue_wait : samples;
   mutable total_hits : int;
   mutable total_misses : int;
   mutable total_evictions : int;
@@ -80,6 +82,17 @@ type t = {
   mutable total_sdc_catches : int;
   mutable total_sdc_false_alarms : int;
   mutable total_sdc_reexecs : int;
+  (* overload-resilience counters: all stay zero unless the admission
+     layer or a deadline budget actually fires, keeping the quiet-path
+     report byte-identical *)
+  mutable total_admitted_interactive : int;
+  mutable total_admitted_batch : int;
+  mutable total_shed_interactive : int;
+  mutable total_shed_batch : int;
+  mutable total_deadline_expiries : int;
+  mutable total_deadline_witness_serves : int;
+  mutable total_brownout_transitions : int;
+  mutable brownout_max : int;
 }
 
 let create () : t =
@@ -88,10 +101,12 @@ let create () : t =
     winners = Hashtbl.create 32;
     version_faults = Hashtbl.create 32;
     kernels = Hashtbl.create 32;
+    brownout_shed_work = Hashtbl.create 8;
     plan = samples_create ();
     tune = samples_create ();
     run = samples_create ();
     verify = samples_create ();
+    queue_wait = samples_create ();
     total_hits = 0;
     total_misses = 0;
     total_evictions = 0;
@@ -108,6 +123,14 @@ let create () : t =
     total_sdc_catches = 0;
     total_sdc_false_alarms = 0;
     total_sdc_reexecs = 0;
+    total_admitted_interactive = 0;
+    total_admitted_batch = 0;
+    total_shed_interactive = 0;
+    total_shed_batch = 0;
+    total_deadline_expiries = 0;
+    total_deadline_witness_serves = 0;
+    total_brownout_transitions = 0;
+    brownout_max = 0;
   }
 
 let counters_for (t : t) (bucket : string) : counters =
@@ -163,6 +186,31 @@ let sdc_false_alarm (t : t) =
 let sdc_reexec (t : t) = t.total_sdc_reexecs <- t.total_sdc_reexecs + 1
 let verify_us (t : t) (x : float) = sample t.verify x
 
+let admit (t : t) ~(interactive : bool) : unit =
+  if interactive then
+    t.total_admitted_interactive <- t.total_admitted_interactive + 1
+  else t.total_admitted_batch <- t.total_admitted_batch + 1
+
+let shed_request (t : t) ~(interactive : bool) : unit =
+  if interactive then t.total_shed_interactive <- t.total_shed_interactive + 1
+  else t.total_shed_batch <- t.total_shed_batch + 1
+
+let deadline_expire (t : t) =
+  t.total_deadline_expiries <- t.total_deadline_expiries + 1
+
+let deadline_witness_serve (t : t) =
+  t.total_deadline_witness_serves <- t.total_deadline_witness_serves + 1
+
+let brownout_transition (t : t) ~(level : int) : unit =
+  t.total_brownout_transitions <- t.total_brownout_transitions + 1;
+  if level > t.brownout_max then t.brownout_max <- level
+
+let brownout_shed (t : t) ~(what : string) : unit =
+  Hashtbl.replace t.brownout_shed_work what
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.brownout_shed_work what))
+
+let queue_wait_us (t : t) (x : float) = sample t.queue_wait x
+
 let kernel (t : t) ~(arch : string) ~(version : string)
     (totals : Gpusim.Events.totals) : unit =
   let key = (arch, version) in
@@ -189,6 +237,27 @@ let sdc_checks t = t.total_sdc_checks
 let sdc_catches t = t.total_sdc_catches
 let sdc_false_alarms t = t.total_sdc_false_alarms
 let sdc_reexecs t = t.total_sdc_reexecs
+let admitted t = t.total_admitted_interactive + t.total_admitted_batch
+let admitted_interactive t = t.total_admitted_interactive
+let admitted_batch t = t.total_admitted_batch
+let sheds t = t.total_shed_interactive + t.total_shed_batch
+let sheds_interactive t = t.total_shed_interactive
+let sheds_batch t = t.total_shed_batch
+let deadline_expiries t = t.total_deadline_expiries
+let deadline_witness_serves t = t.total_deadline_witness_serves
+let brownout_transitions t = t.total_brownout_transitions
+let brownout_max_level t = t.brownout_max
+
+let brownout_sheds (t : t) : (string * int) list =
+  Hashtbl.fold (fun w n acc -> (w, n) :: acc) t.brownout_shed_work []
+  |> List.sort compare
+
+(* the gate of the report's overload section: admission alone (requests
+   flowing through the queue at zero load) is not an overload event *)
+let overload_fired (t : t) : bool =
+  t.total_shed_interactive + t.total_shed_batch + t.total_deadline_expiries
+  + t.total_deadline_witness_serves + t.total_brownout_transitions
+  > 0
 
 let fault_histogram (t : t) : (string * int) list =
   Hashtbl.fold (fun v n acc -> (v, n) :: acc) t.version_faults []
@@ -206,6 +275,7 @@ let plan_series t = summarize t.plan
 let tune_series t = summarize t.tune
 let run_series t = summarize t.run
 let verify_series t = summarize t.verify
+let queue_wait_series t = summarize t.queue_wait
 
 (** Aggregated kernel counters as ((arch, version), (requests, totals)),
     sorted by (arch, version). *)
@@ -285,6 +355,29 @@ let report (t : t) : string =
     if v.count > 0 then
       pr "  verify overhead: p50 %.1f us   p95 %.1f us   max %.1f us\n" v.p50
         v.p95 v.max
+  end;
+  (* the overload section appears only once the admission layer shed,
+     expired or browned-out something: a replay through the admission
+     queue at zero load (no overload machinery firing) prints exactly
+     the report it always did *)
+  if overload_fired t then begin
+    pr "\noverload resilience:\n";
+    pr "  admitted %d (interactive %d, batch %d)   shed %d (interactive %d, batch %d)\n"
+      (admitted t) t.total_admitted_interactive t.total_admitted_batch (sheds t)
+      t.total_shed_interactive t.total_shed_batch;
+    pr "  deadline expiries %d   degraded witness serves %d\n"
+      t.total_deadline_expiries t.total_deadline_witness_serves;
+    pr "  brownout transitions %d   max level %d\n" t.total_brownout_transitions
+      t.brownout_max;
+    (match brownout_sheds t with
+    | [] -> ()
+    | sheds ->
+        pr "  work shed under brownout:\n";
+        List.iter (fun (w, n) -> pr "    %-32s %6d\n" w n) sheds);
+    let q = summarize t.queue_wait in
+    if q.count > 0 then
+      pr "  queue wait (virtual): p50 %.1f us   p95 %.1f us   max %.1f us\n"
+        q.p50 q.p95 q.max
   end;
   (* the profiler section appears only when the service aggregated kernel
      counters (profiling is off by default), keeping the default report
@@ -390,6 +483,26 @@ let to_json (t : t) : string =
                ("reexecs", int t.total_sdc_reexecs);
                ("false_alarms", int t.total_sdc_false_alarms);
              ] );
+         ( "overload",
+           J.Obj
+             [
+               ("admitted_interactive", int t.total_admitted_interactive);
+               ("admitted_batch", int t.total_admitted_batch);
+               ("shed_interactive", int t.total_shed_interactive);
+               ("shed_batch", int t.total_shed_batch);
+               ("deadline_expiries", int t.total_deadline_expiries);
+               ( "deadline_witness_serves",
+                 int t.total_deadline_witness_serves );
+               ("brownout_transitions", int t.total_brownout_transitions);
+               ("brownout_max_level", int t.brownout_max);
+               ( "brownout_sheds",
+                 J.Arr
+                   (List.map
+                      (fun (w, n) ->
+                        J.Obj [ ("work", J.Str w); ("shed", int n) ])
+                      (brownout_sheds t)) );
+               ("queue_wait_us", series_json (queue_wait_series t));
+             ] );
          ( "kernels",
            J.Arr
              (List.map
@@ -467,6 +580,37 @@ let to_prometheus (t : t) : string =
   counter "tangram_sdc_reexecs_total" (i t.total_sdc_reexecs);
   typ "tangram_sdc_false_alarms_total" "counter";
   counter "tangram_sdc_false_alarms_total" (i t.total_sdc_false_alarms);
+  typ "tangram_admitted_total" "counter";
+  counter "tangram_admitted_total"
+    ~labels:[ ("class", "interactive") ]
+    (i t.total_admitted_interactive);
+  counter "tangram_admitted_total"
+    ~labels:[ ("class", "batch") ]
+    (i t.total_admitted_batch);
+  typ "tangram_shed_total" "counter";
+  counter "tangram_shed_total"
+    ~labels:[ ("class", "interactive") ]
+    (i t.total_shed_interactive);
+  counter "tangram_shed_total"
+    ~labels:[ ("class", "batch") ]
+    (i t.total_shed_batch);
+  typ "tangram_deadline_expiries_total" "counter";
+  counter "tangram_deadline_expiries_total" (i t.total_deadline_expiries);
+  typ "tangram_deadline_witness_serves_total" "counter";
+  counter "tangram_deadline_witness_serves_total"
+    (i t.total_deadline_witness_serves);
+  typ "tangram_brownout_transitions_total" "counter";
+  counter "tangram_brownout_transitions_total" (i t.total_brownout_transitions);
+  typ "tangram_brownout_max_level" "gauge";
+  counter "tangram_brownout_max_level" (i t.brownout_max);
+  (match brownout_sheds t with
+  | [] -> ()
+  | sheds ->
+      typ "tangram_brownout_shed_total" "counter";
+      List.iter
+        (fun (w, n) ->
+          counter "tangram_brownout_shed_total" ~labels:[ ("work", w) ] (i n))
+        sheds);
   (match bucket_counts t with
   | [] -> ()
   | buckets ->
@@ -516,6 +660,7 @@ let to_prometheus (t : t) : string =
       ("tune", tune_series t);
       ("run", run_series t);
       ("verify", verify_series t);
+      ("queue_wait", queue_wait_series t);
     ];
   (match kernel_rows t with
   | [] -> ()

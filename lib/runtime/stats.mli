@@ -77,6 +77,39 @@ val sdc_reexec : t -> unit
 (** Host microseconds one witness check (plus any voting) cost. *)
 val verify_us : t -> float -> unit
 
+(** {2 Overload-resilience recording}
+
+    Fed by {!Admission} (queueing, shedding) and by {!Service} deadline
+    budgets. All of these stay zero on a service that never overloads,
+    which is what keeps the text report byte-identical on the quiet
+    path. *)
+
+(** One request entered the admission queue. *)
+val admit : t -> interactive:bool -> unit
+
+(** One request was shed by the admission queue (bounded-queue overflow
+    or expired-in-queue cleanup under a shed policy). *)
+val shed_request : t -> interactive:bool -> unit
+
+(** One request's deadline budget died (in queue, mid-retry or
+    mid-verify) and it was answered with [Deadline_exceeded]. *)
+val deadline_expire : t -> unit
+
+(** One request's budget died after its witness was computed; the
+    witness value served as the degraded answer instead of an error. *)
+val deadline_witness_serve : t -> unit
+
+(** The brownout controller moved to [level]. *)
+val brownout_transition : t -> level:int -> unit
+
+(** One unit of optional work was shed under brownout ([what] is the
+    ladder step: ["profile"], ["reexec"], ["witness-sample"],
+    ["host-path"]). *)
+val brownout_shed : t -> what:string -> unit
+
+(** Virtual microseconds one admitted request waited in the queue. *)
+val queue_wait_us : t -> float -> unit
+
 (** {2 Kernel profiling}
 
     Populated only when the service has profiling enabled
@@ -104,6 +137,28 @@ val sdc_checks : t -> int
 val sdc_catches : t -> int
 val sdc_false_alarms : t -> int
 val sdc_reexecs : t -> int
+val admitted : t -> int
+val admitted_interactive : t -> int
+val admitted_batch : t -> int
+val sheds : t -> int
+val sheds_interactive : t -> int
+val sheds_batch : t -> int
+val deadline_expiries : t -> int
+val deadline_witness_serves : t -> int
+val brownout_transitions : t -> int
+
+(** Highest brownout level ever entered (0 if the controller never
+    fired). *)
+val brownout_max_level : t -> int
+
+(** Units of work shed per brownout ladder step, sorted by step name. *)
+val brownout_sheds : t -> (string * int) list
+
+(** Did any overload machinery fire (shed, deadline expiry, witness
+    serve or brownout transition)? Admission traffic alone does not
+    count: a zero-load replay through the queue keeps this false and the
+    report unchanged. *)
+val overload_fired : t -> bool
 
 (** Fault counts per version, most-faulting first. *)
 val fault_histogram : t -> (string * int) list
@@ -122,6 +177,9 @@ val run_series : t -> series
 
 (** Witness-check overhead per checked response. *)
 val verify_series : t -> series
+
+(** Virtual-time queue wait of admitted requests. *)
+val queue_wait_series : t -> series
 
 (** Aggregated kernel counters as ((arch, version), (requests, totals)),
     sorted by (arch, version); empty unless profiling was on. *)

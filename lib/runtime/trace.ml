@@ -43,6 +43,36 @@ let generate (spec : spec) : (Gpusim.Arch.t * int) list =
       state := s2;
       (pick s1 archs, pick s2 sizes))
 
+(* Open-loop arrivals: the same request stream as [generate], each
+   request stamped with a virtual arrival time drawn from a Poisson
+   process (exponential inter-arrivals) at [rate_rps]. The timestamp
+   stream derives from its own seeded LCG state — [generate]'s
+   (arch, size) draws are bit-identical with or without timestamps. *)
+let arrivals ?(rate_rps = 1000.0) (spec : spec) :
+    (float * (Gpusim.Arch.t * int)) list =
+  if Float.is_nan rate_rps || rate_rps <= 0.0 then
+    invalid_arg "Trace.arrivals: rate_rps must be positive";
+  let reqs = generate spec in
+  (* golden-ratio offset decorrelates the clock stream from the
+     request stream without touching it *)
+  let state =
+    ref (lcg (Int64.add (Int64.of_int spec.t_seed) 0x9E3779B97F4A7C15L))
+  in
+  let now = ref 0.0 in
+  List.map
+    (fun req ->
+      let s = !state in
+      state := lcg s;
+      let u =
+        float_of_int (Int64.to_int (Int64.shift_right_logical s 34))
+        /. 1073741824.0
+      in
+      (* u in [0,1); 1-u in (0,1] keeps log finite *)
+      let dt_us = -.Float.log (1.0 -. u) /. rate_rps *. 1e6 in
+      now := !now +. dt_us;
+      (!now, req))
+    reqs
+
 type summary = {
   s_requests : int;
   s_wall_us : float;
@@ -69,6 +99,12 @@ let dense_input (n : int) : float array =
       Hashtbl.add dense_pool n a;
       a
 
+let replay_input ~(dense_upto : int) (n : int) : R.input =
+  (* sizes up to [dense_upto] materialize as dense inputs, which run in
+     exact mode and so pass through the service's witness verification;
+     larger sizes stay synthetic/sampled *)
+  if n <= dense_upto then R.Dense (dense_input n) else R.Synthetic { n; pattern }
+
 let rec chunks (k : int) = function
   | [] -> []
   | l ->
@@ -89,14 +125,7 @@ let replay ?(batch_size = 64) ?(dense_upto = 0) (svc : Service.t)
     chunks batch_size
       (List.map
          (fun (arch, n) ->
-           (* sizes up to [dense_upto] replay as dense inputs, which run
-              in exact mode and so pass through the service's witness
-              verification; larger sizes stay synthetic/sampled *)
-           let input =
-             if n <= dense_upto then R.Dense (dense_input n)
-             else R.Synthetic { n; pattern }
-           in
-           { Service.req_arch = arch; req_input = input })
+           { Service.req_arch = arch; req_input = replay_input ~dense_upto n })
          trace)
   in
   let degraded = ref 0 and failed = ref 0 in

@@ -20,6 +20,14 @@ val default :
 (** The trace: (architecture, size) per request. *)
 val generate : spec -> (Gpusim.Arch.t * int) list
 
+(** The same trace as {!generate}, stamped with open-loop arrival times
+    in virtual microseconds: a Poisson process at [rate_rps] (default
+    1000) — exponential inter-arrivals drawn from an LCG stream derived
+    from [t_seed], so timestamps are deterministic and {!generate}'s
+    request draws are unchanged. Feed this to [Admission.replay].
+    @raise Invalid_argument when [rate_rps] is not positive. *)
+val arrivals : ?rate_rps:float -> spec -> (float * (Gpusim.Arch.t * int)) list
+
 type summary = {
   s_requests : int;
   s_wall_us : float;  (** host wall clock for the whole replay *)
@@ -42,5 +50,10 @@ val replay :
   Service.t ->
   (Gpusim.Arch.t * int) list ->
   summary
+
+(** The input the replay drivers materialize for a size: dense (memoized,
+    exact mode) up to [dense_upto], synthetic sampled above. Shared with
+    [Admission.replay] so both drivers coalesce/verify identically. *)
+val replay_input : dense_upto:int -> int -> Gpusim.Runner.input
 
 val pp_summary : Format.formatter -> summary -> unit

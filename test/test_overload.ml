@@ -1,0 +1,530 @@
+(* Overload-resilience tests: per-request deadline budgets threaded
+   through the service (expiry mid-retry never charges the breaker; an
+   answer already in hand is never thrown away), the brownout degradation
+   ladder, the bounded two-priority admission queue and its shed
+   policies, Poisson arrival stamping, deterministic saturation sweeps,
+   and the quiet-path guarantee: a replay that never sheds, expires or
+   browns out leaves the stats report byte-identical. *)
+
+module V = Synthesis.Version
+module P = Synthesis.Planner
+module Service = Runtime.Service
+module Stats = Runtime.Stats
+module Guard = Runtime.Guard
+module Trace = Runtime.Trace
+module A = Runtime.Admission
+module R = Gpusim.Runner
+module Fault = Gpusim.Fault
+
+let plan = lazy (P.sum ())
+let arch = Gpusim.Arch.kepler_k40c
+let candidates = lazy (List.map V.of_figure6 [ "a"; "m"; "o" ])
+
+let service ?guard ?fault () =
+  Service.create ~candidates:(Lazy.force candidates) ?guard ?fault
+    (Lazy.force plan)
+
+let dense n = R.Dense (Array.init n (fun i -> float_of_int ((i * 5 mod 17) - 8)))
+
+let reference (input : R.input) : float =
+  P.reference_input (Lazy.force plan) input
+
+let request input = { Service.req_arch = arch; req_input = input }
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_invalid_arg name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* a certain bit flip per run: dense 2048 with this seed is caught by
+   the witness (established by the SDC suite) *)
+let flipping () = Fault.create (Fault.plan ~rate:0.0 ~bitflip_rate:1.0 ~seed:5 ())
+
+(* every run raises a transient simulator error, so an undeadlined
+   request retries with backoff *)
+let always_transient seed =
+  Fault.create (Fault.plan ~rate:1.0 ~mix:[ (Fault.Transient, 1.0) ] ~seed ())
+
+(* -------------------------------------------------------------- *)
+(* Deadline budgets inside the service                             *)
+(* -------------------------------------------------------------- *)
+
+let deadline_tests =
+  [
+    Alcotest.test_case "expiry during retry backoff never charges the breaker"
+      `Quick (fun () ->
+        (* the first transient fault wants a >=37.5us backoff; a 10us
+           budget dies before the sleep, so the request fails typed and
+           the version's breaker stays untouched *)
+        let svc =
+          service
+            ~guard:(Guard.config ~enabled:false ())
+            ~fault:(always_transient 3) ()
+        in
+        (match Service.submit_result ~deadline_us:10.0 svc (request (dense 1024)) with
+        | Error (Service.Deadline_exceeded _) -> ()
+        | Error e ->
+            Alcotest.failf "expected Deadline_exceeded, got: %s"
+              (Service.error_message e)
+        | Ok _ -> Alcotest.fail "expected Deadline_exceeded, got Ok");
+        let stats = Service.stats svc in
+        Alcotest.(check int) "no breaker faults" 0 (Stats.faults stats);
+        Alcotest.(check int) "no retries spent" 0 (Stats.retries stats);
+        Alcotest.(check int) "no quarantines" 0 (Stats.quarantines stats);
+        Alcotest.(check int) "expiry counted" 1 (Stats.deadline_expiries stats);
+        Alcotest.(check int) "not served degraded" 0 (Stats.degraded stats));
+    Alcotest.test_case "an answer in hand is never thrown away" `Quick
+      (fun () ->
+        (* the budget check happens before new work: a budget that dies
+           during the (successful) run still serves the result *)
+        let svc = service () in
+        (match Service.submit_result ~deadline_us:0.001 svc (request (dense 256)) with
+        | Ok r ->
+            Alcotest.(check bool) "not degraded" false r.Service.resp_degraded;
+            Alcotest.(check (float 1e-6))
+              "exact answer" (reference (dense 256)) r.Service.resp_value
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        Alcotest.(check int) "no expiry" 0
+          (Stats.deadline_expiries (Service.stats svc)));
+    Alcotest.test_case "budget dying after the witness serves it degraded"
+      `Quick (fun () ->
+        (* measure the winning rung's kernel time on a clean service,
+           then hand a flipping service exactly that budget: the witness
+           rejects the flipped result, the budget is spent, and the
+           witness value answers instead of an error *)
+        let clean = service ~guard:(Guard.config ~enabled:false ()) () in
+        let sim_us =
+          match Service.submit_result clean (request (dense 2048)) with
+          | Ok r -> r.Service.resp_sim_us
+          | Error e -> Alcotest.failf "clean run failed: %s" (Service.error_message e)
+        in
+        let svc = service ~fault:(flipping ()) () in
+        (match
+           Service.submit_result ~deadline_us:sim_us svc (request (dense 2048))
+         with
+        | Ok r ->
+            Alcotest.(check bool) "degraded" true r.Service.resp_degraded;
+            Alcotest.(check bool) "exact" true r.Service.resp_exact;
+            let ck =
+              Guard.make ~planner:(Lazy.force plan) ~input:(dense 2048)
+                ~sample:4 ()
+            in
+            Alcotest.(check bool) "witness value within tolerance" true
+              (Guard.acceptable ck ~got:r.Service.resp_value)
+        | Error e ->
+            Alcotest.failf "expected a degraded witness answer, got: %s"
+              (Service.error_message e));
+        let stats = Service.stats svc in
+        Alcotest.(check int) "witness serve counted" 1
+          (Stats.deadline_witness_serves stats);
+        Alcotest.(check int) "no typed expiry" 0 (Stats.deadline_expiries stats);
+        Alcotest.(check bool) "deadline winner recorded" true
+          (List.mem_assoc "host-reference (deadline)" (Stats.winner_histogram stats)));
+    Alcotest.test_case "non-positive and NaN deadlines are rejected" `Quick
+      (fun () ->
+        let svc = service () in
+        List.iter
+          (fun d ->
+            expect_invalid_arg
+              (Printf.sprintf "deadline %f" d)
+              (fun () ->
+                Service.submit_result ~deadline_us:d svc (request (dense 64))))
+          [ 0.0; -5.0; Float.nan ]);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* The brownout ladder                                             *)
+(* -------------------------------------------------------------- *)
+
+let brownout_tests =
+  [
+    Alcotest.test_case "levels outside 0..max are rejected" `Quick (fun () ->
+        let svc = service () in
+        Alcotest.(check int) "ladder height" 4 Service.max_brownout;
+        expect_invalid_arg "level 5" (fun () ->
+            Service.set_brownout svc (Service.max_brownout + 1));
+        expect_invalid_arg "level -1" (fun () -> Service.set_brownout svc (-1)));
+    Alcotest.test_case "transitions count once per actual change" `Quick
+      (fun () ->
+        let svc = service () in
+        Service.set_brownout svc 1;
+        Service.set_brownout svc 1;
+        (* no-op: same level *)
+        Service.set_brownout svc 2;
+        Service.set_brownout svc 0;
+        let stats = Service.stats svc in
+        Alcotest.(check int) "three transitions" 3
+          (Stats.brownout_transitions stats);
+        Alcotest.(check int) "peak level" 2 (Stats.brownout_max_level stats);
+        Alcotest.(check int) "restored" 0 (Service.brownout_level svc));
+    Alcotest.test_case "level 1 sheds kernel profiling" `Quick (fun () ->
+        let svc = service () in
+        Service.set_profiling svc true;
+        Service.set_brownout svc 1;
+        (match Service.submit_result svc (request (dense 512)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        let stats = Service.stats svc in
+        Alcotest.(check int) "no kernel rows" 0
+          (List.length (Stats.kernel_rows stats));
+        Alcotest.(check bool) "profile shed recorded" true
+          (List.mem_assoc "profile" (Stats.brownout_sheds stats));
+        Service.set_brownout svc 0;
+        (match Service.submit_result svc (request (dense 512)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        Alcotest.(check bool) "profiling resumes at level 0" true
+          (Stats.kernel_rows (Service.stats svc) <> []));
+    Alcotest.test_case "level 2 sheds redundant execution, witness serves"
+      `Quick (fun () ->
+        let svc = service ~fault:(flipping ()) () in
+        Service.set_brownout svc 2;
+        (match Service.submit_result svc (request (dense 2048)) with
+        | Ok r ->
+            Alcotest.(check bool) "degraded" true r.Service.resp_degraded;
+            let ck =
+              Guard.make ~planner:(Lazy.force plan) ~input:(dense 2048)
+                ~sample:4 ()
+            in
+            Alcotest.(check bool) "witness value within tolerance" true
+              (Guard.acceptable ck ~got:r.Service.resp_value)
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        let stats = Service.stats svc in
+        Alcotest.(check int) "check still ran" 1 (Stats.sdc_checks stats);
+        Alcotest.(check int) "no re-execution" 0 (Stats.sdc_reexecs stats);
+        Alcotest.(check int) "no corruption verdict" 0 (Stats.sdc_catches stats);
+        Alcotest.(check int) "breaker untouched" 0 (Stats.faults stats);
+        Alcotest.(check bool) "reexec shed recorded" true
+          (List.mem_assoc "reexec" (Stats.brownout_sheds stats));
+        Alcotest.(check bool) "brownout winner recorded" true
+          (List.mem_assoc "host-reference (brownout)"
+             (Stats.winner_histogram stats)));
+    Alcotest.test_case "level 3 sheds witness sampling density" `Quick
+      (fun () ->
+        let svc = service () in
+        Service.set_brownout svc 3;
+        (match Service.submit_result svc (request (dense 2048)) with
+        | Ok r -> Alcotest.(check bool) "still exact" false r.Service.resp_degraded
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        let stats = Service.stats svc in
+        Alcotest.(check int) "check still ran" 1 (Stats.sdc_checks stats);
+        Alcotest.(check bool) "sample shed recorded" true
+          (List.mem_assoc "witness-sample" (Stats.brownout_sheds stats)));
+    Alcotest.test_case "level 4 serves the host path without the simulator"
+      `Quick (fun () ->
+        let svc = service () in
+        Service.set_brownout svc Service.max_brownout;
+        (match Service.submit_result svc (request (dense 1024)) with
+        | Ok r ->
+            Alcotest.(check bool) "degraded" true r.Service.resp_degraded;
+            Alcotest.(check (float 1e-6))
+              "host reference answers" (reference (dense 1024))
+              r.Service.resp_value
+        | Error e -> Alcotest.failf "request failed: %s" (Service.error_message e));
+        let stats = Service.stats svc in
+        Alcotest.(check int) "plan cache never consulted" 0
+          (Stats.hits stats + Stats.misses stats);
+        Alcotest.(check int) "guard never ran" 0 (Stats.sdc_checks stats);
+        Alcotest.(check bool) "host-path shed recorded" true
+          (List.mem_assoc "host-path" (Stats.brownout_sheds stats)));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Poisson arrival stamping                                        *)
+(* -------------------------------------------------------------- *)
+
+let spec ?(requests = 2000) ?(seed = 42) ?(sizes = [ 1024; 65536 ]) () =
+  { Trace.t_requests = requests; t_seed = seed; t_sizes = sizes; t_archs = [ arch ] }
+
+let arrival_tests =
+  [
+    Alcotest.test_case "same seed, same timestamps; requests unchanged" `Quick
+      (fun () ->
+        let s = spec () in
+        let a1 = Trace.arrivals ~rate_rps:1000.0 s in
+        let a2 = Trace.arrivals ~rate_rps:1000.0 s in
+        Alcotest.(check bool) "deterministic" true (a1 = a2);
+        Alcotest.(check int) "one stamp per request" s.Trace.t_requests
+          (List.length a1);
+        (* stamping must not perturb the request draw stream *)
+        Alcotest.(check bool) "request stream is generate's" true
+          (List.map snd a1 = Trace.generate s);
+        let b = Trace.arrivals ~rate_rps:1000.0 (spec ~seed:43 ()) in
+        Alcotest.(check bool) "different seed, different stamps" true
+          (List.map fst a1 <> List.map fst b));
+    Alcotest.test_case "timestamps increase and match the rate" `Quick
+      (fun () ->
+        let a = Trace.arrivals ~rate_rps:1000.0 (spec ()) in
+        let ts = List.map fst a in
+        let rec monotone = function
+          | t1 :: (t2 :: _ as rest) -> t1 <= t2 && monotone rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "non-decreasing" true (monotone ts);
+        Alcotest.(check bool) "positive" true (List.for_all (fun t -> t > 0.0) ts);
+        (* 2000 exponential draws at 1000 rps: the sample mean of the
+           inter-arrival is 1000us within ~10% *)
+        let mean = List.nth ts (List.length ts - 1) /. float_of_int (List.length ts) in
+        Alcotest.(check bool)
+          (Printf.sprintf "mean inter-arrival %.0f us near 1000" mean)
+          true
+          (mean > 900.0 && mean < 1100.0));
+    Alcotest.test_case "non-positive rates are rejected" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            expect_invalid_arg
+              (Printf.sprintf "rate %f" r)
+              (fun () -> Trace.arrivals ~rate_rps:r (spec ~requests:4 ())))
+          [ 0.0; -1.0; Float.nan ]);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* The admission queue and its shed policies                       *)
+(* -------------------------------------------------------------- *)
+
+(* Hand-timed arrival scripts: a cold "plug" occupies the virtual server
+   (one cold miss costs 20ms) so later arrivals pile into the bounded
+   queue and exercise the policy. Sizes at or under 2048 are
+   interactive; warm sizes are pre-served so [Plan_cache.mem] predicts
+   them cheap. *)
+let arr t n = (t, (arch, n))
+
+let policy_cfg ?(cap = 1) ?(policy = A.Reject_newest) () =
+  {
+    A.default with
+    a_queue_cap = cap;
+    a_shed_policy = policy;
+    a_deadline_us = 1e9;
+    a_brownout = false;
+    a_interactive_max = 2048;
+  }
+
+let warmed sizes =
+  let svc = service () in
+  List.iter
+    (fun n ->
+      match
+        Service.submit_result svc (request (Trace.replay_input ~dense_upto:0 n))
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warm %d: %s" n (Service.error_message e))
+    sizes;
+  svc
+
+let plug = 1048576 (* cold batch work: occupies the server for >=20ms *)
+
+let queue_tests =
+  [
+    Alcotest.test_case "reject-newest sheds the arriving batch request" `Quick
+      (fun () ->
+        let svc = warmed [ 4096 ] in
+        let before = Stats.misses (Service.stats svc) in
+        let s =
+          A.replay ~config:(policy_cfg ()) svc
+            [ arr 0.0 plug; arr 10.0 4096; arr 20.0 16384 ]
+        in
+        Alcotest.(check int) "one shed" 1 s.A.a_shed;
+        Alcotest.(check int) "two served" 2 s.A.a_completed;
+        (* the shed 16384 never ran: only the plug missed the cache *)
+        Alcotest.(check int) "cold misses" 1
+          (Stats.misses (Service.stats svc) - before);
+        Alcotest.(check int) "batch shed" 1 (Stats.sheds_batch (Service.stats svc));
+        Alcotest.(check int) "no interactive shed" 0
+          (Stats.sheds_interactive (Service.stats svc)));
+    Alcotest.test_case "reject-oldest drops the head of the queue" `Quick
+      (fun () ->
+        let svc = warmed [ 4096 ] in
+        let before = Stats.misses (Service.stats svc) in
+        let s =
+          A.replay
+            ~config:(policy_cfg ~policy:A.Reject_oldest ())
+            svc
+            [ arr 0.0 plug; arr 10.0 4096; arr 20.0 16384 ]
+        in
+        Alcotest.(check int) "one shed" 1 s.A.a_shed;
+        Alcotest.(check int) "two served" 2 s.A.a_completed;
+        (* the queued 4096 was displaced, so the cold 16384 ran too *)
+        Alcotest.(check int) "cold misses" 2
+          (Stats.misses (Service.stats svc) - before));
+    Alcotest.test_case "interactive arrivals displace batch, never the reverse"
+      `Quick (fun () ->
+        (* queued batch, interactive newcomer: the batch item goes *)
+        let svc = warmed [ 1024; 4096 ] in
+        let s =
+          A.replay ~config:(policy_cfg ()) svc
+            [ arr 0.0 plug; arr 10.0 4096; arr 20.0 1024 ]
+        in
+        Alcotest.(check int) "batch displaced" 1
+          (Stats.sheds_batch (Service.stats svc));
+        Alcotest.(check int) "interactive survives" 0
+          (Stats.sheds_interactive (Service.stats svc));
+        Alcotest.(check int) "plug and interactive served" 2 s.A.a_completed;
+        (* queued interactive, batch newcomer: the newcomer goes *)
+        let svc2 = warmed [ 1024; 4096 ] in
+        let s2 =
+          A.replay ~config:(policy_cfg ()) svc2
+            [ arr 0.0 plug; arr 10.0 1024; arr 20.0 4096 ]
+        in
+        Alcotest.(check int) "batch newcomer shed" 1
+          (Stats.sheds_batch (Service.stats svc2));
+        Alcotest.(check int) "interactive untouched" 0
+          (Stats.sheds_interactive (Service.stats svc2));
+        Alcotest.(check int) "plug and interactive served" 2 s2.A.a_completed);
+    Alcotest.test_case "cost-aware sheds the predicted-costliest request"
+      `Quick (fun () ->
+        (* queued cold 16384 (predicts a 20ms plan/tune sweep), warm 4096
+           newcomer (predicts 5us): cost-aware displaces the cold one... *)
+        let svc = warmed [ 4096 ] in
+        let before = Stats.misses (Service.stats svc) in
+        let script = [ arr 0.0 plug; arr 10.0 16384; arr 20.0 4096 ] in
+        let s =
+          A.replay ~config:(policy_cfg ~policy:A.Cost_aware ()) svc script
+        in
+        Alcotest.(check int) "one shed" 1 s.A.a_shed;
+        Alcotest.(check int) "only the plug missed" 1
+          (Stats.misses (Service.stats svc) - before);
+        (* ...where reject-newest on the same script keeps the cold one *)
+        let svc2 = warmed [ 4096 ] in
+        let before2 = Stats.misses (Service.stats svc2) in
+        ignore (A.replay ~config:(policy_cfg ()) svc2 script);
+        Alcotest.(check int) "tail drop pays the cold sweep" 2
+          (Stats.misses (Service.stats svc2) - before2));
+    Alcotest.test_case "deadline-infeasible work is dropped at dequeue" `Quick
+      (fun () ->
+        (* a cold request predicts 20ms against a 15ms deadline: it is
+           dropped before ever occupying the server, and never runs *)
+        let svc = warmed [ 1024 ] in
+        let before = Stats.misses (Service.stats svc) in
+        let cfg = { (policy_cfg ~cap:8 ()) with A.a_deadline_us = 15_000.0 } in
+        let s = A.replay ~config:cfg svc [ arr 0.0 plug; arr 10.0 1024 ] in
+        Alcotest.(check int) "plug expired" 1 s.A.a_expired;
+        Alcotest.(check int) "interactive served" 1 s.A.a_completed;
+        Alcotest.(check int) "within deadline" 1 s.A.a_goodput;
+        Alcotest.(check int) "the expired request never ran" 0
+          (Stats.misses (Service.stats svc) - before);
+        Alcotest.(check int) "expiry counted" 1
+          (Stats.deadline_expiries (Service.stats svc)));
+    Alcotest.test_case "invalid configs are rejected" `Quick (fun () ->
+        let svc = service () in
+        expect_invalid_arg "zero capacity" (fun () ->
+            A.replay ~config:{ A.default with A.a_queue_cap = 0 } svc []);
+        expect_invalid_arg "zero deadline" (fun () ->
+            A.replay ~config:{ A.default with A.a_deadline_us = 0.0 } svc []);
+        expect_invalid_arg "negative cost" (fun () ->
+            A.replay ~config:{ A.default with A.a_cost_hit_us = -1.0 } svc []));
+    Alcotest.test_case "policy names round-trip" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            Alcotest.(check bool)
+              (A.shed_policy_name p)
+              true
+              (A.shed_policy_of_string (A.shed_policy_name p) = Some p))
+          [ A.Reject_newest; A.Reject_oldest; A.Cost_aware ];
+        Alcotest.(check bool) "unknown name" true
+          (A.shed_policy_of_string "drop-everything" = None));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Saturation: protection holds the interactive deadline           *)
+(* -------------------------------------------------------------- *)
+
+let saturation_tests =
+  [
+    Alcotest.test_case
+      "no admitted interactive request violates its deadline, at any rate or \
+       policy"
+      `Quick (fun () ->
+        let s =
+          spec ~requests:120 ~seed:11 ~sizes:[ 1024; 16384; 262144; 4194304 ] ()
+        in
+        List.iter
+          (fun rate ->
+            List.iter
+              (fun policy ->
+                let svc = service () in
+                let cfg =
+                  { A.default with a_shed_policy = policy; a_brownout = true }
+                in
+                let summary =
+                  A.replay ~config:cfg svc (Trace.arrivals ~rate_rps:rate s)
+                in
+                let label what =
+                  Printf.sprintf "%s @ %.0f rps, %s" what rate
+                    (A.shed_policy_name policy)
+                in
+                Alcotest.(check int)
+                  (label "interactive violations")
+                  0 summary.A.a_interactive_violations;
+                Alcotest.(check int) (label "offered") 120 summary.A.a_offered;
+                Alcotest.(check bool)
+                  (label "admissions account for outcomes")
+                  true
+                  (summary.A.a_admitted
+                  >= summary.A.a_completed + summary.A.a_deadline_errors
+                     + summary.A.a_failed + summary.A.a_expired);
+                Alcotest.(check int)
+                  (label "brownout restored after drain")
+                  0 (Service.brownout_level svc))
+              [ A.Reject_newest; A.Cost_aware ])
+          [ 500.0; 2000.0; 8000.0 ]);
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Quiet-path report stability                                     *)
+(* -------------------------------------------------------------- *)
+
+let report_tests =
+  [
+    Alcotest.test_case "admission traffic alone leaves the report untouched"
+      `Quick (fun () ->
+        let record s =
+          Stats.hit s ~bucket:"2^10";
+          Stats.winner s "DT,A/direct:Vs";
+          Stats.run_us s 100.0
+        in
+        let plain = Stats.create () in
+        let through_queue = Stats.create () in
+        record plain;
+        record through_queue;
+        Stats.admit through_queue ~interactive:true;
+        Stats.queue_wait_us through_queue 12.0;
+        Alcotest.(check bool) "gate stays closed" false
+          (Stats.overload_fired through_queue);
+        Alcotest.(check string) "byte-identical report" (Stats.report plain)
+          (Stats.report through_queue);
+        (* the first shed opens the gate *)
+        Stats.shed_request through_queue ~interactive:false;
+        Alcotest.(check bool) "gate opens on shed" true
+          (Stats.overload_fired through_queue);
+        Alcotest.(check bool) "section appears" true
+          (contains ~needle:"overload resilience" (Stats.report through_queue)));
+    Alcotest.test_case "an unloaded replay through admission stays quiet"
+      `Quick (fun () ->
+        let svc = service () in
+        let s = spec ~requests:10 ~seed:3 ~sizes:[ 1024; 4096 ] () in
+        let summary = A.replay svc (Trace.arrivals ~rate_rps:10.0 s) in
+        Alcotest.(check int) "nothing shed" 0 summary.A.a_shed;
+        Alcotest.(check int) "nothing expired" 0 summary.A.a_expired;
+        Alcotest.(check int) "all goodput" 10 summary.A.a_goodput;
+        Alcotest.(check int) "no brownout" 0 summary.A.a_max_brownout;
+        Alcotest.(check bool) "gate closed" false
+          (Stats.overload_fired (Service.stats svc));
+        Alcotest.(check bool) "no overload section" false
+          (contains ~needle:"overload resilience" (Service.report svc)));
+  ]
+
+let () =
+  Alcotest.run "overload"
+    [
+      ("deadlines", deadline_tests);
+      ("brownout", brownout_tests);
+      ("arrivals", arrival_tests);
+      ("queue", queue_tests);
+      ("saturation", saturation_tests);
+      ("reports", report_tests);
+    ]
