@@ -16,8 +16,10 @@
                                                  injected faults (rate sweep)
      dune exec bench/main.exe sdc             -- silent-data-corruption guard:
                                                  bit-flip detection + overhead
-     dune exec bench/main.exe lint            -- race-sanitizer wall time per
-                                                 code version (all 88)
+     dune exec bench/main.exe lint            -- race + access analyzer wall
+                                                 time per code version (all 88)
+     dune exec bench/main.exe access          -- static memory-access analyzer
+                                                 calibration vs observed events
      dune exec bench/main.exe obs             -- tracing overhead: disabled vs
                                                  enabled vs Chrome-trace export
      dune exec bench/main.exe overload        -- goodput vs offered load with
@@ -606,35 +608,87 @@ let sdc () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* Sanitizer cost: wall time of the race check per code version        *)
+(* Sanitizer cost: wall time per static analysis per code version      *)
 (* ------------------------------------------------------------------ *)
 
 let lint () =
   print_endline
-    "=== Race-sanitizer wall time per code version (all 88; lowering excluded) ===";
+    "=== Static-analysis wall time per code version (all 88; lowering \
+     excluded; race and access timed separately) ===";
   let plan = P.sum () in
   let versions = V.enumerate () in
-  Printf.printf "%-42s %7s %6s %11s\n" "version" "errors" "warns" "wall (ms)";
-  let total = ref 0.0 in
-  let worst = ref (0.0, "-") in
+  Printf.printf "%-42s %7s %6s %10s %12s\n" "version" "errors" "warns"
+    "race (ms)" "access (ms)";
+  let race_total = ref 0.0 and access_total = ref 0.0 in
+  let race_worst = ref (0.0, "-") and access_worst = ref (0.0, "-") in
   List.iter
     (fun v ->
       let program = P.program plan v in
       let t0 = Unix.gettimeofday () in
-      let diags = Device_ir.Race.check_program program in
-      let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-      total := !total +. dt_ms;
-      if dt_ms > fst !worst then worst := (dt_ms, V.name v);
-      Printf.printf "%-42s %7d %6d %11.2f\n" (V.name v)
+      let race_diags = Device_ir.Race.check_program program in
+      let t1 = Unix.gettimeofday () in
+      let access_diags = Device_ir.Access.check_program program in
+      let t2 = Unix.gettimeofday () in
+      let race_ms = (t1 -. t0) *. 1e3 and access_ms = (t2 -. t1) *. 1e3 in
+      race_total := !race_total +. race_ms;
+      access_total := !access_total +. access_ms;
+      if race_ms > fst !race_worst then race_worst := (race_ms, V.name v);
+      if access_ms > fst !access_worst then access_worst := (access_ms, V.name v);
+      let diags = race_diags @ access_diags in
+      Printf.printf "%-42s %7d %6d %10.2f %12.2f\n" (V.name v)
         (List.length (Device_ir.Diag.errors diags))
         (List.length (Device_ir.Diag.warnings diags))
-        dt_ms)
+        race_ms access_ms)
     versions;
+  let n = float_of_int (List.length versions) in
   Printf.printf
-    "\n%d versions sanitized in %.1f ms total (mean %.2f ms, worst %.2f ms on %s)\n\n"
-    (List.length versions) !total
-    (!total /. float_of_int (List.length versions))
-    (fst !worst) (snd !worst)
+    "\n%d versions: race %.1f ms total (mean %.2f ms, worst %.2f ms on %s); \
+     access %.1f ms total (mean %.2f ms, worst %.2f ms on %s)\n\n"
+    (List.length versions) !race_total (!race_total /. n) (fst !race_worst)
+    (snd !race_worst) !access_total (!access_total /. n) (fst !access_worst)
+    (snd !access_worst)
+
+(* ------------------------------------------------------------------ *)
+(* Access-analyzer calibration: static predictions vs observed Events  *)
+(* ------------------------------------------------------------------ *)
+
+let access () =
+  print_endline
+    "=== Static memory-access calibration (all 88 versions x 4 arches, n = \
+     16384) ===";
+  let plan = P.sum () in
+  let versions = V.enumerate () in
+  let archs = Gpusim.Arch.presets @ [ Gpusim.Arch.volta_v100 ] in
+  let t0 = Unix.gettimeofday () in
+  let reports = Synthesis.Calibrate.calibrate_all ~archs plan versions in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-18s %8s %12s %12s %12s %12s %6s\n" "arch" "versions"
+    "trans err" "max" "replay err" "max" "flips";
+  List.iter
+    (fun (r : Synthesis.Calibrate.report) ->
+      Printf.printf "%-18s %8d %11.2f%% %11.2f%% %11.2f%% %11.2f%% %6d\n"
+        r.Synthesis.Calibrate.cr_arch.Gpusim.Arch.name
+        (List.length r.Synthesis.Calibrate.cr_rows)
+        (r.Synthesis.Calibrate.cr_mean_trans_err *. 100.0)
+        (r.Synthesis.Calibrate.cr_max_trans_err *. 100.0)
+        (r.Synthesis.Calibrate.cr_mean_serial_err *. 100.0)
+        (r.Synthesis.Calibrate.cr_max_serial_err *. 100.0)
+        (List.length r.Synthesis.Calibrate.cr_flips))
+    reports;
+  List.iter
+    (fun (r : Synthesis.Calibrate.report) ->
+      List.iter
+        (fun (f : Synthesis.Calibrate.flip) ->
+          Printf.printf
+            "  %s FLIP: static prefers %s over %s (+%.0f%%), observed \
+             disagrees (+%.0f%%)\n"
+            r.Synthesis.Calibrate.cr_arch.Gpusim.Arch.name
+            f.Synthesis.Calibrate.fl_fast f.Synthesis.Calibrate.fl_slow
+            (f.Synthesis.Calibrate.fl_static_gap *. 100.0)
+            (f.Synthesis.Calibrate.fl_obs_gap *. 100.0))
+        r.Synthesis.Calibrate.cr_flips)
+    reports;
+  Printf.printf "\ncalibrated in %.1f s\n\n" dt
 
 (* ------------------------------------------------------------------ *)
 (* Prover cost: wall time of the symbolic equivalence proof per        *)
@@ -938,6 +992,7 @@ let all () =
   faults ();
   sdc ();
   lint ();
+  access ();
   prove ();
   obs ();
   overload ();
@@ -963,13 +1018,14 @@ let () =
           | "faults" -> faults ()
           | "sdc" -> sdc ()
           | "lint" -> lint ()
+          | "access" -> access ()
           | "prove" -> prove ()
           | "obs" -> obs ()
           | "overload" -> overload ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|prove|obs|overload|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|access|prove|obs|overload|micro)\n"
                 other;
               exit 1)
         args

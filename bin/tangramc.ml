@@ -725,6 +725,221 @@ let profile_cmd =
       $ all_variants_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* access                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Static memory-access calibration: per version, the analyzer's
+   transaction/replay predictions against the interpreter's observed
+   Events totals, plus the static-vs-observed cost ranking flips — the
+   exact failure mode of a tuner trusting the static model. *)
+let access_cmd =
+  let arch_arg =
+    let doc =
+      "Calibrate on $(docv): kepler, maxwell, pascal, volta, or 'all' \
+       (every descriptor)."
+    in
+    Arg.(value & opt string "all" & info [ "arch"; "a" ] ~doc ~docv:"ARCH")
+  in
+  let n_arg =
+    let doc = "Input size (number of 32-bit elements; keep it a power of two)." in
+    Arg.(value & opt int 16384 & info [ "size"; "n" ] ~doc)
+  in
+  let margin_arg =
+    let doc =
+      "Relative cost gap both pricings must exceed before a disagreement \
+       counts as a ranking flip."
+    in
+    Arg.(value & opt float 0.1 & info [ "margin" ] ~doc)
+  in
+  let all_variants_arg =
+    let doc = "Calibrate every code version, not just the pruned survivors." in
+    Arg.(value & flag & info [ "all-variants" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Print the calibration report as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_flips_arg =
+    let doc =
+      "Exit 1 when the total ranking-flip count across architectures \
+       exceeds $(docv) (the CI ratchet); negative disables the gate."
+    in
+    Arg.(value & opt int (-1) & info [ "max-flips" ] ~doc ~docv:"N")
+  in
+  let tol_arg =
+    let doc =
+      "Exit 1 when any version's transaction or replay relative error \
+       exceeds $(docv)."
+    in
+    Arg.(value & opt float 0.05 & info [ "tolerance" ] ~doc ~docv:"E")
+  in
+  let run spectrum source arch_name n margin all_variants json max_flips tol =
+    let archs =
+      if String.lowercase_ascii arch_name = "all" then
+        Tangram.Arch.presets @ [ Tangram.Arch.volta_v100 ]
+      else
+        match Tangram.Arch.by_name arch_name with
+        | Some a -> [ a ]
+        | None ->
+            Printf.eprintf
+              "unknown architecture %S (kepler|maxwell|pascal|volta|all)\n"
+              arch_name;
+            exit 1
+    in
+    if n < 1 then begin
+      Printf.eprintf "tangramc access: --size must be at least 1\n";
+      exit 2
+    end;
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let versions =
+          if all_variants then Tangram.all_versions ()
+          else Tangram.pruned_versions ()
+        in
+        let reports =
+          Tangram.Calibrate.calibrate_all ~n ~margin ~archs plan versions
+        in
+        if json then
+          print_endline
+            (Tangram.Obs.Json.to_string (Tangram.Calibrate.reports_json reports))
+        else begin
+          Printf.printf
+            "calibrating %d version(s) x %d arch(es), n = %d, flip margin %.0f%%\n"
+            (List.length versions) (List.length archs) n (margin *. 100.0);
+          List.iter
+            (fun (r : Tangram.Calibrate.report) ->
+              Printf.printf "\n-- %s --\n" r.Tangram.Calibrate.cr_arch.Tangram.Arch.name;
+              Printf.printf "%-34s %10s %10s %6s %9s %9s %6s %10s %10s %s\n"
+                "version" "pred trn" "obs trn" "err%" "pred rpl" "obs rpl"
+                "err%" "static us" "obs us" "notes";
+              List.iter
+                (fun (row : Tangram.Calibrate.row) ->
+                  let notes =
+                    String.concat ","
+                      ((if row.Tangram.Calibrate.r_approx then [ "approx" ] else [])
+                      @ List.sort_uniq compare
+                          (List.map
+                             (fun (d : Tangram.Diag.t) -> d.Tangram.Diag.code)
+                             row.Tangram.Calibrate.r_diags))
+                  in
+                  Printf.printf
+                    "%-34s %10.0f %10.0f %6.2f %9.0f %9.0f %6.2f %10.2f %10.2f %s\n"
+                    (Tangram.Version.name row.Tangram.Calibrate.r_version)
+                    row.Tangram.Calibrate.r_pred_trans
+                    row.Tangram.Calibrate.r_obs_trans
+                    (row.Tangram.Calibrate.r_trans_err *. 100.0)
+                    row.Tangram.Calibrate.r_pred_serial
+                    row.Tangram.Calibrate.r_obs_serial
+                    (row.Tangram.Calibrate.r_serial_err *. 100.0)
+                    row.Tangram.Calibrate.r_static_us
+                    row.Tangram.Calibrate.r_obs_us notes)
+                r.Tangram.Calibrate.cr_rows;
+              if r.Tangram.Calibrate.cr_skipped <> [] then
+                Printf.printf "skipped (simulator rejected): %s\n"
+                  (String.concat ", " r.Tangram.Calibrate.cr_skipped);
+              Printf.printf
+                "trans err mean %.2f%% max %.2f%%; replay err mean %.2f%% max \
+                 %.2f%%; ranking flips: %d\n"
+                (r.Tangram.Calibrate.cr_mean_trans_err *. 100.0)
+                (r.Tangram.Calibrate.cr_max_trans_err *. 100.0)
+                (r.Tangram.Calibrate.cr_mean_serial_err *. 100.0)
+                (r.Tangram.Calibrate.cr_max_serial_err *. 100.0)
+                (List.length r.Tangram.Calibrate.cr_flips);
+              List.iter
+                (fun (f : Tangram.Calibrate.flip) ->
+                  Printf.printf
+                    "  FLIP: static prefers %s over %s (+%.0f%%) but observed \
+                     disagrees (+%.0f%%)\n"
+                    f.Tangram.Calibrate.fl_fast f.Tangram.Calibrate.fl_slow
+                    (f.Tangram.Calibrate.fl_static_gap *. 100.0)
+                    (f.Tangram.Calibrate.fl_obs_gap *. 100.0))
+                r.Tangram.Calibrate.cr_flips)
+            reports
+        end;
+        (* gates: error-severity TPERF diagnostics never pass; the flip
+           count and the per-version error tolerance are ratchets *)
+        let tperf_errors =
+          List.concat_map
+            (fun (r : Tangram.Calibrate.report) ->
+              List.concat_map
+                (fun (row : Tangram.Calibrate.row) ->
+                  Tangram.Diag.errors row.Tangram.Calibrate.r_diags)
+                r.Tangram.Calibrate.cr_rows)
+            reports
+        in
+        let total_flips =
+          List.fold_left
+            (fun acc (r : Tangram.Calibrate.report) ->
+              acc + List.length r.Tangram.Calibrate.cr_flips)
+            0 reports
+        in
+        let worst_err =
+          List.fold_left
+            (fun acc (r : Tangram.Calibrate.report) ->
+              Float.max acc
+                (Float.max r.Tangram.Calibrate.cr_max_trans_err
+                   r.Tangram.Calibrate.cr_max_serial_err))
+            0.0 reports
+        in
+        if tperf_errors <> [] then begin
+          Printf.eprintf "error-severity TPERF diagnostics:\n%s\n"
+            (Tangram.Diag.render tperf_errors);
+          exit 1
+        end;
+        if worst_err > tol then begin
+          Printf.eprintf
+            "calibration error %.2f%% exceeds tolerance %.2f%%\n"
+            (worst_err *. 100.0) (tol *. 100.0);
+          exit 1
+        end;
+        if max_flips >= 0 && total_flips > max_flips then begin
+          Printf.eprintf "ranking flips %d exceed --max-flips %d\n" total_flips
+            max_flips;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "access"
+       ~doc:
+         "Calibrate the static memory-access analyzer: per-version \
+          static-vs-observed transaction/replay error and cost ranking \
+          flips across simulated architectures")
+    Term.(
+      const run $ spectrum_arg $ source_arg $ arch_arg $ n_arg $ margin_arg
+      $ all_variants_arg $ json_arg $ max_flips_arg $ tol_arg)
+
+(* ------------------------------------------------------------------ *)
+(* codes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let codes_cmd =
+  let json_arg =
+    let doc = "Print the registry as a JSON array instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run json =
+    if json then
+      print_endline (Tangram.Obs.Json.to_string (Tangram.Diag.registry_json ()))
+    else begin
+      Printf.printf "%-10s %-8s %-9s %s\n" "code" "severity" "source" "meaning";
+      List.iter
+        (fun (r : Tangram.Diag.info) ->
+          Printf.printf "%-10s %-8s %-9s %s\n" r.Tangram.Diag.r_code
+            (Tangram.Diag.severity_name r.Tangram.Diag.r_severity)
+            r.Tangram.Diag.r_source r.Tangram.Diag.r_meaning)
+        Tangram.Diag.registry
+    end
+  in
+  Cmd.v
+    (Cmd.info "codes"
+       ~doc:
+         "List every registered diagnostic code (TVAL/TSAN/TLINT/TSYM/TPERF) \
+          with its severity and one-line meaning")
+    Term.(const run $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -756,5 +971,6 @@ let () =
        (Cmd.group info
           [
             emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd;
-            prove_cmd; synth_cmd; serve_cmd; profile_cmd; trace_check_cmd;
+            prove_cmd; synth_cmd; serve_cmd; profile_cmd; access_cmd;
+            codes_cmd; trace_check_cmd;
           ]))

@@ -32,6 +32,7 @@ module Driver = Passes.Driver
 module Version = Synthesis.Version
 module Planner = Synthesis.Planner
 module Tuner = Synthesis.Tuner
+module Calibrate = Synthesis.Calibrate
 module Arch = Gpusim.Arch
 module Runner = Gpusim.Runner
 module Interp = Gpusim.Interp
@@ -45,6 +46,7 @@ module Ir = Device_ir.Ir
 module Validate = Device_ir.Validate
 module Diag = Device_ir.Diag
 module Race = Device_ir.Race
+module Access = Device_ir.Access
 module Unroll = Device_ir.Unroll
 module Vectorize = Device_ir.Vectorize
 module Ptx = Device_ir.Ptx

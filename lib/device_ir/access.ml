@@ -1,0 +1,1138 @@
+(* Static memory-access analysis: lane-affine abstract interpretation of
+   the device IR.
+
+   The analyzer executes each kernel one warp at a time. Every value is
+   either a 32-wide lane vector (the exact pointwise concretization of
+   the lane-affine normal form base + s_lane*lane + s_tid*tid + s_loop*i:
+   tid folds to warp_base + 1*lane, loop iterators to their concrete
+   per-iteration values) or Top for anything data-dependent — memory
+   loads, shuffle results, atomic return values. Address expressions in
+   the paper's reduction corpus are pure lane geometry, so they stay
+   exact; the affine *fit* over the lane vector recovers (base, stride)
+   for classification and rendering.
+
+   Two invariants keep the static predictions comparable with observed
+   {!Gpusim.Events} counters:
+
+   - the segment rule (128-byte transactions: distinct [idx lsr 5] among
+     active lanes) and the bank rule (32 banks: worst per-bank distinct
+     address count of [idx land 31]) are copied from the interpreter
+     verbatim;
+   - event counting mirrors the interpreter's charging points statement
+     for statement, including the block-level/warp-level split for
+     statements that contain a barrier.
+
+   Divergence is exact when the branch condition is a lane vector: the
+   two arms run sequentially under complementary lane masks, and
+   register assignment merges per lane, which is precisely the SIMT
+   reconvergence semantics. Only a Top condition forces the
+   snapshot-and-join fallback (and sets the [approx] flag). *)
+
+module SM = Analysis.SM
+
+let warp_lanes = 32
+
+type config = { sample_n : int; fuel : int }
+
+let default_config = { sample_n = 4096; fuel = 1 lsl 16 }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract values: exact lane vectors, or Top                         *)
+(* ------------------------------------------------------------------ *)
+
+type aval = Vec of int array | Top
+
+let const n = Vec (Array.make warp_lanes n)
+
+let uniform_of = function
+  | Top -> None
+  | Vec a ->
+      let v = a.(0) in
+      if Array.for_all (fun x -> x = v) a then Some v else None
+
+let int_of_float_exact f =
+  if Float.is_integer f && Float.abs f < 1073741824.0 then
+    Some (int_of_float f)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type coalescing = Broadcast | Coalesced | Strided of int | Scattered | Non_affine
+
+let coalescing_name = function
+  | Broadcast -> "broadcast"
+  | Coalesced -> "coalesced"
+  | Strided k -> Printf.sprintf "strided(%d)" k
+  | Scattered -> "scattered"
+  | Non_affine -> "non-affine"
+
+let class_rank = function
+  | Broadcast -> 0
+  | Coalesced -> 1
+  | Strided _ -> 2
+  | Scattered -> 3
+  | Non_affine -> 4
+
+let class_join a b =
+  match (a, b) with
+  | Strided x, Strided y -> Strided (if abs x >= abs y then x else y)
+  | _ -> if class_rank a >= class_rank b then a else b
+
+type akind = Ld | St | At | Vl
+
+let kind_name = function
+  | Ld -> "load"
+  | St -> "store"
+  | At -> "atomic"
+  | Vl -> "vec-load"
+
+(* the interpreter's 128-byte segment rule (4-byte elements) *)
+let segment_of_index i = i lsr 5
+
+let count_segments (idxs : int array) (mask : bool array) (lanes : int) : int =
+  let segs = ref [] in
+  for l = 0 to lanes - 1 do
+    if mask.(l) then begin
+      let s = segment_of_index idxs.(l) in
+      if not (List.mem s !segs) then segs := s :: !segs
+    end
+  done;
+  List.length !segs
+
+(* the interpreter's 32-bank rule: same-address lanes broadcast, distinct
+   addresses on one bank serialise *)
+let bank_conflict_degree (idxs : int array) (mask : bool array) (lanes : int) : int =
+  let banks = Array.make 32 [] in
+  for l = 0 to lanes - 1 do
+    if mask.(l) then begin
+      let b = idxs.(l) land 31 in
+      if not (List.mem idxs.(l) banks.(b)) then banks.(b) <- idxs.(l) :: banks.(b)
+    end
+  done;
+  let worst = Array.fold_left (fun acc g -> max acc (List.length g)) 0 banks in
+  max worst 1
+
+let atomic_conflicts (idxs : int array) (mask : bool array) (lanes : int) :
+    int * int =
+  let groups = ref [] in
+  for l = 0 to lanes - 1 do
+    if mask.(l) then
+      match List.assoc_opt idxs.(l) !groups with
+      | Some r -> incr r
+      | None -> groups := (idxs.(l), ref 1) :: !groups
+  done;
+  (List.length !groups, List.fold_left (fun acc (_, r) -> max acc !r) 0 !groups)
+
+let active_count mask lanes =
+  let n = ref 0 in
+  for l = 0 to lanes - 1 do
+    if mask.(l) then incr n
+  done;
+  !n
+
+(* fit the lane-affine normal form over the active lanes: addresses
+   [base + stride*lane] for some integers, or None when the vector is
+   lane-indexed but not affine (mod/and mixes) *)
+let affine_fit (idxs : int array) (mask : bool array) (lanes : int) :
+    (int * int) option =
+  let acc = ref [] in
+  for l = lanes - 1 downto 0 do
+    if mask.(l) then acc := (l, idxs.(l)) :: !acc
+  done;
+  match !acc with
+  | [] -> Some (0, 0)
+  | [ (l, v) ] -> Some (v - (0 * l), 0)
+  | (l0, v0) :: (l1, v1) :: rest ->
+      let dl = l1 - l0 and dv = v1 - v0 in
+      if dv mod dl <> 0 then None
+      else
+        let s = dv / dl in
+        if
+          List.for_all (fun (l, v) -> v = v0 + (s * (l - l0))) rest
+        then Some (v0 - (s * l0), s)
+        else None
+
+let render_form = function
+  | None -> "(data-dependent)"
+  | Some (b, 0) -> Printf.sprintf "%d" b
+  | Some (0, 1) -> "lane"
+  | Some (b, 1) -> Printf.sprintf "%d + lane" b
+  | Some (0, s) -> Printf.sprintf "%d*lane" s
+  | Some (b, s) -> Printf.sprintf "%d + %d*lane" b s
+
+(* ------------------------------------------------------------------ *)
+(* Sites                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type site = {
+  s_kernel : string;
+  s_loc : string;
+  s_space : Ir.space;
+  s_arr : string;
+  s_kind : akind;
+  mutable s_ops : int;
+  mutable s_trans : int;
+  mutable s_serial : int;
+  mutable s_worst_trans : int;
+  mutable s_worst_degree : int;
+  mutable s_class : coalescing;
+  mutable s_non_affine : bool;
+  mutable s_first_epoch : int;
+  mutable s_last_epoch : int;
+  mutable s_form : string;
+  mutable s_lanes : int array option;
+}
+
+type site_table = {
+  tbl : (string * string, site) Hashtbl.t;  (* (kernel, loc) *)
+  mutable order : site list;  (* reverse insertion order *)
+}
+
+let new_site_table () = { tbl = Hashtbl.create 32; order = [] }
+
+let sites_in_order (t : site_table) : site list = List.rev t.order
+
+let find_site t ~kernel ~loc ~space ~arr ~kind ~epoch =
+  let key = (kernel, loc) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_kernel = kernel;
+          s_loc = loc;
+          s_space = space;
+          s_arr = arr;
+          s_kind = kind;
+          s_ops = 0;
+          s_trans = 0;
+          s_serial = 0;
+          s_worst_trans = 0;
+          s_worst_degree = 0;
+          s_class = Broadcast;
+          s_non_affine = false;
+          s_first_epoch = epoch;
+          s_last_epoch = epoch;
+          s_form = "";
+          s_lanes = None;
+        }
+      in
+      Hashtbl.add t.tbl key s;
+      t.order <- s :: t.order;
+      s
+
+let describe_site (s : site) : string =
+  Printf.sprintf "%s %s %s[%s] %s: %s, worst %d trans, %d-way banks"
+    s.s_kernel s.s_loc
+    (match s.s_space with Ir.Global -> "global" | Ir.Shared -> "shared")
+    s.s_arr (kind_name s.s_kind)
+    (coalescing_name s.s_class)
+    s.s_worst_trans s.s_worst_degree
+
+(* ------------------------------------------------------------------ *)
+(* Event counts (mirrors Gpusim.Events charging)                       *)
+(* ------------------------------------------------------------------ *)
+
+type counts = {
+  mutable c_warp_insts : float;
+  mutable c_alu : float;
+  mutable c_branches : float;
+  mutable c_blk_branches : float;
+  mutable c_divergent : float;
+  mutable c_gld_ops : float;
+  mutable c_gld_trans : float;
+  mutable c_gst_trans : float;
+  mutable c_shared_ops : float;
+  mutable c_shared_serial : float;
+  mutable c_shfl : float;
+  mutable c_vec_ops : float;
+  mutable c_syncs : float;
+  mutable c_atomic_global_ops : float;
+  mutable c_atomic_global_trans : float;
+  mutable c_atomic_shared_ops : float;
+  mutable c_atomic_shared_serial : float;
+}
+
+let zero_counts () =
+  {
+    c_warp_insts = 0.0;
+    c_alu = 0.0;
+    c_branches = 0.0;
+    c_blk_branches = 0.0;
+    c_divergent = 0.0;
+    c_gld_ops = 0.0;
+    c_gld_trans = 0.0;
+    c_gst_trans = 0.0;
+    c_shared_ops = 0.0;
+    c_shared_serial = 0.0;
+    c_shfl = 0.0;
+    c_vec_ops = 0.0;
+    c_syncs = 0.0;
+    c_atomic_global_ops = 0.0;
+    c_atomic_global_trans = 0.0;
+    c_atomic_shared_ops = 0.0;
+    c_atomic_shared_serial = 0.0;
+  }
+
+let add_counts (dst : counts) (src : counts) : unit =
+  dst.c_warp_insts <- dst.c_warp_insts +. src.c_warp_insts;
+  dst.c_alu <- dst.c_alu +. src.c_alu;
+  dst.c_branches <- dst.c_branches +. src.c_branches;
+  dst.c_blk_branches <- dst.c_blk_branches +. src.c_blk_branches;
+  dst.c_divergent <- dst.c_divergent +. src.c_divergent;
+  dst.c_gld_ops <- dst.c_gld_ops +. src.c_gld_ops;
+  dst.c_gld_trans <- dst.c_gld_trans +. src.c_gld_trans;
+  dst.c_gst_trans <- dst.c_gst_trans +. src.c_gst_trans;
+  dst.c_shared_ops <- dst.c_shared_ops +. src.c_shared_ops;
+  dst.c_shared_serial <- dst.c_shared_serial +. src.c_shared_serial;
+  dst.c_shfl <- dst.c_shfl +. src.c_shfl;
+  dst.c_vec_ops <- dst.c_vec_ops +. src.c_vec_ops;
+  dst.c_syncs <- dst.c_syncs +. src.c_syncs;
+  dst.c_atomic_global_ops <- dst.c_atomic_global_ops +. src.c_atomic_global_ops;
+  dst.c_atomic_global_trans <-
+    dst.c_atomic_global_trans +. src.c_atomic_global_trans;
+  dst.c_atomic_shared_ops <- dst.c_atomic_shared_ops +. src.c_atomic_shared_ops;
+  dst.c_atomic_shared_serial <-
+    dst.c_atomic_shared_serial +. src.c_atomic_shared_serial
+
+let scale_counts (c : counts) (f : float) : counts =
+  {
+    c_warp_insts = c.c_warp_insts *. f;
+    c_alu = c.c_alu *. f;
+    c_branches = c.c_branches *. f;
+    c_blk_branches = c.c_blk_branches *. f;
+    c_divergent = c.c_divergent *. f;
+    c_gld_ops = c.c_gld_ops *. f;
+    c_gld_trans = c.c_gld_trans *. f;
+    c_gst_trans = c.c_gst_trans *. f;
+    c_shared_ops = c.c_shared_ops *. f;
+    c_shared_serial = c.c_shared_serial *. f;
+    c_shfl = c.c_shfl *. f;
+    c_vec_ops = c.c_vec_ops *. f;
+    c_syncs = c.c_syncs *. f;
+    c_atomic_global_ops = c.c_atomic_global_ops *. f;
+    c_atomic_global_trans = c.c_atomic_global_trans *. f;
+    c_atomic_shared_ops = c.c_atomic_shared_ops *. f;
+    c_atomic_shared_serial = c.c_atomic_shared_serial *. f;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Block context                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type wstate = { mutable regs : aval SM.t }
+
+type bctx = {
+  cfg : config;
+  kernel : Ir.kernel;
+  bid : int;
+  bdim : int;
+  gdim : int;
+  params : int SM.t;
+  nwarps : int;
+  warps : wstate array;
+  mutable epoch : int;
+  mutable epochs : counts array list;  (* completed epochs, newest first *)
+  mutable cur : counts array;  (* per-warp counts of the current epoch *)
+  tot : counts;
+  heat : (string * int * Ir.scope, float ref) Hashtbl.t;
+  sites : site_table;
+  mutable fuel : int;
+  mutable approx : bool;
+}
+
+let warp_lane_count (c : bctx) (w : int) : int =
+  min warp_lanes (c.bdim - (w * warp_lanes))
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (per warp)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lift1 f = function Top -> Top | Vec a -> Vec (Array.map f a)
+
+let rec ev (c : bctx) (w : int) (e : Ir.exp) : aval =
+  let st = c.warps.(w) in
+  match e with
+  | Ir.Int n -> const n
+  | Ir.Float f -> (
+      match int_of_float_exact f with Some n -> const n | None -> Top)
+  | Ir.Bool b -> const (if b then 1 else 0)
+  | Ir.Reg r -> ( match SM.find_opt r st.regs with Some v -> v | None -> Top)
+  | Ir.Param p -> (
+      match SM.find_opt p c.params with Some v -> const v | None -> Top)
+  | Ir.Special s -> (
+      let wbase = w * warp_lanes in
+      match s with
+      | Ir.Thread_idx -> Vec (Array.init warp_lanes (fun l -> wbase + l))
+      | Ir.Block_idx -> const c.bid
+      | Ir.Block_dim -> const c.bdim
+      | Ir.Grid_dim -> const c.gdim
+      | Ir.Warp_size -> const warp_lanes
+      | Ir.Lane_id -> Vec (Array.init warp_lanes (fun l -> l))
+      | Ir.Warp_id -> const w)
+  | Ir.Unop (op, a) -> (
+      match op with
+      | Ir.Neg -> lift1 (fun v -> -v) (ev c w a)
+      | Ir.Bnot -> lift1 lnot (ev c w a)
+      | Ir.Lnot -> lift1 (fun v -> if v = 0 then 1 else 0) (ev c w a))
+  | Ir.Binop (op, a, b) -> ev_binop op (ev c w a) (ev c w b)
+  | Ir.Select (cnd, a, b) -> (
+      match ev c w cnd with
+      | Vec cv -> (
+          match uniform_of (Vec cv) with
+          | Some 0 -> ev c w b
+          | Some _ -> ev c w a
+          | None -> (
+              match (ev c w a, ev c w b) with
+              | Vec av, Vec bv ->
+                  Vec
+                    (Array.init warp_lanes (fun l ->
+                         if cv.(l) <> 0 then av.(l) else bv.(l)))
+              | _ -> Top))
+      | Top -> (
+          match (ev c w a, ev c w b) with
+          | Vec av, Vec bv when av = bv -> Vec av
+          | _ -> Top))
+
+and ev_binop (op : Ir.binop) (va : aval) (vb : aval) : aval =
+  let all_zero = function Vec a -> Array.for_all (fun x -> x = 0) a | Top -> false in
+  let all_nonzero = function
+    | Vec a -> Array.for_all (fun x -> x <> 0) a
+    | Top -> false
+  in
+  match (op, va, vb) with
+  (* short-circuits that survive one Top side *)
+  | Ir.Land, x, _ when all_zero x -> const 0
+  | Ir.Land, _, x when all_zero x -> const 0
+  | Ir.Lor, x, _ when all_nonzero x -> const 1
+  | Ir.Lor, _, x when all_nonzero x -> const 1
+  | Ir.Mul, x, _ when all_zero x -> const 0
+  | Ir.Mul, _, x when all_zero x -> const 0
+  | _, Top, _ | _, _, Top -> Top
+  | op, Vec a, Vec b ->
+      let bool_ p = if p then 1 else 0 in
+      let f =
+        match op with
+        | Ir.Add -> fun x y -> Some (x + y)
+        | Ir.Sub -> fun x y -> Some (x - y)
+        | Ir.Mul -> fun x y -> Some (x * y)
+        | Ir.Div -> fun x y -> if y = 0 then None else Some (x / y)
+        | Ir.Rem -> fun x y -> if y = 0 then None else Some (x mod y)
+        | Ir.Min -> fun x y -> Some (min x y)
+        | Ir.Max -> fun x y -> Some (max x y)
+        | Ir.And -> fun x y -> Some (x land y)
+        | Ir.Or -> fun x y -> Some (x lor y)
+        | Ir.Xor -> fun x y -> Some (x lxor y)
+        | Ir.Shl -> fun x y -> Some (x lsl y)
+        | Ir.Shr -> fun x y -> Some (x asr y)
+        | Ir.Eq -> fun x y -> Some (bool_ (x = y))
+        | Ir.Ne -> fun x y -> Some (bool_ (x <> y))
+        | Ir.Lt -> fun x y -> Some (bool_ (x < y))
+        | Ir.Le -> fun x y -> Some (bool_ (x <= y))
+        | Ir.Gt -> fun x y -> Some (bool_ (x > y))
+        | Ir.Ge -> fun x y -> Some (bool_ (x >= y))
+        | Ir.Land -> fun x y -> Some (bool_ (x <> 0 && y <> 0))
+        | Ir.Lor -> fun x y -> Some (bool_ (x <> 0 || y <> 0))
+      in
+      let out = Array.make warp_lanes 0 in
+      let ok = ref true in
+      for l = 0 to warp_lanes - 1 do
+        match f a.(l) b.(l) with
+        | Some v -> out.(l) <- v
+        | None -> ok := false
+      done;
+      if !ok then Vec out else Top
+
+(* assignment under a lane mask: per-lane merge with the previous value
+   (exact SIMT reconvergence for concrete vectors) *)
+let assign (c : bctx) (w : int) (mask : bool array) (lanes : int) (r : string)
+    (v : aval) : unit =
+  let st = c.warps.(w) in
+  let full = active_count mask lanes = lanes in
+  let nv =
+    if full then v
+    else
+      match (SM.find_opt r st.regs, v) with
+      | (None | Some Top), Vec _ -> (
+          match SM.find_opt r st.regs with
+          | None -> v  (* unmasked lanes only ever read it under this mask *)
+          | Some _ -> Top)
+      | Some (Vec o), Vec n ->
+          Vec
+            (Array.init warp_lanes (fun l -> if mask.(l) then n.(l) else o.(l)))
+      | _, Top -> Top
+  in
+  st.regs <- SM.add r nv st.regs
+
+(* ------------------------------------------------------------------ *)
+(* Access recording                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* returns (transactions, conflict degree) so the caller can charge the
+   interpreter-identical event counts *)
+let record (c : bctx) (w : int) ~loc ~space ~arr ~kind ~(idx : aval)
+    ~(mask : bool array) ~(lanes : int) ~(width : int) : int * int =
+  let s =
+    find_site c.sites ~kernel:c.kernel.Ir.k_name ~loc ~space ~arr ~kind
+      ~epoch:c.epoch
+  in
+  let n_active = active_count mask lanes in
+  let trans, degree, fit, lanes_out =
+    match idx with
+    | Top ->
+        c.approx <- true;
+        s.s_non_affine <- true;
+        (* worst case: every lane its own segment / its own address on a
+           shared bank *)
+        (n_active, max 1 (min n_active 32), None, None)
+    | Vec a ->
+        if width = 1 then
+          let trans =
+            match space with
+            | Ir.Global -> count_segments a mask lanes
+            | Ir.Shared -> 0
+          in
+          let degree =
+            match space with
+            | Ir.Shared -> bank_conflict_degree a mask lanes
+            | Ir.Global -> 1
+          in
+          (trans, degree, affine_fit a mask lanes, Some (Array.copy a))
+        else begin
+          (* vectorized load: each lane touches [base .. base+width-1] *)
+          let segs = ref [] in
+          for l = 0 to lanes - 1 do
+            if mask.(l) then
+              for j = 0 to width - 1 do
+                let sg = segment_of_index (a.(l) + j) in
+                if not (List.mem sg !segs) then segs := sg :: !segs
+              done
+          done;
+          (List.length !segs, 1, affine_fit a mask lanes, Some (Array.copy a))
+        end
+  in
+  let cls =
+    match idx with
+    | Top -> Non_affine
+    | Vec _ -> (
+        match fit with
+        | Some (_, 0) -> Broadcast
+        | Some (_, s) when abs s = 1 -> Coalesced
+        | Some (_, s) -> Strided s
+        | None -> Scattered)
+  in
+  s.s_ops <- s.s_ops + 1;
+  s.s_trans <- s.s_trans + trans;
+  s.s_serial <- s.s_serial + degree;
+  s.s_worst_trans <- max s.s_worst_trans trans;
+  s.s_worst_degree <- max s.s_worst_degree degree;
+  s.s_class <- class_join s.s_class cls;
+  s.s_first_epoch <- min s.s_first_epoch c.epoch;
+  s.s_last_epoch <- max s.s_last_epoch c.epoch;
+  if s.s_form = "" then
+    s.s_form <- (match idx with Top -> "(data-dependent)" | Vec _ -> render_form fit);
+  (if s.s_lanes = None && c.bid >= 0 && w = 0 then
+     match lanes_out with
+     | Some a -> s.s_lanes <- Some (Array.sub a 0 lanes)
+     | None -> ());
+  (trans, degree)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec has_sync (s : Ir.stmt) : bool =
+  match s with
+  | Ir.Sync -> true
+  | Ir.If (_, t, e) -> List.exists has_sync t || List.exists has_sync e
+  | Ir.For { body; _ } | Ir.While (_, body) -> List.exists has_sync body
+  | Ir.Let _ | Ir.Load _ | Ir.Store _ | Ir.Vec_load _ | Ir.Atomic _ | Ir.Shfl _
+  | Ir.Comment _ ->
+      false
+
+let full_mask = Array.make warp_lanes true
+
+(* charge an event to both the current-epoch per-warp record and the
+   block totals (the interpreter's warp-level charging point) *)
+let chg (c : bctx) (w : int) (f : counts -> unit) : unit =
+  f c.cur.(w);
+  f c.tot
+
+let barrier (c : bctx) : unit =
+  c.epochs <- c.cur :: c.epochs;
+  c.cur <- Array.init c.nwarps (fun _ -> zero_counts ());
+  c.tot.c_syncs <- c.tot.c_syncs +. float_of_int c.nwarps;
+  c.tot.c_warp_insts <- c.tot.c_warp_insts +. float_of_int c.nwarps;
+  c.epoch <- c.epoch + 1
+
+let rec exec_warp (c : bctx) (w : int) (mask : bool array) (loc : string)
+    (s : Ir.stmt) : unit =
+  let lanes = warp_lane_count c w in
+  match s with
+  | Ir.Comment _ -> ()
+  | Ir.Let (r, e) ->
+      assign c w mask lanes r (ev c w e);
+      chg c w (fun k ->
+          k.c_warp_insts <- k.c_warp_insts +. 1.0;
+          k.c_alu <- k.c_alu +. 1.0)
+  | Ir.Load { dst; space; arr; idx } -> (
+      let idxv = ev c w idx in
+      let trans, degree =
+        record c w ~loc ~space ~arr ~kind:Ld ~idx:idxv ~mask ~lanes ~width:1
+      in
+      assign c w mask lanes dst Top;
+      match space with
+      | Ir.Global ->
+          chg c w (fun k ->
+              k.c_warp_insts <- k.c_warp_insts +. 1.0;
+              k.c_gld_ops <- k.c_gld_ops +. 1.0;
+              k.c_gld_trans <- k.c_gld_trans +. float_of_int trans)
+      | Ir.Shared ->
+          chg c w (fun k ->
+              k.c_warp_insts <- k.c_warp_insts +. 1.0;
+              k.c_shared_ops <- k.c_shared_ops +. 1.0;
+              k.c_shared_serial <- k.c_shared_serial +. float_of_int degree))
+  | Ir.Vec_load { dsts; arr; base } ->
+      let width = List.length dsts in
+      let basev = ev c w base in
+      let trans, _ =
+        record c w ~loc ~space:Ir.Global ~arr ~kind:Vl ~idx:basev ~mask ~lanes
+          ~width
+      in
+      List.iter (fun d -> assign c w mask lanes d Top) dsts;
+      chg c w (fun k ->
+          k.c_warp_insts <- k.c_warp_insts +. 1.0;
+          k.c_vec_ops <- k.c_vec_ops +. 1.0;
+          k.c_gld_trans <- k.c_gld_trans +. float_of_int trans)
+  | Ir.Store { space; arr; idx; v } -> (
+      let idxv = ev c w idx in
+      ignore (ev c w v);
+      let trans, degree =
+        record c w ~loc ~space ~arr ~kind:St ~idx:idxv ~mask ~lanes ~width:1
+      in
+      match space with
+      | Ir.Global ->
+          chg c w (fun k ->
+              k.c_warp_insts <- k.c_warp_insts +. 1.0;
+              k.c_gst_trans <- k.c_gst_trans +. float_of_int trans)
+      | Ir.Shared ->
+          chg c w (fun k ->
+              k.c_warp_insts <- k.c_warp_insts +. 1.0;
+              k.c_shared_ops <- k.c_shared_ops +. 1.0;
+              k.c_shared_serial <- k.c_shared_serial +. float_of_int degree))
+  | Ir.Atomic { dst; space; arr; idx; scope; _ } -> (
+      let idxv = ev c w idx in
+      ignore (record c w ~loc ~space ~arr ~kind:At ~idx:idxv ~mask ~lanes ~width:1);
+      (match dst with Some d -> assign c w mask lanes d Top | None -> ());
+      let n_active = active_count mask lanes in
+      if n_active > 0 then
+        let distinct, worst =
+          match idxv with
+          | Vec a -> atomic_conflicts a mask lanes
+          | Top -> (n_active, n_active)  (* worst both ways *)
+        in
+        match space with
+        | Ir.Shared ->
+            chg c w (fun k ->
+                k.c_warp_insts <- k.c_warp_insts +. 1.0;
+                k.c_atomic_shared_ops <-
+                  k.c_atomic_shared_ops +. float_of_int n_active;
+                k.c_atomic_shared_serial <-
+                  k.c_atomic_shared_serial +. float_of_int worst)
+        | Ir.Global ->
+            chg c w (fun k ->
+                k.c_warp_insts <- k.c_warp_insts +. 1.0;
+                k.c_atomic_global_ops <-
+                  k.c_atomic_global_ops +. float_of_int n_active;
+                k.c_atomic_global_trans <-
+                  k.c_atomic_global_trans +. float_of_int distinct);
+            (match idxv with
+            | Vec a ->
+                for l = 0 to lanes - 1 do
+                  if mask.(l) then begin
+                    let key = (arr, a.(l), scope) in
+                    match Hashtbl.find_opt c.heat key with
+                    | Some r -> r := !r +. 1.0
+                    | None -> Hashtbl.add c.heat key (ref 1.0)
+                  end
+                done
+            | Top -> c.approx <- true))
+  | Ir.Shfl { dst; _ } ->
+      assign c w mask lanes dst Top;
+      chg c w (fun k ->
+          k.c_warp_insts <- k.c_warp_insts +. 1.0;
+          k.c_shfl <- k.c_shfl +. 1.0)
+  | Ir.Sync ->
+      (* only reachable through divergent control, which the race
+         sanitizer reports; treat as a plain barrier so the epoch count
+         stays sane *)
+      c.approx <- true
+  | Ir.If (cnd, t, e) -> (
+      chg c w (fun k ->
+          k.c_warp_insts <- k.c_warp_insts +. 1.0;
+          k.c_branches <- k.c_branches +. 1.0);
+      match ev c w cnd with
+      | Vec cv ->
+          let tmask = Array.make warp_lanes false in
+          let emask = Array.make warp_lanes false in
+          let n_t = ref 0 and n_e = ref 0 in
+          for l = 0 to lanes - 1 do
+            if mask.(l) then
+              if cv.(l) <> 0 then begin
+                tmask.(l) <- true;
+                incr n_t
+              end
+              else begin
+                emask.(l) <- true;
+                incr n_e
+              end
+          done;
+          if !n_t > 0 && !n_e > 0 then
+            chg c w (fun k -> k.c_divergent <- k.c_divergent +. 1.0);
+          if !n_t > 0 then exec_warp_stmts c w tmask (loc ^ ".then") t;
+          if !n_e > 0 then exec_warp_stmts c w emask (loc ^ ".else") e
+      | Top ->
+          (* data-dependent branch: run both arms from the same entry
+             state and join register-wise *)
+          c.approx <- true;
+          chg c w (fun k -> k.c_divergent <- k.c_divergent +. 1.0);
+          let st = c.warps.(w) in
+          let regs0 = st.regs in
+          exec_warp_stmts c w mask (loc ^ ".then") t;
+          let regs_t = st.regs in
+          st.regs <- regs0;
+          exec_warp_stmts c w mask (loc ^ ".else") e;
+          st.regs <-
+            SM.merge
+              (fun _ a b ->
+                match (a, b) with
+                | Some (Vec x), Some (Vec y) when x = y -> Some (Vec x)
+                | Some _, Some _ -> Some Top
+                | _ -> Some Top)
+              regs_t st.regs)
+  | Ir.For { var; init; cond; step; body } ->
+      assign c w mask lanes var (ev c w init);
+      chg c w (fun k ->
+          k.c_warp_insts <- k.c_warp_insts +. 1.0;
+          k.c_alu <- k.c_alu +. 1.0);
+      let live = Array.copy mask in
+      let widen () =
+        c.approx <- true;
+        assign c w live lanes var Top;
+        exec_warp_stmts c w live (loc ^ ".body") body;
+        exec_warp_stmts c w live (loc ^ ".body") body
+      in
+      let rec go () =
+        chg c w (fun k -> k.c_branches <- k.c_branches +. 1.0);
+        match ev c w cond with
+        | Top -> widen ()
+        | Vec cv ->
+            let n_live = ref 0 in
+            for l = 0 to lanes - 1 do
+              if live.(l) then
+                if cv.(l) <> 0 then incr n_live else live.(l) <- false
+            done;
+            if !n_live > 0 then
+              if c.fuel <= 0 then widen ()
+              else begin
+                c.fuel <- c.fuel - 1;
+                exec_warp_stmts c w live (loc ^ ".body") body;
+                assign c w live lanes var (ev c w step);
+                chg c w (fun k ->
+                    k.c_warp_insts <- k.c_warp_insts +. 1.0;
+                    k.c_alu <- k.c_alu +. 1.0);
+                go ()
+              end
+      in
+      go ()
+  | Ir.While (cnd, body) ->
+      let live = Array.copy mask in
+      let widen () =
+        c.approx <- true;
+        exec_warp_stmts c w live (loc ^ ".body") body;
+        exec_warp_stmts c w live (loc ^ ".body") body
+      in
+      let rec go () =
+        chg c w (fun k -> k.c_branches <- k.c_branches +. 1.0);
+        match ev c w cnd with
+        | Top -> widen ()
+        | Vec cv ->
+            let n_live = ref 0 in
+            for l = 0 to lanes - 1 do
+              if live.(l) then
+                if cv.(l) <> 0 then incr n_live else live.(l) <- false
+            done;
+            if !n_live > 0 then
+              if c.fuel <= 0 then widen ()
+              else begin
+                c.fuel <- c.fuel - 1;
+                exec_warp_stmts c w live (loc ^ ".body") body;
+                go ()
+              end
+      in
+      go ()
+
+and exec_warp_stmts (c : bctx) (w : int) (mask : bool array) (path : string)
+    (body : Ir.stmt list) : unit =
+  List.iteri
+    (fun i s -> exec_warp c w mask (Printf.sprintf "%s[%d]" path i) s)
+    body
+
+(* a block-uniform value: the same constant in every lane of every warp *)
+let uniform_across (c : bctx) (e : Ir.exp) : int option =
+  let rec go w acc =
+    if w >= c.nwarps then acc
+    else
+      match (uniform_of (ev c w e), acc) with
+      | Some v, None -> go (w + 1) (Some v)
+      | Some v, Some u when v = u -> go (w + 1) acc
+      | _ -> None
+  in
+  go 0 None
+
+(* block-level execution: statements containing a barrier follow the
+   interpreter's uniform-control path (and its sparser event counting) *)
+let rec exec_block_stmt (c : bctx) (loc : string) (s : Ir.stmt) : unit =
+  if not (has_sync s) then
+    for w = 0 to c.nwarps - 1 do
+      exec_warp c w full_mask loc s
+    done
+  else
+    match s with
+    | Ir.Sync -> barrier c
+    | Ir.If (cnd, t, e) -> (
+        c.tot.c_blk_branches <- c.tot.c_blk_branches +. float_of_int c.nwarps;
+        match uniform_across c cnd with
+        | Some v ->
+            if v <> 0 then exec_block_stmts c (loc ^ ".then") t
+            else exec_block_stmts c (loc ^ ".else") e
+        | None ->
+            (* non-uniform barrier guard: the sanitizer owns this error;
+               analyze the then-branch so downstream sites still exist *)
+            c.approx <- true;
+            exec_block_stmts c (loc ^ ".then") t)
+    | Ir.For { var; init; cond; step; body } ->
+        for w = 0 to c.nwarps - 1 do
+          assign c w full_mask (warp_lane_count c w) var (ev c w init)
+        done;
+        let rec go () =
+          match uniform_across c cond with
+          | Some v when v <> 0 ->
+              if c.fuel <= 0 then c.approx <- true
+              else begin
+                c.fuel <- c.fuel - 1;
+                exec_block_stmts c (loc ^ ".body") body;
+                for w = 0 to c.nwarps - 1 do
+                  assign c w full_mask (warp_lane_count c w) var (ev c w step)
+                done;
+                c.tot.c_blk_branches <-
+                  c.tot.c_blk_branches +. float_of_int c.nwarps;
+                go ()
+              end
+          | Some _ -> ()
+          | None ->
+              c.approx <- true;
+              exec_block_stmts c (loc ^ ".body") body
+        in
+        go ()
+    | Ir.While (cnd, body) ->
+        let rec go () =
+          match uniform_across c cnd with
+          | Some v when v <> 0 ->
+              if c.fuel <= 0 then c.approx <- true
+              else begin
+                c.fuel <- c.fuel - 1;
+                exec_block_stmts c (loc ^ ".body") body;
+                go ()
+              end
+          | Some _ -> ()
+          | None ->
+              c.approx <- true;
+              exec_block_stmts c (loc ^ ".body") body
+        in
+        go ()
+    | Ir.Let _ | Ir.Load _ | Ir.Store _ | Ir.Vec_load _ | Ir.Atomic _
+    | Ir.Shfl _ | Ir.Comment _ ->
+        assert false
+
+and exec_block_stmts (c : bctx) (path : string) (body : Ir.stmt list) : unit =
+  List.iteri
+    (fun i s -> exec_block_stmt c (Printf.sprintf "%s[%d]" path i) s)
+    body
+
+(* ------------------------------------------------------------------ *)
+(* Block / launch / program drivers                                    *)
+(* ------------------------------------------------------------------ *)
+
+type block_profile = {
+  bp_bid : int;
+  bp_warps : int;
+  bp_epochs : counts array list;
+  bp_tot : counts;
+  bp_heat : ((string * int * Ir.scope) * float) list;
+}
+
+let analyze_block ~(cfg : config) ~(sites : site_table) ~(params : int SM.t)
+    ~(bdim : int) ~(gdim : int) ~(bid : int) (k : Ir.kernel) : block_profile * bool =
+  let nwarps = (bdim + warp_lanes - 1) / warp_lanes in
+  let c =
+    {
+      cfg;
+      kernel = k;
+      bid;
+      bdim;
+      gdim;
+      params;
+      nwarps;
+      warps = Array.init nwarps (fun _ -> { regs = SM.empty });
+      epoch = 0;
+      epochs = [];
+      cur = Array.init nwarps (fun _ -> zero_counts ());
+      tot = zero_counts ();
+      heat = Hashtbl.create 8;
+      sites;
+      fuel = cfg.fuel;
+      approx = false;
+    }
+  in
+  exec_block_stmts c "body" k.Ir.k_body;
+  c.epochs <- c.cur :: c.epochs;
+  let heat = Hashtbl.fold (fun key r acc -> (key, !r) :: acc) c.heat [] in
+  ( {
+      bp_bid = bid;
+      bp_warps = nwarps;
+      bp_epochs = List.rev c.epochs;
+      bp_tot = c.tot;
+      bp_heat = List.sort compare heat;
+    },
+    c.approx )
+
+type launch_pred = {
+  lp_kernel : string;
+  lp_grid : int;
+  lp_block : int;
+  lp_shared_bytes : int;
+  lp_first : block_profile;
+  lp_last : block_profile option;
+  lp_totals : counts;
+  lp_max_heat : float;
+  lp_max_heat_scoped : float;
+}
+
+type analysis = {
+  an_program : string;
+  an_n : int;
+  an_tunables : (string * int) list;
+  an_sites : site list;
+  an_launches : launch_pred list;
+  an_diags : Diag.t list;
+  an_approx : bool;
+}
+
+let site_diags (sites : site list) : Diag.t list =
+  let out = ref [] in
+  let warn s code msg =
+    out :=
+      Diag.make ~loc:s.s_loc ~code ~severity:Diag.Warn ~kernel:s.s_kernel msg
+      :: !out
+  in
+  List.iter
+    (fun s ->
+      if s.s_non_affine then
+        warn s "TPERF012"
+          (Printf.sprintf
+             "data-dependent index on %s array %S (%s): the address escapes \
+              the lane-affine analysis, coalescing and bank behaviour cannot \
+              be proven (worst case assumed)"
+             (match s.s_space with Ir.Global -> "global" | Ir.Shared -> "shared")
+             s.s_arr (kind_name s.s_kind))
+      else begin
+        (if
+           s.s_space = Ir.Global
+           && (s.s_kind = Ld || s.s_kind = St || s.s_kind = Vl)
+           && s.s_worst_trans >= 2
+           && class_rank s.s_class >= class_rank (Strided 0)
+         then
+           warn s "TPERF010"
+             (Printf.sprintf
+                "uncoalesced global %s of %S: %s lane addresses (%s) need up \
+                 to %d memory transactions per warp access where a coalesced \
+                 access needs 1"
+                (kind_name s.s_kind) s.s_arr
+                (coalescing_name s.s_class)
+                s.s_form s.s_worst_trans));
+        if s.s_space = Ir.Shared && s.s_worst_degree >= 2 then
+          warn s "TPERF011"
+            (Printf.sprintf
+               "%d-way shared-memory bank conflict on %S (%s lane addresses, \
+                %s): the access replays %d times in the 32-bank model"
+               s.s_worst_degree s.s_arr
+               (coalescing_name s.s_class)
+               s.s_form s.s_worst_degree)
+      end)
+    sites;
+  List.rev !out
+
+let default_tunables (p : Ir.program) : (string * int) list =
+  List.filter_map
+    (fun (t, cands) -> match cands with v :: _ -> Some (t, v) | [] -> None)
+    p.Ir.p_tunables
+
+let analyze ?(cfg = default_config) ?n ?tunables (p : Ir.program) : analysis =
+  let n = match n with Some v -> max 1 v | None -> cfg.sample_n in
+  let tunables =
+    match tunables with Some t -> t | None -> default_tunables p
+  in
+  let eval h = Ir.eval_hexp ~n ~tunables h in
+  let sites = new_site_table () in
+  let approx = ref false in
+  let launches =
+    List.filter_map
+      (fun (ln : Ir.launch) ->
+        match
+          List.find_opt (fun k -> k.Ir.k_name = ln.Ir.ln_kernel) p.Ir.p_kernels
+        with
+        | None -> None
+        | Some k -> (
+            match (eval ln.Ir.ln_grid, eval ln.Ir.ln_block, eval ln.Ir.ln_shared_elems)
+            with
+            | exception _ ->
+                approx := true;
+                None
+            | grid, block, shared_elems ->
+                let grid = max 1 grid in
+                let block = max 1 (min block 1024) in
+                let scalars =
+                  List.filter_map
+                    (function
+                      | Ir.Arg_scalar h -> Some h | Ir.Arg_buffer _ -> None)
+                    ln.Ir.ln_args
+                in
+                let params =
+                  List.fold_left
+                    (fun (m, i) (name, _) ->
+                      match List.nth_opt scalars i with
+                      | Some h -> (
+                          match eval h with
+                          | v -> (SM.add name v m, i + 1)
+                          | exception _ -> (m, i + 1))
+                      | None -> (m, i + 1))
+                    (SM.empty, 0) k.Ir.k_params
+                  |> fst
+                in
+                let shared_bytes =
+                  4
+                  * List.fold_left
+                      (fun acc (d : Ir.shared_decl) ->
+                        acc
+                        + (match d.Ir.sh_size with
+                          | Ir.Static_size s -> s
+                          | Ir.Dynamic_size -> max 0 shared_elems))
+                      0 k.Ir.k_shared
+                in
+                let first, a1 =
+                  analyze_block ~cfg ~sites ~params ~bdim:block ~gdim:grid
+                    ~bid:0 k
+                in
+                let last, a2 =
+                  if grid > 1 then
+                    let bp, a =
+                      analyze_block ~cfg ~sites ~params ~bdim:block ~gdim:grid
+                        ~bid:(grid - 1) k
+                    in
+                    (Some bp, a)
+                  else (None, false)
+                in
+                if a1 || a2 then approx := true;
+                let totals =
+                  match last with
+                  | None -> scale_counts first.bp_tot 1.0
+                  | Some l ->
+                      let t = scale_counts first.bp_tot (float_of_int (grid - 1)) in
+                      add_counts t l.bp_tot;
+                      t
+                in
+                (* per-address heat over the whole grid: middle blocks
+                   behave like block 0. An address the last block ALSO
+                   heats is block-invariant (every block piles onto it:
+                   scale block 0's contribution by grid-1); an address
+                   only block 0 heats is per-block (partial[bid]-style:
+                   every block heats its own copy, so the per-address
+                   magnitude stays block 0's) *)
+                let heat_tbl = Hashtbl.create 8 in
+                let bump key v =
+                  match Hashtbl.find_opt heat_tbl key with
+                  | Some r -> r := !r +. v
+                  | None -> Hashtbl.add heat_tbl key (ref v)
+                in
+                (match last with
+                | None -> List.iter (fun (key, v) -> bump key v) first.bp_heat
+                | Some l ->
+                    List.iter
+                      (fun (key, v) ->
+                        if List.mem_assoc key l.bp_heat then
+                          bump key (v *. float_of_int (grid - 1))
+                        else bump key v)
+                      first.bp_heat;
+                    List.iter (fun (key, v) -> bump key v) l.bp_heat);
+                let max_heat, max_heat_scoped =
+                  Hashtbl.fold
+                    (fun (_, _, scope) r (m, ms) ->
+                      ( Float.max m !r,
+                        if scope = Ir.Scope_block then ms else Float.max ms !r ))
+                    heat_tbl (0.0, 0.0)
+                in
+                Some
+                  {
+                    lp_kernel = k.Ir.k_name;
+                    lp_grid = grid;
+                    lp_block = block;
+                    lp_shared_bytes = shared_bytes;
+                    lp_first = first;
+                    lp_last = last;
+                    lp_totals = totals;
+                    lp_max_heat = max_heat;
+                    lp_max_heat_scoped = max_heat_scoped;
+                  }))
+      p.Ir.p_launches
+  in
+  let site_list = sites_in_order sites in
+  {
+    an_program = p.Ir.p_name;
+    an_n = n;
+    an_tunables = tunables;
+    an_sites = site_list;
+    an_launches = launches;
+    an_diags = Diag.sort (site_diags site_list);
+    an_approx = !approx;
+  }
+
+let dedup_diags (ds : Diag.t list) : Diag.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : Diag.t) ->
+      let key = (d.Diag.code, d.Diag.kernel, d.Diag.loc) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ds
+
+let check_program ?(cfg = default_config) (p : Ir.program) : Diag.t list =
+  let pick f =
+    List.filter_map
+      (fun (t, cands) -> match cands with [] -> None | l -> Some (t, f l))
+      p.Ir.p_tunables
+  in
+  let lo = pick List.hd in
+  let hi = pick (fun l -> List.nth l (List.length l - 1)) in
+  let run tunables =
+    match analyze ~cfg ~n:cfg.sample_n ~tunables p with
+    | a -> a.an_diags
+    | exception _ -> []
+  in
+  let diags = run lo @ if hi = lo then [] else run hi in
+  Diag.sort (dedup_diags diags)

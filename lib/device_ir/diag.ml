@@ -63,6 +63,60 @@ let compare_t a b =
 
 let sort ds = List.stable_sort compare_t ds
 
+(* ------------------------------------------------------------------ *)
+(* Code registry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type info = {
+  r_code : string;
+  r_severity : severity;
+  r_source : string;
+  r_meaning : string;
+}
+
+(* every stable code any checker can emit, in catalogue order; the
+   [tangramc codes] listing and the registry-completeness test both read
+   this table *)
+let registry : info list =
+  let e = Error and w = Warn in
+  let mk r_code r_severity r_source r_meaning =
+    { r_code; r_severity; r_source; r_meaning }
+  in
+  [
+    mk "TVAL001" e "validate" "malformed device IR (unbound name, bad shape, or ill-typed construct)";
+    mk "TSAN001" e "race" "write/write race: two threads store to the same location in one barrier phase";
+    mk "TSAN002" e "race" "read/write race: a load may observe a concurrent store from another thread";
+    mk "TSAN003" e "race" "lost update: non-atomic read-modify-write of a contended location";
+    mk "TSAN004" e "race" "barrier under thread-divergent control flow (deadlock)";
+    mk "TSAN005" e "race" "out-of-warp or malformed shuffle exchange";
+    mk "TLINT001" w "race" "redundant back-to-back barrier with no memory traffic between";
+    mk "TLINT002" w "race" "barrier that only orders warp-private traffic (warp-synchronous by construction)";
+    mk "TLINT003" w "race" "atomic on a provably single-writer location";
+    mk "TSYM001" e "prove" "symbolic result term refutes equivalence with the reference reduction";
+    mk "TSYM002" e "prove" "symbolic execution aborted: program outside the provable fragment";
+    mk "TSYM003" e "prove" "unsynchronized cross-warp or cross-block hazard found during proof";
+    mk "TSYM004" e "prove" "shuffle with invalid width or out-of-warp geometry found during proof";
+    mk "TPERF010" w "access" "uncoalesced global access: strided or scattered lane addresses need multiple transactions per warp";
+    mk "TPERF011" w "access" "n-way shared-memory bank conflict: the access replays once per conflicting address";
+    mk "TPERF012" w "access" "non-affine index escape: data-dependent address defeats the static coalescing/bank analysis";
+  ]
+
+let lookup code = List.find_opt (fun r -> r.r_code = code) registry
+let registered code = lookup code <> None
+
+let registry_json () =
+  Obs.Json.Arr
+    (List.map
+       (fun r ->
+         Obs.Json.Obj
+           [
+             ("code", Obs.Json.Str r.r_code);
+             ("severity", Obs.Json.Str (severity_name r.r_severity));
+             ("source", Obs.Json.Str r.r_source);
+             ("meaning", Obs.Json.Str r.r_meaning);
+           ])
+       registry)
+
 exception Failed of t list
 
 let () =

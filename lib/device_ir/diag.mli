@@ -11,7 +11,13 @@
     - [TLINT001..TLINT003] — performance lints (warnings) from {!Race};
     - [TSYM001..TSYM004] — symbolic-equivalence refutations from
       {!Symbolic.Prove} (refuted result term, aborted symbolic execution,
-      unsynchronized hazard, invalid shuffle geometry). *)
+      unsynchronized hazard, invalid shuffle geometry);
+    - [TPERF010..TPERF012] — static memory-access performance warnings
+      from {!Access} (uncoalesced global access, n-way bank conflict,
+      non-affine index escape).
+
+    The full catalogue lives in {!registry}; [tangramc codes] renders it
+    and a suite test asserts every emitted code is registered. *)
 
 type severity = Error | Warn
 
@@ -55,6 +61,27 @@ val has_errors : t list -> bool
 
 (** Errors before warnings, then by code, kernel, location. *)
 val sort : t list -> t list
+
+(** One registry row: a stable code, the severity it is always emitted
+    at, the checker that owns it, and a one-line meaning. *)
+type info = {
+  r_code : string;
+  r_severity : severity;
+  r_source : string;  (** owning checker: ["validate"], ["race"], ["prove"], ["access"] *)
+  r_meaning : string;
+}
+
+(** The closed catalogue of every code any checker can emit, in
+    catalogue order (TVAL, TSAN, TLINT, TSYM, TPERF). *)
+val registry : info list
+
+val lookup : string -> info option
+
+(** [registered code] — membership in {!registry}. *)
+val registered : string -> bool
+
+(** {!registry} as a JSON array (code, severity, source, meaning). *)
+val registry_json : unit -> Obs.Json.t
 
 (** Raised by [*_exn] entry points that reject on error-severity
     diagnostics; carries the full diagnostic list. A friendly printer is

@@ -117,6 +117,114 @@ let of_program (arch : Arch.t) ~(n_inits : int) (launches : t list) : float =
   +. (arch.Arch.kernel_gap_us *. float_of_int (max 0 (n - 1)))
   +. (arch.Arch.init_overhead_us *. float_of_int n_inits)
 
+(* ------------------------------------------------------------------ *)
+(* Static pricing (no execution)                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Access = Device_ir.Access
+
+(* price arch-independent event counts into per-warp pipelined cycles,
+   applying exactly the interpreter's charging coefficients; the shared
+   atomic term picks the lock-loop vs native-unit cost here, which is
+   where the Kepler/Maxwell asymmetry enters the static model *)
+let static_cycles (arch : Arch.t) (c : Access.counts) : float =
+  let shared_atomic_cyc =
+    match arch.Arch.shared_atomic with
+    | Arch.Lock_update_unlock -> arch.Arch.cyc_lock_iteration
+    | Arch.Native -> arch.Arch.cyc_shared_atomic
+  in
+  (c.Access.c_alu *. arch.Arch.cyc_alu)
+  +. (c.Access.c_branches *. arch.Arch.cyc_branch)
+  +. (c.Access.c_divergent *. arch.Arch.cyc_divergence)
+  +. ((c.Access.c_gld_trans +. c.Access.c_gst_trans
+      +. c.Access.c_atomic_global_trans)
+     *. arch.Arch.cyc_global)
+  +. (c.Access.c_shared_serial *. arch.Arch.cyc_shared)
+  +. (c.Access.c_shfl *. arch.Arch.cyc_shfl)
+  +. (c.Access.c_atomic_shared_serial *. shared_atomic_cyc)
+
+(* block critical path: within an epoch warps run independently, a
+   barrier raises every warp to the slowest and adds cyc_sync — the same
+   fold the interpreter performs on its wcycles accumulators *)
+let static_block_cp (arch : Arch.t) (bp : Access.block_profile) : float =
+  let epoch_max warps =
+    Array.fold_left (fun acc c -> Float.max acc (static_cycles arch c)) 0.0 warps
+  in
+  let n_epochs = List.length bp.Access.bp_epochs in
+  List.fold_left (fun acc e -> acc +. epoch_max e) 0.0 bp.Access.bp_epochs
+  +. (float_of_int (max 0 (n_epochs - 1)) *. arch.Arch.cyc_sync)
+
+(** Price one launch from a static prediction: the same four-term model
+    as {!of_launch}, with every input derived from the analyzer instead
+    of a run. *)
+let of_static ?(style : stream_style option) (arch : Arch.t)
+    (lp : Access.launch_pred) : t =
+  let tot = lp.Access.lp_totals in
+  let style =
+    match style with
+    | Some s -> s
+    | None -> if tot.Access.c_vec_ops > 0.0 then Vector_loads else Scalar_loads
+  in
+  let resident =
+    occupancy arch ~block:lp.Access.lp_block
+      ~shared_bytes:lp.Access.lp_shared_bytes
+  in
+  let concurrent = arch.Arch.sms * resident in
+  let grid = lp.Access.lp_grid in
+  let waves = (grid + concurrent - 1) / concurrent in
+  let cycles_to_us c = c /. (arch.Arch.clock_ghz *. 1000.0) in
+  let cp_first = static_block_cp arch lp.Access.lp_first in
+  let block_cp =
+    match lp.Access.lp_last with
+    | None -> cp_first
+    | Some last ->
+        ((cp_first *. float_of_int (grid - 1)) +. static_block_cp arch last)
+        /. float_of_int grid
+  in
+  let critical_path_us = cycles_to_us (float_of_int waves *. block_cp) in
+  let busy_sms = min arch.Arch.sms grid in
+  let issue_us =
+    cycles_to_us
+      (tot.Access.c_warp_insts /. (arch.Arch.issue_rate *. float_of_int busy_sms))
+  in
+  let bytes_dram = 128.0 *. (tot.Access.c_gld_trans +. tot.Access.c_gst_trans) in
+  let dram_us =
+    bytes_dram /. (arch.Arch.dram_bw_gbs *. stream_efficiency arch style *. 1000.0)
+  in
+  let max_heat =
+    if arch.Arch.has_scoped_atomics then lp.Access.lp_max_heat_scoped
+    else lp.Access.lp_max_heat
+  in
+  let atomic_us = max_heat *. arch.Arch.global_atomic_ns /. 1000.0 in
+  let launch_us = arch.Arch.launch_overhead_us in
+  let body =
+    [
+      ("cp", critical_path_us);
+      ("issue", issue_us);
+      ("dram", dram_us);
+      ("atomic", atomic_us);
+    ]
+  in
+  let bound, body_us =
+    List.fold_left
+      (fun ((_, bv) as b) ((_, v) as x) -> if v > bv then x else b)
+      ("cp", critical_path_us) body
+  in
+  let bound = if launch_us > body_us then "launch" else bound in
+  {
+    time_us = launch_us +. body_us;
+    bound;
+    detail = { launch_us; critical_path_us; issue_us; dram_us; atomic_us };
+    occupancy_blocks_per_sm = resident;
+    waves;
+  }
+
+(** Price a whole statically-analyzed program: {!of_static} per launch
+    folded through the same gap/init charges as {!of_program}. *)
+let of_static_program (arch : Arch.t) ~(n_inits : int)
+    (an : Access.analysis) : float =
+  of_program arch ~n_inits (List.map (of_static arch) an.Access.an_launches)
+
 let pp fmt (c : t) =
   Format.fprintf fmt
     "%.3f us (%s-bound; launch %.2f, cp %.3f, issue %.3f, dram %.3f, atomic %.3f; \

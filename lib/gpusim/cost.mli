@@ -43,4 +43,27 @@ val of_launch : ?style:stream_style -> Arch.t -> Interp.launch_result -> t
     identity-initialised temporary buffer. *)
 val of_program : Arch.t -> n_inits:int -> t list -> float
 
+(** {2 Static pricing}
+
+    The same four-term model fed by {!Device_ir.Access} predictions
+    instead of an executed launch — planning can price transactions and
+    replays without running the kernel. *)
+
+(** Arch-independent event counts priced into per-warp pipelined cycles
+    with the interpreter's charging coefficients (the shared-atomic term
+    selects the lock-loop vs native-unit cost). *)
+val static_cycles : Arch.t -> Device_ir.Access.counts -> float
+
+(** Predicted per-block critical path in cycles: per-epoch max over
+    warps, barriers raising every warp to the slowest plus [cyc_sync]. *)
+val static_block_cp : Arch.t -> Device_ir.Access.block_profile -> float
+
+(** Price one launch from a static prediction. [style] defaults to
+    vectorized iff the analyzer saw vector loads. *)
+val of_static : ?style:stream_style -> Arch.t -> Device_ir.Access.launch_pred -> t
+
+(** Price a whole statically-analyzed program ({!of_static} per launch,
+    folded through the same gap/init charges as {!of_program}). *)
+val of_static_program : Arch.t -> n_inits:int -> Device_ir.Access.analysis -> float
+
 val pp : Format.formatter -> t -> unit

@@ -132,7 +132,8 @@ let prove (t : t) (v : Version.t) : Symbolic.Prove.verdict =
 
 (** All sanitizer diagnostics for one version: well-formedness errors
     (via {!Device_ir.Validate}, rendered as [TVAL001] diagnostics), the
-    {!Device_ir.Race} barrier-phase race report, and the symbolic
+    {!Device_ir.Race} barrier-phase race report, the static memory-access
+    lints ({!Device_ir.Access}, [TPERF...] warnings), and the symbolic
     prover's verdict ([TSYM...] refutations via {!prove}). Unlike
     {!compiled} this never raises on a bad variant — it is the reporting
     path of [tangramc lint]. *)
@@ -141,7 +142,27 @@ let lint (t : t) (v : Version.t) : Device_ir.Diag.t list =
   Device_ir.Diag.sort
     (Device_ir.Validate.to_diags (Device_ir.Validate.check_program p)
     @ Device_ir.Race.check_program p
+    @ Device_ir.Access.check_program p
     @ Symbolic.Prove.to_diags ~program:p.Ir.p_name (prove t v))
+
+(** Static memory-access analysis of one version at a concrete geometry
+    ([n] and the tunable binding, both defaulting as in
+    {!Device_ir.Access.analyze}). *)
+let access ?n ?tunables (t : t) (v : Version.t) : Device_ir.Access.analysis =
+  Device_ir.Access.analyze ?n ?tunables (program t v)
+
+(** Predicted wall-clock of one version on [arch] from the static
+    analysis alone — no simulation. Prices {!access} through
+    {!Gpusim.Cost.of_static_program} with the same per-buffer
+    initialisation charge the runner applies. *)
+let static_cost ?n ?tunables (arch : Gpusim.Arch.t) (t : t) (v : Version.t) :
+    float =
+  let p = program t v in
+  let n_inits =
+    List.length
+      (List.filter (fun b -> b.Ir.buf_init <> None) p.Ir.p_buffers)
+  in
+  Gpusim.Cost.of_static_program arch ~n_inits (access ?n ?tunables t v)
 
 (** Stable string renderings of the planner's operation and element type,
     used by the runtime layer as plan-cache key components. *)

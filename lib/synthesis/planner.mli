@@ -49,10 +49,23 @@ val compiled : t -> Version.t -> Gpusim.Runner.compiled_program
 val prove : t -> Version.t -> Symbolic.Prove.verdict
 
 (** All sanitizer diagnostics for one version (validator errors as
-    [TVAL001], the {!Device_ir.Race} report, and [TSYM...] refutations
-    from {!prove}), sorted errors-first. Never raises on a bad
-    variant. *)
+    [TVAL001], the {!Device_ir.Race} report, [TPERF...] memory-access
+    warnings from {!Device_ir.Access}, and [TSYM...] refutations from
+    {!prove}), sorted errors-first. Never raises on a bad variant. *)
 val lint : t -> Version.t -> Device_ir.Diag.t list
+
+(** Static memory-access analysis of one version at a concrete geometry
+    ([n]/[tunables] default as in {!Device_ir.Access.analyze}). *)
+val access :
+  ?n:int -> ?tunables:(string * int) list -> t -> Version.t ->
+  Device_ir.Access.analysis
+
+(** Predicted wall-clock (µs) of one version on an architecture from the
+    static analysis alone — {!Gpusim.Cost.of_static_program} over
+    {!access}, with the runner's per-buffer initialisation charge. *)
+val static_cost :
+  ?n:int -> ?tunables:(string * int) list -> Gpusim.Arch.t -> t -> Version.t ->
+  float
 
 (** Stable rendering of the combining operation ("atomicAdd", ...), a
     plan-cache key component. *)
