@@ -24,7 +24,13 @@
                                                  enabled vs Chrome-trace export
      dune exec bench/main.exe overload        -- goodput vs offered load with
                                                  shedding/deadlines/brownout
+     dune exec bench/main.exe fleet           -- device-fleet goodput under
+                                                 injected fail-slow/fail-stop
      dune exec bench/main.exe micro           -- bechamel framework benches
+
+   Any invocation accepts --json FILE ("-" for stdout): subcommands with
+   summary cells (service, faults, overload, fleet) also append their
+   rps/p95/goodput numbers to FILE as a JSON array.
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
    factor, where the crossovers fall — are the reproduction target, not the
@@ -49,6 +55,46 @@ let opts_for n : Gpusim.Interp.options =
   else { Gpusim.Interp.max_blocks = Some 12; loop_cap = Some 24; check_uniform = false }
 
 let archs = Gpusim.Arch.presets
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json FILE)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Subcommands with summary cells (service, faults, overload, fleet)
+   append one JSON object per cell; the accumulated array is written on
+   exit when --json was given ("-" for stdout). The human tables are
+   printed either way. *)
+
+let json_path : string option ref = ref None
+let json_cells : string list ref = ref []
+
+let jf (x : float) = Printf.sprintf "%.6g" x
+let ji (x : int) = string_of_int x
+let js (s : string) = Printf.sprintf "%S" s
+
+let json_cell ~(bench : string) (fields : (string * string) list) : unit =
+  if !json_path <> None then
+    json_cells :=
+      Printf.sprintf "{\"bench\":%S%s}" bench
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) fields))
+      :: !json_cells
+
+let json_flush () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let body =
+        "[\n  " ^ String.concat ",\n  " (List.rev !json_cells) ^ "\n]\n"
+      in
+      if path = "-" then print_string body
+      else begin
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "wrote %d JSON cells to %s\n" (List.length !json_cells)
+          path
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Shared evaluation state                                             *)
@@ -473,6 +519,15 @@ let service () =
   let warm = Runtime.Trace.replay ~batch_size:batch svc trace in
   Printf.printf "warm (same trace, fully-populated cache):\n  %s\n"
     (Format.asprintf "%a" Runtime.Trace.pp_summary warm);
+  List.iter
+    (fun (cell, (s : Runtime.Trace.summary)) ->
+      json_cell ~bench:"service"
+        [
+          ("cell", js cell);
+          ("requests", ji s.Runtime.Trace.s_requests);
+          ("rps", jf s.Runtime.Trace.s_rps);
+        ])
+    [ ("cold", cold); ("warm", warm) ];
   Printf.printf
     "\nwarm/cold throughput: %.1fx  (tune sweeps so far in this process: %d)\n\n"
     (warm.Runtime.Trace.s_rps /. cold.Runtime.Trace.s_rps)
@@ -514,7 +569,18 @@ let faults () =
           (Runtime.Stats.faults stats)
           (Runtime.Stats.quarantines stats)
           (Runtime.Stats.fallbacks stats)
-          (Runtime.Stats.degraded stats)
+          (Runtime.Stats.degraded stats);
+        json_cell ~bench:"faults"
+          [
+            ("rate", jf rate);
+            ("cell", js label);
+            ("rps", jf s.Runtime.Trace.s_rps);
+            ( "success",
+              jf
+                (float_of_int
+                   (s.Runtime.Trace.s_requests - s.Runtime.Trace.s_failed)
+                /. float_of_int (max 1 s.Runtime.Trace.s_requests)) );
+          ]
       in
       row "cold" (Runtime.Trace.replay ~batch_size:batch svc trace);
       row "warm" (Runtime.Trace.replay ~batch_size:batch svc trace))
@@ -881,6 +947,16 @@ let overload () =
           u.Runtime.Admission.a_goodput_rps
           (u.Runtime.Admission.a_p95_us /. 1e3)
           u.Runtime.Admission.a_violations;
+        json_cell ~bench:"overload"
+          [
+            ("load_mult", jf mult);
+            ("offered_rps", jf rate);
+            ("protected_goodput_rps", jf p.Runtime.Admission.a_goodput_rps);
+            ("protected_p95_us", jf p.Runtime.Admission.a_p95_us);
+            ("shed", ji p.Runtime.Admission.a_shed);
+            ("unprotected_goodput_rps", jf u.Runtime.Admission.a_goodput_rps);
+            ("unprotected_p95_us", jf u.Runtime.Admission.a_p95_us);
+          ];
         (mult, p.Runtime.Admission.a_goodput_rps, u))
       [ 0.5; 1.0; 2.0; 4.0 ]
   in
@@ -909,6 +985,166 @@ let overload () =
     u4.Runtime.Admission.a_goodput_rps u4.Runtime.Admission.a_violations
     (if collapsed then "collapsed as expected" else "FAIL (did not collapse)");
   if not (held && collapsed) then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Device fleet: goodput under injected fail-slow / fail-stop           *)
+(* ------------------------------------------------------------------ *)
+
+(* The resilience acceptance bar for the fleet layer: an 8-device fleet
+   (+2 warm spares) replays the mixed trace with 2 fail-slow (10x) and 1
+   seeded fail-stop device injected. The health scorer must take every
+   faulty device out of the pool, no request may be lost or silently
+   corrupted, and goodput must hold >= 70% of the healthy fleet's.
+
+   Goodput divides served-ok requests by fleet time (total device-busy
+   virtual time over the 8 nominal slots): it charges everything the
+   faults waste — slowed dispatches, cancelled hedge losers, readmission
+   probes burned on still-slow devices. *)
+
+let fleet_bench () =
+  print_endline
+    "=== Device fleet: goodput under injected fail-slow / fail-stop ===";
+  let arch = Gpusim.Arch.kepler_k40c in
+  let requests = 400 in
+  let seed =
+    match Sys.getenv_opt "FLEET_SEED" with
+    | Some s -> int_of_string s
+    | None -> 7
+  in
+  let n_active = 8 and n_spares = 2 in
+  let spec = Runtime.Trace.default ~requests ~seed ~archs:[ arch ] () in
+  let reqs = Runtime.Trace.generate spec in
+  (* one warmed plan cache shared by every run: the sweep measures the
+     fleet layer, not cold plan/tune sweeps *)
+  let cache = Runtime.Plan_cache.create () in
+  ignore
+    (Runtime.Trace.replay ~batch_size:256
+       (Runtime.Service.create ~cache (P.sum ()))
+       reqs);
+  Printf.printf
+    "trace: %d requests, sizes 64..268M on %s, warm cache; %d devices + %d \
+     warm spares, hedging at 2x p95, fleet seed %d\n\n"
+    requests arch.Gpusim.Arch.name n_active n_spares seed;
+  let run ~(fail_slow : int) ~(fail_stop : int) =
+    let svc = Runtime.Service.create ~cache (P.sum ()) in
+    let profile_for i =
+      if i < fail_slow then
+        Gpusim.Fault.Fail_slow { sl_onset = 10; sl_ramp = 8; sl_factor = 10.0 }
+      else if i < fail_slow + fail_stop then
+        Gpusim.Fault.seeded_fail_stop ~seed:(seed + i) ~horizon:30
+      else Gpusim.Fault.Healthy
+    in
+    let specs =
+      List.init n_active (fun i ->
+          Runtime.Fleet.spec ~profile:(profile_for i) arch)
+      @ List.init n_spares (fun _ -> Runtime.Fleet.spec ~spare:true arch)
+    in
+    let fleet = Runtime.Fleet.create ~seed specs in
+    Runtime.Fleet.set_hedging fleet true;
+    Runtime.Service.attach_fleet svc fleet;
+    let planner = Runtime.Service.planner svc in
+    let ok = ref 0 and lost = ref 0 and sdc_escapes = ref 0 in
+    List.iter
+      (fun ((_, n) : Gpusim.Arch.t * int) ->
+        let input = Runtime.Trace.replay_input ~dense_upto:4096 n in
+        match
+          Runtime.Service.submit_result svc
+            { Runtime.Service.req_arch = arch; req_input = input }
+        with
+        | Error _ -> incr lost
+        | Ok r ->
+            (* the escape check replays the host reference: an exact
+               response that disagrees with it slipped past the guard *)
+            if
+              r.Runtime.Service.resp_exact
+              && r.Runtime.Service.resp_value
+                 <> Synthesis.Planner.reference_input planner input
+            then incr sdc_escapes
+            else incr ok)
+      reqs;
+    let total_busy =
+      List.fold_left
+        (fun acc d -> acc +. Runtime.Fleet.busy_us d)
+        0.0
+        (Runtime.Fleet.devices fleet)
+    in
+    let fleet_time_us = total_busy /. float_of_int n_active in
+    let goodput_rps =
+      float_of_int !ok /. (Float.max fleet_time_us 1e-9 /. 1e6)
+    in
+    (fleet, svc, !ok, !lost, !sdc_escapes, goodput_rps)
+  in
+  Printf.printf "%-22s %5s %5s %4s %11s %7s %6s %5s %12s\n" "profile" "ok"
+    "lost" "sdc" "hedges f/w" "ejects" "dead" "promo" "goodput";
+  let row label (fleet, svc, ok, lost, sdc, goodput) =
+    let stats = Runtime.Service.stats svc in
+    Printf.printf "%-22s %5d %5d %4d %6d/%4d %7d %6d %5d %8.0f rps\n" label ok
+      lost sdc
+      (Runtime.Stats.fleet_hedges_fired stats)
+      (Runtime.Stats.fleet_hedges_won stats)
+      (Runtime.Stats.fleet_ejects stats)
+      (Runtime.Stats.fleet_deaths stats)
+      (Runtime.Stats.fleet_promotions stats)
+      goodput;
+    json_cell ~bench:"fleet"
+      [
+        ("cell", js label);
+        ("ok", ji ok);
+        ("lost", ji lost);
+        ("sdc_escapes", ji sdc);
+        ("ejections", ji (Runtime.Stats.fleet_ejects stats));
+        ("dead", ji (Runtime.Stats.fleet_deaths stats));
+        ("goodput_rps", jf goodput);
+      ];
+    ignore fleet
+  in
+  let healthy = run ~fail_slow:0 ~fail_stop:0 in
+  row "healthy" healthy;
+  (* the degradation sweep behind EXPERIMENTS.md's fleet table *)
+  let sweep =
+    List.map
+      (fun k ->
+        let r = run ~fail_slow:k ~fail_stop:0 in
+        row (Printf.sprintf "%d fail-slow" k) r;
+        r)
+      [ 1; 2; 3 ]
+  in
+  let mixed = run ~fail_slow:2 ~fail_stop:1 in
+  row "2 fail-slow + 1 stop" mixed;
+  let _, _, _, _, _, goodput_h = healthy in
+  let fleet_m, _, ok_m, lost_m, sdc_m, goodput_m = mixed in
+  let undetected = Runtime.Fleet.undetected_faulty fleet_m in
+  let all_lost =
+    lost_m
+    + List.fold_left (fun acc (_, _, _, l, _, _) -> acc + l) 0 sweep
+  in
+  let all_sdc =
+    sdc_m + List.fold_left (fun acc (_, _, _, _, s, _) -> acc + s) 0 sweep
+  in
+  let held = goodput_m >= 0.70 *. goodput_h in
+  Printf.printf
+    "\nmixed-fault goodput: %.0f rps vs healthy %.0f rps (%.0f%%) -- %s\n"
+    goodput_m goodput_h
+    (100.0 *. goodput_m /. Float.max goodput_h 1e-9)
+    (if held then "OK (>= 70%)" else "FAIL (< 70%)");
+  Printf.printf "requests lost: %d -- %s\n" all_lost
+    (if all_lost = 0 then "OK" else "FAIL");
+  Printf.printf "SDC escapes: %d -- %s\n" all_sdc
+    (if all_sdc = 0 then "OK" else "FAIL");
+  Printf.printf "undetected faulty devices: %d -- %s\n"
+    (List.length undetected)
+    (if undetected = [] then "OK (scorer took every faulty device out)"
+     else
+       "FAIL: "
+       ^ String.concat ", "
+           (List.map Runtime.Fleet.label undetected));
+  Printf.printf "served ok in mixed run: %d/%d -- %s\n\n" ok_m requests
+    (if ok_m = requests then "OK" else "FAIL");
+  if
+    not
+      (held && all_lost = 0 && all_sdc = 0 && undetected = []
+     && ok_m = requests)
+  then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework itself                   *)
@@ -996,12 +1232,24 @@ let all () =
   prove ();
   obs ();
   overload ();
+  fleet_bench ();
   micro ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | _ :: [ "all" ] -> all ()
-  | _ :: args ->
+  (* --json FILE is a global flag, stripped before subcommand dispatch *)
+  let rec strip_json acc = function
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        strip_json acc rest
+    | "--json" :: [] ->
+        prerr_endline "--json needs a file argument (\"-\" for stdout)";
+        exit 1
+    | x :: rest -> strip_json (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  (match strip_json [] (List.tl (Array.to_list Sys.argv)) with
+  | [] | [ "all" ] -> all ()
+  | args ->
       List.iter
         (fun arg ->
           match arg with
@@ -1022,11 +1270,12 @@ let () =
           | "prove" -> prove ()
           | "obs" -> obs ()
           | "overload" -> overload ()
+          | "fleet" -> fleet_bench ()
           | "micro" -> micro ()
           | other ->
               Printf.eprintf
-                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|access|prove|obs|overload|micro)\n"
+                "unknown experiment %S (search-space|versions|listings|fig7|fig8|fig9|fig10|tuning|ablation|service|faults|sdc|lint|access|prove|obs|overload|fleet|micro)\n"
                 other;
               exit 1)
-        args
-  | [] -> all ()
+        args);
+  json_flush ()

@@ -188,7 +188,7 @@ let validate_service_flags ~requests ~batch ~fault_rate ~retry_max
 
 let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
     ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~(obs : Obs_cli.t)
-    ~(overload : Overload_cli.t) =
+    ~(overload : Overload_cli.t) ~(fleet : Fleet_cli.t) =
   validate_service_flags ~requests ~batch ~fault_rate ~retry_max ~bitflip_rate
     ~verify_sample;
   let plan = Tangram.plan (Tangram.create ()) in
@@ -238,6 +238,7 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
     Printf.printf "bit-flip injection armed: rate %g, seed %d, verification %s\n"
       bitflip_rate fault_seed
       (if no_verify then "OFF" else "on");
+  ignore (Fleet_cli.attach ~exe:"reduce-explorer" fleet ~arch svc);
   let spec = Tangram.Trace.default ~requests ~seed ~archs:[ arch ] () in
   (match overload.Overload_cli.rate_rps with
   | Some rate_rps ->
@@ -271,12 +272,12 @@ let run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
 
 let run arch_name n version all baselines events tune program_file service
     requests seed batch cache_file fault_rate fault_seed retry_max bitflip_rate
-    verify_sample no_verify obs overload =
+    verify_sample no_verify obs overload fleet =
   Obs_cli.setup ~exe:"reduce-explorer" obs;
   let arch = lookup_arch arch_name in
   if service then (
     run_service ~arch ~requests ~seed ~batch ~cache_file ~fault_rate ~fault_seed
-      ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~obs ~overload;
+      ~retry_max ~bitflip_rate ~verify_sample ~no_verify ~obs ~overload ~fleet;
     exit 0);
   let ctx = Tangram.create () in
   let plan = Tangram.plan ctx in
@@ -345,6 +346,6 @@ let () =
       $ events_arg $ tune_arg $ program_arg $ service_arg $ requests_arg
       $ seed_arg $ batch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
       $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
-      $ Obs_cli.term $ Overload_cli.term)
+      $ Obs_cli.term $ Overload_cli.term $ Fleet_cli.term)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -466,7 +466,8 @@ let serve_cmd =
     Arg.(value & flag & info [ "no-verify" ] ~doc)
   in
   let run spectrum source requests seed batch arch_name cache_file fault_rate
-      fault_seed retry_max bitflip_rate verify_sample no_verify obs overload =
+      fault_seed retry_max bitflip_rate verify_sample no_verify obs overload
+      fleet =
     Obs_cli.setup ~exe:"tangramc serve" obs;
     let usage_error msg =
       Printf.eprintf "tangramc serve: %s\n" msg;
@@ -542,6 +543,11 @@ let serve_cmd =
             "bit-flip injection armed: rate %g, seed %d, verification %s\n"
             bitflip_rate fault_seed
             (if no_verify then "OFF" else "on");
+        (* the fleet is homogeneous on the first requested arch; a
+           multi-arch serve keeps per-request arch routing instead *)
+        ignore
+          (Fleet_cli.attach ~exe:"tangramc serve" fleet ~arch:(List.hd archs)
+             svc);
         let spec = Tangram.Trace.default ~requests ~seed ~archs () in
         (match overload.Overload_cli.rate_rps with
         | Some rate_rps ->
@@ -586,7 +592,7 @@ let serve_cmd =
       const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg $ batch_arg
       $ arch_arg $ cache_file_arg $ fault_rate_arg $ fault_seed_arg
       $ retry_max_arg $ bitflip_rate_arg $ verify_sample_arg $ no_verify_arg
-      $ Obs_cli.term $ Overload_cli.term)
+      $ Obs_cli.term $ Overload_cli.term $ Fleet_cli.term)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)

@@ -60,6 +60,7 @@ module Symbolic = Symbolic
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
 module Admission = Runtime.Admission
+module Fleet = Runtime.Fleet
 module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance

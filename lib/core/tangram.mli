@@ -61,6 +61,11 @@ module Symbolic = Symbolic
 module Plan_cache = Runtime.Plan_cache
 module Service = Runtime.Service
 module Admission = Runtime.Admission
+
+(** The simulated device fleet: failure profiles, health-aware routing,
+    hedged execution ({!Service.attach_fleet}). *)
+module Fleet = Runtime.Fleet
+
 module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance

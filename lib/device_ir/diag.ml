@@ -99,6 +99,12 @@ let registry : info list =
     mk "TPERF010" w "access" "uncoalesced global access: strided or scattered lane addresses need multiple transactions per warp";
     mk "TPERF011" w "access" "n-way shared-memory bank conflict: the access replays once per conflicting address";
     mk "TPERF012" w "access" "non-affine index escape: data-dependent address defeats the static coalescing/bank analysis";
+    mk "TFLT001" w "fleet" "device fail-stopped and was marked dead; in-flight dispatch rerouted";
+    mk "TFLT002" w "fleet" "health score crossed the ejection threshold: device taken out of the serving pool";
+    mk "TFLT003" w "fleet" "ejected device passed readmission probes and rejoined the serving pool";
+    mk "TFLT004" w "fleet" "first attempt overran the hedge deadline: speculative re-dispatch fired";
+    mk "TFLT005" w "fleet" "device marked to drain: finishing in-flight work, taking no new dispatches";
+    mk "TFLT006" w "fleet" "warm spare promoted into the serving pool";
   ]
 
 let lookup code = List.find_opt (fun r -> r.r_code = code) registry

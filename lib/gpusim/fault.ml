@@ -249,6 +249,136 @@ let injected_by_kind t =
 let flips t = List.rev t.flip_log
 
 (* ------------------------------------------------------------------ *)
+(* Per-device failure profiles                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A profile is a pure function of the device's dispatch count — no
+   stream of its own — so evaluating it never perturbs the loud-fault or
+   bit-flip schedules. The only randomness a profile ever carries is
+   baked in at construction time ([seeded_fail_stop] draws the death
+   dispatch once from its own throwaway LCG). Dispatch indices are
+   1-based: the first dispatch a device serves is dispatch 1. *)
+type profile =
+  | Healthy
+  | Fail_stop of int
+  | Fail_slow of { sl_onset : int; sl_ramp : int; sl_factor : float }
+  | Flaky of float
+  | Recovering of { rc_until : int; rc_factor : float }
+
+let check_profile = function
+  | Healthy -> ()
+  | Fail_stop at ->
+      if at < 1 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: fail-stop dispatch %d < 1" at)
+  | Fail_slow { sl_onset; sl_ramp; sl_factor } ->
+      if sl_onset < 1 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: fail-slow onset %d < 1" sl_onset);
+      if sl_ramp < 1 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: fail-slow ramp %d < 1" sl_ramp);
+      if sl_factor < 1.0 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: fail-slow factor %g < 1"
+             sl_factor)
+  | Flaky r -> check_rate "flaky rate" r
+  | Recovering { rc_until; rc_factor } ->
+      if rc_until < 0 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: recovery point %d < 0" rc_until);
+      if rc_factor < 1.0 then
+        invalid_arg
+          (Printf.sprintf "Fault.check_profile: recovering factor %g < 1"
+             rc_factor)
+
+let profile_name = function
+  | Healthy -> "healthy"
+  | Fail_stop at -> Printf.sprintf "fail-stop@%d" at
+  | Fail_slow { sl_onset; sl_ramp; sl_factor } ->
+      if sl_ramp = 1 then Printf.sprintf "fail-slow@%dx%g" sl_onset sl_factor
+      else Printf.sprintf "fail-slow@%dx%g+%d" sl_onset sl_factor sl_ramp
+  | Flaky r -> Printf.sprintf "flaky@%g" r
+  | Recovering { rc_until; rc_factor } ->
+      Printf.sprintf "recovering@%dx%g" rc_until rc_factor
+
+let profile_of_string (s : string) : (profile, string) result =
+  let err () =
+    Error
+      (Printf.sprintf
+         "unknown failure profile %S (expected healthy, fail-stop@N, \
+          fail-slow@ONSETxFACTOR[+RAMP], flaky@RATE or recovering@UNTILxFACTOR)"
+         s)
+  in
+  let num conv v = match conv v with Some x -> Ok x | None -> err () in
+  let split c v =
+    match String.index_opt v c with
+    | None -> None
+    | Some i ->
+        Some (String.sub v 0 i, String.sub v (i + 1) (String.length v - i - 1))
+  in
+  let checked p = match check_profile p with () -> Ok p | exception Invalid_argument m -> Error m in
+  match split '@' s with
+  | None -> if s = "healthy" then Ok Healthy else err ()
+  | Some (kind, arg) -> (
+      match kind with
+      | "fail-stop" ->
+          Result.bind (num int_of_string_opt arg) (fun at ->
+              checked (Fail_stop at))
+      | "fail-slow" -> (
+          let arg, ramp =
+            match split '+' arg with None -> (arg, Ok 1) | Some (a, r) -> (a, num int_of_string_opt r)
+          in
+          match split 'x' arg with
+          | None -> err ()
+          | Some (onset, factor) ->
+              Result.bind (num int_of_string_opt onset) (fun sl_onset ->
+                  Result.bind (num float_of_string_opt factor) (fun sl_factor ->
+                      Result.bind ramp (fun sl_ramp ->
+                          checked (Fail_slow { sl_onset; sl_ramp; sl_factor })))))
+      | "flaky" ->
+          Result.bind (num float_of_string_opt arg) (fun r -> checked (Flaky r))
+      | "recovering" -> (
+          match split 'x' arg with
+          | None -> err ()
+          | Some (until_, factor) ->
+              Result.bind (num int_of_string_opt until_) (fun rc_until ->
+                  Result.bind (num float_of_string_opt factor) (fun rc_factor ->
+                      checked (Recovering { rc_until; rc_factor }))))
+      | _ -> err ())
+
+let profile_dead (p : profile) ~(dispatch : int) : bool =
+  match p with Fail_stop at -> dispatch >= at | _ -> false
+
+let profile_slowdown (p : profile) ~(dispatch : int) : float =
+  match p with
+  | Healthy | Fail_stop _ | Flaky _ -> 1.0
+  | Fail_slow { sl_onset; sl_ramp; sl_factor } ->
+      if dispatch < sl_onset then 1.0
+      else
+        (* linear onset ramp: full degradation [sl_ramp] dispatches in *)
+        let progress =
+          Float.min 1.0
+            (float_of_int (dispatch - sl_onset + 1) /. float_of_int sl_ramp)
+        in
+        1.0 +. ((sl_factor -. 1.0) *. progress)
+  | Recovering { rc_until; rc_factor } ->
+      if dispatch <= rc_until then rc_factor else 1.0
+
+let profile_fault_rate (p : profile) : float =
+  match p with Flaky r -> r | _ -> 0.0
+
+(* "fail-stop at a seeded time": the death dispatch is drawn once, from
+   a throwaway LCG over (seed), uniform in [1, horizon]. *)
+let seeded_fail_stop ~(seed : int) ~(horizon : int) : profile =
+  if horizon < 1 then
+    invalid_arg
+      (Printf.sprintf "Fault.seeded_fail_stop: horizon %d < 1" horizon);
+  let s = lcg (lcg (Int64.of_int seed)) in
+  let at = 1 + int_of_float (uniform s *. float_of_int horizon) in
+  Fail_stop (Stdlib.min horizon at)
+
+(* ------------------------------------------------------------------ *)
 (* Applying a flip to a stored scalar                                   *)
 (* ------------------------------------------------------------------ *)
 

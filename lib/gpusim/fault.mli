@@ -136,6 +136,66 @@ val record_flip : t -> arch:string -> version:string -> flip -> unit
     simply toggle truth. *)
 val flip_value : Device_ir.Ir.scalar -> bit:int -> float -> float
 
+(** {1 Per-device failure profiles}
+
+    A profile describes how one simulated device of a fleet misbehaves
+    over its lifetime. It is a pure function of the device's 1-based
+    dispatch count — profiles own no random stream, so evaluating one
+    never perturbs the loud-fault ({!roll}) or bit-flip ({!roll_flip})
+    schedules. The fleet layer ([Runtime.Fleet]) owns the dispatch
+    counter and asks the profile three questions per dispatch: is the
+    device dead yet ({!profile_dead}), how degraded is its throughput
+    ({!profile_slowdown}), and what intermittent fault rate should its
+    private injector run at ({!profile_fault_rate}). *)
+
+type profile =
+  | Healthy  (** nominal: no deaths, no slowdown, no intermittent faults *)
+  | Fail_stop of int
+      (** the device dies the moment this (1-based) dispatch is attempted
+          and never answers again *)
+  | Fail_slow of { sl_onset : int; sl_ramp : int; sl_factor : float }
+      (** a straggler: throughput multiplier ramps linearly from 1× to
+          [sl_factor] over [sl_ramp] dispatches starting at [sl_onset] *)
+  | Flaky of float
+      (** intermittent: the device's private fault stream injects
+          retryable transients at this per-run rate *)
+  | Recovering of { rc_until : int; rc_factor : float }
+      (** degraded [rc_factor]× through dispatch [rc_until], nominal
+          after — the profile the readmission hysteresis exists for *)
+
+(** @raise Invalid_argument on a malformed profile: a dispatch index
+    < 1 (fail-stop, fail-slow onset/ramp), a throughput factor < 1, or
+    a flaky rate outside [0, 1]. *)
+val check_profile : profile -> unit
+
+(** Render a profile in the [--device-profile] surface syntax
+    ([healthy], [fail-stop@N], [fail-slow@ONSETxFACTOR+RAMP],
+    [flaky@RATE], [recovering@UNTILxFACTOR]). *)
+val profile_name : profile -> string
+
+(** Parse {!profile_name}'s syntax back; [Error] carries the message
+    the CLI prints. The [+RAMP] suffix of fail-slow is optional
+    (default 1: full degradation at onset). *)
+val profile_of_string : string -> (profile, string) result
+
+(** Has a fail-stop profile's device died by [dispatch] (1-based,
+    inclusive)? *)
+val profile_dead : profile -> dispatch:int -> bool
+
+(** Simulated-time multiplier at [dispatch] (1-based); 1.0 when
+    nominal. *)
+val profile_slowdown : profile -> dispatch:int -> float
+
+(** Per-run rate of the device's private intermittent-fault stream
+    (0 except for {!Flaky}). *)
+val profile_fault_rate : profile -> float
+
+(** A {!Fail_stop} whose death dispatch is drawn uniformly from
+    [1, horizon] by a throwaway LCG over [seed] — one draw at
+    construction, deterministic thereafter.
+    @raise Invalid_argument when [horizon] < 1. *)
+val seeded_fail_stop : seed:int -> horizon:int -> profile
+
 (** {1 Observability} *)
 
 (** Rolls performed so far (bit-flip rolls not included). *)

@@ -118,6 +118,12 @@ type t = {
   mutable brownout : int;
       (* degradation ladder position, 0 (full service) .. 4 (host path);
          driven by [Admission]'s controller or [set_brownout] *)
+  mutable fleet : Fleet.t option;
+      (* when attached, requests route through the fleet's devices; the
+         single-device path below is byte-identical when absent *)
+  predicted_cache : (string * string * int * (string * int) list, float) Hashtbl.t;
+      (* memoized static-cost predictions keyed by (arch, version, n,
+         tunables) — the health scorer's no-execution baseline *)
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
@@ -154,6 +160,8 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
         1442695040888963407L;
     profile = false;
     brownout = 0;
+    fleet = None;
+    predicted_cache = Hashtbl.create 64;
   }
 
 let planner t = t.planner
@@ -164,6 +172,13 @@ let fault t = t.fault
 let set_fault t f = t.fault <- f
 let profiling t = t.profile
 let set_profiling t b = t.profile <- b
+let fleet t = t.fleet
+
+let attach_fleet (t : t) (fl : Fleet.t) : unit =
+  Fleet.set_stats fl t.stats;
+  t.fleet <- Some fl
+
+let detach_fleet (t : t) : unit = t.fleet <- None
 
 let max_brownout = 4
 let brownout_level t = t.brownout
@@ -803,12 +818,29 @@ let verify_and_serve ?(budget : budget option) (t : t) (req : request)
     end
   end
 
-let serve ?(budget : budget option) (t : t) (req : request)
-    (e : Plan_cache.entry) (hit : bool) (started_us : float) :
-    (response, error) result =
+(* One ladder execution, stopped before verification: the walk below
+   yields the first rung that produced an outcome (plus its retry and
+   backoff accounting), a deadline verdict, or "every rung down". The
+   single-device path verifies the outcome immediately; the fleet path
+   runs one walk per dispatched device and verifies only the winner, so
+   a cancelled hedge loser never charges a response to the stats. *)
+type executed = {
+  ex_idx : int;
+  ex_rung : Plan_cache.rung;
+  ex_outcome : R.outcome;
+  ex_retries : int;
+  ex_backoff_us : float;
+}
+
+type exec_result =
+  | Ex_served of executed
+  | Ex_deadline of string
+  | Ex_down of attempt_failure option
+
+let execute_ladder ?(budget : budget option) (t : t) (req : request)
+    (e : Plan_cache.entry) : exec_result =
   t.tick <- t.tick + 1;
   let arch = req.req_arch.Gpusim.Arch.name in
-  let run_started = now_us () in
   let last_failure = ref None in
   let deadline = ref None in
   let rec walk idx = function
@@ -858,31 +890,243 @@ let serve ?(budget : budget option) (t : t) (req : request)
   in
   match walk 0 (Plan_cache.ladder e) with
   | Some (idx, rung, o, retries, backoff_us) ->
-      Stats.run_us t.stats (now_us () -. run_started);
-      verify_and_serve ?budget t req e ~hit ~started_us idx rung o retries
-        backoff_us
+      Ex_served
+        {
+          ex_idx = idx;
+          ex_rung = rung;
+          ex_outcome = o;
+          ex_retries = retries;
+          ex_backoff_us = backoff_us;
+        }
   | None -> (
       match !deadline with
-      | Some msg ->
-          Stats.deadline_expire t.stats;
-          Obs.Trace.mark "deadline";
-          Obs.Log.warn
-            ~fields:[ ("arch", arch) ]
-            "deadline exceeded: %s" msg;
-          Error (Deadline_exceeded msg)
-      | None ->
-          if t.resilience.r_allow_degraded then
-            Ok (degraded_response t req e ~hit ~started_us)
-          else
-            Error
-              (match !last_failure with
-              | Some (Af_transient msg) -> Transient msg
-              | Some (Af_fault msg) -> Version_fault msg
-              | Some (Af_deadline _) | None ->
-                  Version_fault
-                    (Printf.sprintf "every version of %s is quarantined"
-                       (Plan_cache.key_name
-                          (key_of t req.req_arch (R.input_size req.req_input))))))
+      | Some msg -> Ex_deadline msg
+      | None -> Ex_down !last_failure)
+
+let deadline_error (t : t) ~(arch : string) (msg : string) :
+    (response, error) result =
+  Stats.deadline_expire t.stats;
+  Obs.Trace.mark "deadline";
+  Obs.Log.warn ~fields:[ ("arch", arch) ] "deadline exceeded: %s" msg;
+  Error (Deadline_exceeded msg)
+
+(* every rung down: degraded host-reference serve, or the last failure *)
+let down_result (t : t) (req : request) (e : Plan_cache.entry) ~(hit : bool)
+    ~(started_us : float) (last_failure : attempt_failure option) :
+    (response, error) result =
+  if t.resilience.r_allow_degraded then
+    Ok (degraded_response t req e ~hit ~started_us)
+  else
+    Error
+      (match last_failure with
+      | Some (Af_transient msg) -> Transient msg
+      | Some (Af_fault msg) -> Version_fault msg
+      | Some (Af_deadline _) | None ->
+          Version_fault
+            (Printf.sprintf "every version of %s is quarantined"
+               (Plan_cache.key_name
+                  (key_of t req.req_arch (R.input_size req.req_input)))))
+
+let serve ?(budget : budget option) (t : t) (req : request)
+    (e : Plan_cache.entry) (hit : bool) (started_us : float) :
+    (response, error) result =
+  let arch = req.req_arch.Gpusim.Arch.name in
+  let run_started = now_us () in
+  match execute_ladder ?budget t req e with
+  | Ex_served ex ->
+      Stats.run_us t.stats (now_us () -. run_started);
+      verify_and_serve ?budget t req e ~hit ~started_us ex.ex_idx ex.ex_rung
+        ex.ex_outcome ex.ex_retries ex.ex_backoff_us
+  | Ex_deadline msg -> deadline_error t ~arch msg
+  | Ex_down last -> down_result t req e ~hit ~started_us last
+
+(* ------------------------------------------------------------------ *)
+(* Fleet serving: routing, per-device dispatch, hedging                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The health scorer's baseline: what the static cost model says this
+   rung should take on this arch at this size, computed without
+   executing anything and memoized per (arch, version, n, tunables).
+   A prediction the analyzer cannot produce degrades to ratio 1.0 —
+   the device is neither credited nor blamed for it. *)
+let predicted_us (t : t) (arch : Gpusim.Arch.t) (rung : Plan_cache.rung)
+    ~(n : int) : float option =
+  let key =
+    ( arch.Gpusim.Arch.name,
+      V.name rung.Plan_cache.r_version,
+      n,
+      rung.Plan_cache.r_tunables )
+  in
+  match Hashtbl.find_opt t.predicted_cache key with
+  | Some p -> if Float.is_finite p && p > 0.0 then Some p else None
+  | None ->
+      let p =
+        match
+          P.static_cost ~n ~tunables:rung.Plan_cache.r_tunables arch t.planner
+            rung.Plan_cache.r_version
+        with
+        | p -> p
+        | exception _ -> Float.nan
+      in
+      Hashtbl.replace t.predicted_cache key p;
+      if Float.is_finite p && p > 0.0 then Some p else None
+
+let health_ratio (t : t) (arch : Gpusim.Arch.t) (ex : executed) ~(n : int)
+    ~(observed_us : float) : float =
+  match predicted_us t arch ex.ex_rung ~n with
+  | Some p when observed_us > 0.0 -> p /. observed_us
+  | _ -> 1.0
+
+(* the whole fleet is out: the host reference answers — a dead fleet
+   degrades, it does not lose requests *)
+let fleet_degraded_response (t : t) (req : request) ~(started_us : float) :
+    response =
+  Stats.degrade t.stats;
+  Stats.winner t.stats "host-reference (fleet-down)";
+  Obs.Trace.mark "degraded";
+  Obs.Log.warn "no routable fleet device; serving the host reference (degraded)";
+  {
+    resp_value = P.reference_input t.planner req.req_input;
+    resp_exact = true;
+    resp_sim_us = 0.0;
+    resp_version = List.hd t.candidates;
+    resp_tunables = [];
+    resp_hit = false;
+    resp_bucket = Plan_cache.bucket_of_size (R.input_size req.req_input);
+    resp_service_us = now_us () -. started_us;
+    resp_degraded = true;
+    resp_retries = 0;
+    resp_fallback = 0;
+  }
+
+(* one attempt on one device *)
+type fleet_exec =
+  | Fx_served of Plan_cache.entry * bool * executed * float
+      (* entry, cache hit, winning execution, observed (slowdown-inflated) us *)
+  | Fx_deadline of string
+  | Fx_down of Plan_cache.entry * bool * attempt_failure option
+  | Fx_error of error  (* planning failed; not the device's doing *)
+
+(* Dispatch one request to one device: the request is re-targeted at
+   the device's arch (the one plan cache serves the whole heterogeneous
+   fleet), the device's private fault stream is armed for the duration,
+   the fail-slow profile inflates the observed time, and the health
+   scorer is fed the predicted/observed ratio. Verification is NOT run
+   here — the hedging layer above picks a winner first. *)
+let dispatch_on ?(budget : budget option) (t : t) (fl : Fleet.t)
+    (req : request) (d : Fleet.device) : fleet_exec =
+  Fleet.begin_dispatch fl d;
+  let arch = Fleet.arch d in
+  let req = { req with req_arch = arch } in
+  let n = R.input_size req.req_input in
+  let saved_fault = t.fault in
+  (match Fleet.fault_stream d with Some f -> t.fault <- Some f | None -> ());
+  let result =
+    Obs.Trace.span
+      ~attrs:
+        [ ("device", Fleet.label d); ("arch", arch.Gpusim.Arch.name) ]
+      ~name:"device"
+    @@ fun () ->
+    match ensure t arch n with
+    | Error e -> Fx_error e
+    | Ok (entry, hit) -> (
+        match execute_ladder ?budget t req entry with
+        | Ex_served ex ->
+            let slow = Fleet.slowdown d in
+            let observed = ex.ex_outcome.R.time_us *. slow in
+            (* the straggler's inflation is real time the client waits
+               through: charge the deadline budget for it and let the
+               response's simulated latency carry it *)
+            let ex =
+              if slow > 1.0 then begin
+                budget_charge budget (observed -. ex.ex_outcome.R.time_us);
+                { ex with ex_outcome = { ex.ex_outcome with R.time_us = observed } }
+              end
+              else ex
+            in
+            Fleet.charge_busy d observed;
+            Fleet.observe fl d
+              ~ratio:(health_ratio t arch ex ~n ~observed_us:observed);
+            Fx_served (entry, hit, ex, observed)
+        | Ex_deadline msg -> Fx_deadline msg
+        | Ex_down last ->
+            Fleet.observe_failure fl d;
+            Fx_down (entry, hit, last))
+  in
+  t.fault <- saved_fault;
+  Fleet.end_dispatch fl d;
+  result
+
+let submit_fleet ?(budget : budget option) (t : t) (fl : Fleet.t)
+    (req : request) ~(started_us : float) : (response, error) result =
+  let run_started = now_us () in
+  (* route around devices that fail-stop at the moment of dispatch: the
+     death is detected, the device marked dead, and the request bounces
+     to the next choice — never lost *)
+  let rec acquire () =
+    match Fleet.route fl with
+    | None -> None
+    | Some d ->
+        if Fleet.next_dispatch_kills d then begin
+          Fleet.mark_dead fl d;
+          Fleet.reroute fl;
+          acquire ()
+        end
+        else Some d
+  in
+  match acquire () with
+  | None -> Ok (fleet_degraded_response t req ~started_us)
+  | Some d -> (
+      match dispatch_on ?budget t fl req d with
+      | Fx_error e -> Error e
+      | Fx_deadline msg ->
+          deadline_error t ~arch:(Fleet.arch d).Gpusim.Arch.name msg
+      | Fx_down (entry, hit, last) ->
+          (* breakers are per (arch, version) and shared fleet-wide: a
+             ladder that is down on this device is down on every device
+             of the same arch — degrade like the single-device path *)
+          down_result t
+            { req with req_arch = Fleet.arch d }
+            entry ~hit ~started_us last
+      | Fx_served (entry, hit, ex, observed) -> (
+          (* hedged execution: past the p95-based deadline, speculate on
+             a second device; first answer in virtual time wins and the
+             loser is cancelled before verification, charging nothing *)
+          let hedged =
+            match Fleet.hedge_deadline_us fl with
+            | Some dl when observed > dl -> (
+                Fleet.hedge_fired fl d ~deadline_us:dl ~observed_us:observed;
+                match Fleet.route ~excluding:d ~probe:false fl with
+                | None -> None
+                | Some d2 -> (
+                    match dispatch_on ?budget t fl req d2 with
+                    | Fx_served (entry2, hit2, ex2, observed2) ->
+                        (* the hedge launched at the deadline: it wins
+                           only if deadline + its own latency beats the
+                           primary's completion *)
+                        let completion2 = dl +. observed2 in
+                        if completion2 < observed then begin
+                          Fleet.hedge_won fl d2;
+                          Some (d2, entry2, hit2, ex2, completion2)
+                        end
+                        else None
+                    | Fx_deadline _ | Fx_down _ | Fx_error _ -> None))
+            | Some _ | None -> None
+          in
+          let dev, entry, hit, ex, completion_us =
+            match hedged with
+            | Some (d2, e2, h2, ex2, c2) -> (d2, e2, h2, ex2, c2)
+            | None -> (d, entry, hit, ex, observed)
+          in
+          Fleet.note_latency fl completion_us;
+          Stats.run_us t.stats (now_us () -. run_started);
+          let req = { req with req_arch = Fleet.arch dev } in
+          match
+            verify_and_serve ?budget t req entry ~hit ~started_us ex.ex_idx
+              ex.ex_rung ex.ex_outcome ex.ex_retries ex.ex_backoff_us
+          with
+          | Ok r -> Ok r
+          | Error e -> Error e))
 
 (* reduce of nothing is the combining operation's identity, served off the
    host without touching the simulator *)
@@ -938,9 +1182,12 @@ let submit_result ?deadline_us (t : t) (req : request) :
           Ok (brownout_degraded_response t req ~started_us)
         end
         else (
-          match ensure t req.req_arch (R.input_size req.req_input) with
-          | Error e -> Error e
-          | Ok (entry, hit) -> serve ?budget t req entry hit started_us)
+          match t.fleet with
+          | Some fl -> submit_fleet ?budget t fl req ~started_us
+          | None -> (
+              match ensure t req.req_arch (R.input_size req.req_input) with
+              | Error e -> Error e
+              | Ok (entry, hit) -> serve ?budget t req entry hit started_us))
   in
   (* one root span per request under a fresh trace id: every span the
      stack records below (lookup, plan, tune, rungs, attempts, verify...)

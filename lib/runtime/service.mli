@@ -167,6 +167,21 @@ val profiling : t -> bool
     the text report is unchanged. *)
 val set_profiling : t -> bool -> unit
 
+(** The attached device fleet, if any. *)
+val fleet : t -> Fleet.t option
+
+(** Route every subsequent request through [fleet]: the router picks a
+    device (health-aware, least-loaded), the request executes against
+    that device's architecture with its private fault stream and
+    fail-slow profile, and hedged execution re-dispatches stragglers.
+    Also points the fleet at this service's {!Stats} so the report grows
+    its fleet section. A service with no fleet attached is byte-identical
+    to one predating fleets. *)
+val attach_fleet : t -> Fleet.t -> unit
+
+(** Return to the single-device path. *)
+val detach_fleet : t -> unit
+
 (** The deepest brownout ladder step (4: host path only). *)
 val max_brownout : int
 

@@ -55,6 +55,26 @@ type kernel_cell = {
   mutable k_totals : Gpusim.Events.totals;
 }
 
+(* per-device fleet cell: populated only when a fleet is attached, so
+   the fleet report section stays absent on single-device services *)
+type fleet_cell = {
+  mutable f_dispatches : int;
+  mutable f_hedge_wins : int;
+  mutable f_ejects : int;
+  mutable f_readmits : int;
+  mutable f_health : float;  (* last reported health score *)
+  mutable f_state : string;  (* last reported lifecycle state *)
+}
+
+type fleet_row = {
+  fd_dispatches : int;
+  fd_hedge_wins : int;
+  fd_ejects : int;
+  fd_readmits : int;
+  fd_health : float;
+  fd_state : string;
+}
+
 type t = {
   buckets : (string, counters) Hashtbl.t;
   winners : (string, int) Hashtbl.t;
@@ -93,6 +113,18 @@ type t = {
   mutable total_deadline_witness_serves : int;
   mutable total_brownout_transitions : int;
   mutable brownout_max : int;
+  (* fleet counters: all stay zero (and the device table empty) unless a
+     fleet is attached, keeping the fleet-less report byte-identical *)
+  fleet_devices : (string, fleet_cell) Hashtbl.t;
+  mutable total_fleet_dispatches : int;
+  mutable total_fleet_reroutes : int;
+  mutable total_fleet_hedges_fired : int;
+  mutable total_fleet_hedges_won : int;
+  mutable total_fleet_ejects : int;
+  mutable total_fleet_readmits : int;
+  mutable total_fleet_deaths : int;
+  mutable total_fleet_drains : int;
+  mutable total_fleet_promotions : int;
 }
 
 let create () : t =
@@ -131,6 +163,16 @@ let create () : t =
     total_deadline_witness_serves = 0;
     total_brownout_transitions = 0;
     brownout_max = 0;
+    fleet_devices = Hashtbl.create 8;
+    total_fleet_dispatches = 0;
+    total_fleet_reroutes = 0;
+    total_fleet_hedges_fired = 0;
+    total_fleet_hedges_won = 0;
+    total_fleet_ejects = 0;
+    total_fleet_readmits = 0;
+    total_fleet_deaths = 0;
+    total_fleet_drains = 0;
+    total_fleet_promotions = 0;
   }
 
 let counters_for (t : t) (bucket : string) : counters =
@@ -211,6 +253,66 @@ let brownout_shed (t : t) ~(what : string) : unit =
 
 let queue_wait_us (t : t) (x : float) = sample t.queue_wait x
 
+let fleet_cell_for (t : t) (device : string) : fleet_cell =
+  match Hashtbl.find_opt t.fleet_devices device with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          f_dispatches = 0;
+          f_hedge_wins = 0;
+          f_ejects = 0;
+          f_readmits = 0;
+          f_health = 1.0;
+          f_state = "active";
+        }
+      in
+      Hashtbl.add t.fleet_devices device c;
+      c
+
+let fleet_dispatch (t : t) ~(device : string) : unit =
+  let c = fleet_cell_for t device in
+  c.f_dispatches <- c.f_dispatches + 1;
+  t.total_fleet_dispatches <- t.total_fleet_dispatches + 1
+
+let fleet_health (t : t) ~(device : string) (health : float) : unit =
+  (fleet_cell_for t device).f_health <- health
+
+let fleet_state (t : t) ~(device : string) (state : string) : unit =
+  (fleet_cell_for t device).f_state <- state
+
+let fleet_eject (t : t) ~(device : string) : unit =
+  let c = fleet_cell_for t device in
+  c.f_ejects <- c.f_ejects + 1;
+  t.total_fleet_ejects <- t.total_fleet_ejects + 1
+
+let fleet_readmit (t : t) ~(device : string) : unit =
+  let c = fleet_cell_for t device in
+  c.f_readmits <- c.f_readmits + 1;
+  t.total_fleet_readmits <- t.total_fleet_readmits + 1
+
+let fleet_dead (t : t) ~(device : string) : unit =
+  ignore (fleet_cell_for t device);
+  t.total_fleet_deaths <- t.total_fleet_deaths + 1
+
+let fleet_drain (t : t) ~(device : string) : unit =
+  ignore (fleet_cell_for t device);
+  t.total_fleet_drains <- t.total_fleet_drains + 1
+
+let fleet_promote (t : t) ~(device : string) : unit =
+  ignore (fleet_cell_for t device);
+  t.total_fleet_promotions <- t.total_fleet_promotions + 1
+
+let fleet_reroute (t : t) = t.total_fleet_reroutes <- t.total_fleet_reroutes + 1
+
+let fleet_hedge_fired (t : t) =
+  t.total_fleet_hedges_fired <- t.total_fleet_hedges_fired + 1
+
+let fleet_hedge_won (t : t) ~(device : string) : unit =
+  let c = fleet_cell_for t device in
+  c.f_hedge_wins <- c.f_hedge_wins + 1;
+  t.total_fleet_hedges_won <- t.total_fleet_hedges_won + 1
+
 let kernel (t : t) ~(arch : string) ~(version : string)
     (totals : Gpusim.Events.totals) : unit =
   let key = (arch, version) in
@@ -251,6 +353,43 @@ let brownout_max_level t = t.brownout_max
 let brownout_sheds (t : t) : (string * int) list =
   Hashtbl.fold (fun w n acc -> (w, n) :: acc) t.brownout_shed_work []
   |> List.sort compare
+
+let fleet_dispatches t = t.total_fleet_dispatches
+let fleet_reroutes t = t.total_fleet_reroutes
+let fleet_hedges_fired t = t.total_fleet_hedges_fired
+let fleet_hedges_won t = t.total_fleet_hedges_won
+let fleet_ejects t = t.total_fleet_ejects
+let fleet_readmits t = t.total_fleet_readmits
+let fleet_deaths t = t.total_fleet_deaths
+let fleet_drains t = t.total_fleet_drains
+let fleet_promotions t = t.total_fleet_promotions
+
+let fleet_rows (t : t) : (string * fleet_row) list =
+  Hashtbl.fold
+    (fun device c acc ->
+      ( device,
+        {
+          fd_dispatches = c.f_dispatches;
+          fd_hedge_wins = c.f_hedge_wins;
+          fd_ejects = c.f_ejects;
+          fd_readmits = c.f_readmits;
+          fd_health = c.f_health;
+          fd_state = c.f_state;
+        } )
+      :: acc)
+    t.fleet_devices []
+  |> List.sort compare
+
+(* the gate of the report's fleet section: any fleet traffic or
+   lifecycle event — a service with no fleet attached never records
+   either, so its report is byte-identical to the fleet-less one *)
+let fleet_fired (t : t) : bool =
+  t.total_fleet_dispatches + t.total_fleet_reroutes
+  + t.total_fleet_hedges_fired + t.total_fleet_ejects
+  + t.total_fleet_readmits + t.total_fleet_deaths + t.total_fleet_drains
+  + t.total_fleet_promotions
+  > 0
+  || Hashtbl.length t.fleet_devices > 0
 
 (* the gate of the report's overload section: admission alone (requests
    flowing through the queue at zero load) is not an overload event *)
@@ -379,6 +518,27 @@ let report (t : t) : string =
       pr "  queue wait (virtual): p50 %.1f us   p95 %.1f us   max %.1f us\n"
         q.p50 q.p95 q.max
   end;
+  (* the fleet section appears only once a fleet routed, hedged or
+     transitioned something — a fleet-less service prints exactly the
+     report it always did *)
+  if fleet_fired t then begin
+    pr "\ndevice fleet:\n";
+    pr "  dispatches %d   rerouted off dying devices %d   hedges fired %d / won %d\n"
+      t.total_fleet_dispatches t.total_fleet_reroutes
+      t.total_fleet_hedges_fired t.total_fleet_hedges_won;
+    pr "  ejections %d   readmissions %d   dead %d   drains %d   spare promotions %d\n"
+      t.total_fleet_ejects t.total_fleet_readmits t.total_fleet_deaths
+      t.total_fleet_drains t.total_fleet_promotions;
+    match fleet_rows t with
+    | [] -> ()
+    | rows ->
+        pr "  per-device:\n";
+        List.iter
+          (fun (device, r) ->
+            pr "    %-24s %-8s dispatches %6d   hedge wins %4d   health %.2f\n"
+              device r.fd_state r.fd_dispatches r.fd_hedge_wins r.fd_health)
+          rows
+  end;
   (* the profiler section appears only when the service aggregated kernel
      counters (profiling is off by default), keeping the default report
      byte-identical *)
@@ -502,6 +662,34 @@ let to_json (t : t) : string =
                         J.Obj [ ("work", J.Str w); ("shed", int n) ])
                       (brownout_sheds t)) );
                ("queue_wait_us", series_json (queue_wait_series t));
+             ] );
+         ( "fleet",
+           J.Obj
+             [
+               ("dispatches", int t.total_fleet_dispatches);
+               ("reroutes", int t.total_fleet_reroutes);
+               ("hedges_fired", int t.total_fleet_hedges_fired);
+               ("hedges_won", int t.total_fleet_hedges_won);
+               ("ejections", int t.total_fleet_ejects);
+               ("readmissions", int t.total_fleet_readmits);
+               ("dead", int t.total_fleet_deaths);
+               ("drains", int t.total_fleet_drains);
+               ("promotions", int t.total_fleet_promotions);
+               ( "devices",
+                 J.Arr
+                   (List.map
+                      (fun (device, r) ->
+                        J.Obj
+                          [
+                            ("device", J.Str device);
+                            ("state", J.Str r.fd_state);
+                            ("dispatches", int r.fd_dispatches);
+                            ("hedge_wins", int r.fd_hedge_wins);
+                            ("ejections", int r.fd_ejects);
+                            ("readmissions", int r.fd_readmits);
+                            ("health", J.Num r.fd_health);
+                          ])
+                      (fleet_rows t)) );
              ] );
          ( "kernels",
            J.Arr
@@ -662,6 +850,48 @@ let to_prometheus (t : t) : string =
       ("verify", verify_series t);
       ("queue_wait", queue_wait_series t);
     ];
+  (* fleet families render only once a fleet fired, mirroring the text
+     report's gate *)
+  if fleet_fired t then begin
+    typ "tangram_fleet_dispatches_total" "counter";
+    counter "tangram_fleet_dispatches_total" (i t.total_fleet_dispatches);
+    typ "tangram_fleet_reroutes_total" "counter";
+    counter "tangram_fleet_reroutes_total" (i t.total_fleet_reroutes);
+    typ "tangram_fleet_hedges_total" "counter";
+    counter "tangram_fleet_hedges_total"
+      ~labels:[ ("outcome", "fired") ]
+      (i t.total_fleet_hedges_fired);
+    counter "tangram_fleet_hedges_total"
+      ~labels:[ ("outcome", "won") ]
+      (i t.total_fleet_hedges_won);
+    typ "tangram_fleet_ejections_total" "counter";
+    counter "tangram_fleet_ejections_total" (i t.total_fleet_ejects);
+    typ "tangram_fleet_readmissions_total" "counter";
+    counter "tangram_fleet_readmissions_total" (i t.total_fleet_readmits);
+    typ "tangram_fleet_dead_total" "counter";
+    counter "tangram_fleet_dead_total" (i t.total_fleet_deaths);
+    typ "tangram_fleet_drains_total" "counter";
+    counter "tangram_fleet_drains_total" (i t.total_fleet_drains);
+    typ "tangram_fleet_promotions_total" "counter";
+    counter "tangram_fleet_promotions_total" (i t.total_fleet_promotions);
+    match fleet_rows t with
+    | [] -> ()
+    | rows ->
+        typ "tangram_fleet_device_dispatches_total" "counter";
+        List.iter
+          (fun (device, r) ->
+            counter "tangram_fleet_device_dispatches_total"
+              ~labels:[ ("device", device) ]
+              (i r.fd_dispatches))
+          rows;
+        typ "tangram_fleet_device_health" "gauge";
+        List.iter
+          (fun (device, r) ->
+            counter "tangram_fleet_device_health"
+              ~labels:[ ("device", device); ("state", r.fd_state) ]
+              r.fd_health)
+          rows
+  end;
   (match kernel_rows t with
   | [] -> ()
   | rows ->

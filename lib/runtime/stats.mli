@@ -110,6 +110,48 @@ val brownout_shed : t -> what:string -> unit
 (** Virtual microseconds one admitted request waited in the queue. *)
 val queue_wait_us : t -> float -> unit
 
+(** {2 Fleet recording}
+
+    Fed by {!Fleet} through the service's fleet path. A service with no
+    fleet attached records none of these, which is what keeps the
+    fleet-less text report byte-identical. [device] is the fleet's
+    stable device label (["d0:kepler-k40c"]). *)
+
+(** One request (or hedge) dispatched to [device]. *)
+val fleet_dispatch : t -> device:string -> unit
+
+(** Latest health score of [device] (gauge, not a counter). *)
+val fleet_health : t -> device:string -> float -> unit
+
+(** Latest lifecycle state of [device] (gauge, not a counter). *)
+val fleet_state : t -> device:string -> string -> unit
+
+(** The health scorer ejected [device]. *)
+val fleet_eject : t -> device:string -> unit
+
+(** An ejected [device] passed its probes and was readmitted. *)
+val fleet_readmit : t -> device:string -> unit
+
+(** [device] fail-stopped and was marked dead. *)
+val fleet_dead : t -> device:string -> unit
+
+(** [device] was marked to drain. *)
+val fleet_drain : t -> device:string -> unit
+
+(** Warm spare [device] was promoted into the serving pool. *)
+val fleet_promote : t -> device:string -> unit
+
+(** One dispatch bounced off a dying device and was rerouted (the
+    request was not lost). *)
+val fleet_reroute : t -> unit
+
+(** A first attempt overran the hedge deadline and a speculative
+    re-dispatch fired. *)
+val fleet_hedge_fired : t -> unit
+
+(** The hedge finished first: [device] (the second device) won. *)
+val fleet_hedge_won : t -> device:string -> unit
+
 (** {2 Kernel profiling}
 
     Populated only when the service has profiling enabled
@@ -159,6 +201,38 @@ val brownout_sheds : t -> (string * int) list
     count: a zero-load replay through the queue keeps this false and the
     report unchanged. *)
 val overload_fired : t -> bool
+
+(** {2 Fleet reading} *)
+
+val fleet_dispatches : t -> int
+val fleet_reroutes : t -> int
+val fleet_hedges_fired : t -> int
+val fleet_hedges_won : t -> int
+val fleet_ejects : t -> int
+val fleet_readmits : t -> int
+val fleet_deaths : t -> int
+val fleet_drains : t -> int
+val fleet_promotions : t -> int
+
+(** One device's aggregates: dispatch/hedge-win/eject/readmit counters
+    plus the last health score and lifecycle state reported for it. *)
+type fleet_row = {
+  fd_dispatches : int;
+  fd_hedge_wins : int;
+  fd_ejects : int;
+  fd_readmits : int;
+  fd_health : float;
+  fd_state : string;
+}
+
+(** Per-device rows sorted by device label; empty unless a fleet was
+    attached. *)
+val fleet_rows : t -> (string * fleet_row) list
+
+(** Did any fleet machinery fire (a dispatch, reroute, hedge or
+    lifecycle event)? False on every fleet-less service, which gates
+    the report's fleet section off. *)
+val fleet_fired : t -> bool
 
 (** Fault counts per version, most-faulting first. *)
 val fault_histogram : t -> (string * int) list

@@ -419,6 +419,19 @@ let registry_tests =
                 Alcotest.(check string) (c ^ " source") "access" i.Diag.r_source
             | None -> Alcotest.failf "%s not registered" c)
           [ "TPERF010"; "TPERF011"; "TPERF012" ]);
+    Alcotest.test_case "every fleet event code registered as fleet warning"
+      `Quick (fun () ->
+        Alcotest.(check bool) "fleet emits codes" true
+          (Runtime.Fleet.event_codes <> []);
+        List.iter
+          (fun (c, _) ->
+            match Diag.lookup c with
+            | Some i ->
+                Alcotest.(check string) (c ^ " severity") "warning"
+                  (Diag.severity_name i.Diag.r_severity);
+                Alcotest.(check string) (c ^ " source") "fleet" i.Diag.r_source
+            | None -> Alcotest.failf "%s not registered" c)
+          Runtime.Fleet.event_codes);
   ]
 
 (* ------------------------------------------------------------------ *)
