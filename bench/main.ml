@@ -29,8 +29,18 @@
      dune exec bench/main.exe micro           -- bechamel framework benches
 
    Any invocation accepts --json FILE ("-" for stdout): subcommands with
-   summary cells (service, faults, overload, fleet) also append their
-   rps/p95/goodput numbers to FILE as a JSON array.
+   summary cells (service, faults, sdc, lint, access, prove, obs,
+   overload, fleet) also append their machine-readable numbers to FILE
+   as a JSON array.
+
+   --baseline FILE diffs every cell against a committed baseline (see
+   BENCH_baseline.json) with per-metric tolerance classes — virtual
+   latencies must not regress past 10%, goodput/success must not drop
+   past 10%, zero-bad counters (lost requests, SDC escapes) must not
+   grow at all; host wall-clock numbers are reported but never gated —
+   and exits 1 on any regression (TOBS004). --inject-slowdown F
+   multiplies the fresh latency-class cells by F before diffing: the
+   CI job uses F=2 to prove the gate actually trips.
 
    Timings are simulated (see DESIGN.md): the shapes — who wins, by what
    factor, where the crossovers fall — are the reproduction target, not the
@@ -66,19 +76,27 @@ let archs = Gpusim.Arch.presets
    printed either way. *)
 
 let json_path : string option ref = ref None
+let baseline_path : string option ref = ref None
+let inject_slowdown : float ref = ref 1.0
 let json_cells : string list ref = ref []
+
+(* structured twin of [json_cells], kept for the baseline diff: values
+   stay raw JSON fragments ("0.97", "\"warm\"") *)
+let struct_cells : (string * (string * string) list) list ref = ref []
 
 let jf (x : float) = Printf.sprintf "%.6g" x
 let ji (x : int) = string_of_int x
 let js (s : string) = Printf.sprintf "%S" s
 
 let json_cell ~(bench : string) (fields : (string * string) list) : unit =
-  if !json_path <> None then
+  if !json_path <> None || !baseline_path <> None then begin
     json_cells :=
       Printf.sprintf "{\"bench\":%S%s}" bench
         (String.concat ""
            (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) fields))
-      :: !json_cells
+      :: !json_cells;
+    struct_cells := (bench, fields) :: !struct_cells
+  end
 
 let json_flush () =
   match !json_path with
@@ -95,6 +113,211 @@ let json_flush () =
         Printf.printf "wrote %d JSON cells to %s\n" (List.length !json_cells)
           path
       end
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression gate (--baseline FILE)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-key tolerance classes. Cells mix three kinds of numbers:
+   deterministic virtual-time results (gate them), zero-bad counters
+   (any growth is a regression), and host wall-clock timings (noisy on
+   shared CI runners: report, never gate). Classified by key name so a
+   new cell gets a sane default from how it is named. *)
+type tol_class =
+  | Lower_better  (** virtual latencies, calibration error: <= base * 1.1 *)
+  | Higher_better  (** goodput, success, proved: >= base * 0.9 *)
+  | Not_worse  (** zero-bad counters: fresh <= baseline, no slack *)
+  | Info  (** host wall clock, identity fields: reported only *)
+
+let rel_tolerance = 0.10
+
+let contains ~(sub : string) (s : string) =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ends_with ~(suffix : string) (s : string) =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+let classify (key : string) : tol_class =
+  if
+    contains ~sub:"wall" key || contains ~sub:"verify" key
+    || ends_with ~suffix:"_ms" key
+    || ends_with ~suffix:"_ns" key
+    || key = "rps" || key = "offered_rps" || key = "bytes"
+  then Info
+  else if
+    List.mem key
+      [
+        "lost"; "sdc_escapes"; "escapes"; "false_alarms"; "refuted";
+        "violations"; "errors"; "dead";
+      ]
+  then Not_worse
+  else if
+    contains ~sub:"goodput" key
+    || List.mem key [ "ok"; "success"; "caught"; "proved"; "hit_rate" ]
+  then Higher_better
+  else if ends_with ~suffix:"_us" key || contains ~sub:"err" key then
+    Lower_better
+  else Info
+
+let baseline_check () =
+  match !baseline_path with
+  | None -> ()
+  | Some path ->
+      let body =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let die fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Printf.eprintf "baseline check: %s\n" msg;
+            exit 1)
+          fmt
+      in
+      let base_cells =
+        match Obs.Json.of_string body with
+        | Error e -> die "%s is not valid JSON: %s" path e
+        | Ok j -> (
+            match Obs.Json.to_list j with
+            | Some l -> l
+            | None -> die "%s: expected a JSON array of cells" path)
+      in
+      (* index both sides by (bench, ordinal): cells are emitted in
+         deterministic order, so the Nth fresh cell of a bench lines up
+         with the Nth baseline cell of that bench *)
+      let index cells =
+        let seen : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        List.map
+          (fun (bench, fields) ->
+            let i = try Hashtbl.find seen bench with Not_found -> 0 in
+            Hashtbl.replace seen bench (i + 1);
+            ((bench, i), fields))
+          cells
+      in
+      let base_indexed =
+        index
+          (List.map
+             (fun cell ->
+               let bench =
+                 match
+                   Option.bind (Obs.Json.member "bench" cell) Obs.Json.to_str
+                 with
+                 | Some b -> b
+                 | None -> die "%s: cell without a \"bench\" field" path
+               in
+               (bench, cell))
+             base_cells)
+      in
+      let fresh_indexed =
+        index
+          (List.map
+             (fun (bench, fields) -> (bench, fields))
+             (List.rev !struct_cells))
+      in
+      if fresh_indexed = [] then
+        die "no machine-readable cells were produced by this invocation";
+      let checked = ref 0 and informational = ref 0 in
+      let failures = ref [] in
+      let fail (bench, i) key ~base ~fresh reason =
+        failures := (bench, i, key, base, fresh, reason) :: !failures
+      in
+      List.iter
+        (fun ((bench, i), fields) ->
+          let base_cell =
+            match List.assoc_opt (bench, i) base_indexed with
+            | Some c -> c
+            | None ->
+                die
+                  "%s has no cell #%d for bench %S — regenerate the baseline \
+                   (bench %s --json BENCH_baseline.json)"
+                  path i bench bench
+          in
+          List.iter
+            (fun (key, raw) ->
+              match float_of_string_opt raw with
+              | None -> (
+                  (* identity fields (strings) must match exactly *)
+                  match
+                    Option.bind (Obs.Json.member key base_cell) Obs.Json.to_str
+                  with
+                  | Some b when js b = raw -> ()
+                  | Some b -> die "%s[%d].%s: %S vs fresh %s" bench i key b raw
+                  | None ->
+                      die
+                        "%s[%d] lacks key %S — regenerate the baseline" bench i
+                        key)
+              | Some fresh_v -> (
+                  let base_v =
+                    match
+                      Option.bind (Obs.Json.member key base_cell)
+                        Obs.Json.to_float
+                    with
+                    | Some v -> v
+                    | None ->
+                        die "%s[%d] lacks key %S — regenerate the baseline"
+                          bench i key
+                  in
+                  let cls = classify key in
+                  let fresh_v =
+                    (* the synthetic-regression switch: CI proves the gate
+                       trips by inflating the latency-class cells *)
+                    match cls with
+                    | Lower_better -> fresh_v *. !inject_slowdown
+                    | _ -> fresh_v
+                  in
+                  match cls with
+                  | Info -> incr informational
+                  | Lower_better ->
+                      incr checked;
+                      if fresh_v > (base_v *. (1.0 +. rel_tolerance)) +. 1e-9
+                      then
+                        fail (bench, i) key ~base:base_v ~fresh:fresh_v
+                          (Printf.sprintf "above baseline + %.0f%%"
+                             (100.0 *. rel_tolerance))
+                  | Higher_better ->
+                      incr checked;
+                      if fresh_v < (base_v *. (1.0 -. rel_tolerance)) -. 1e-9
+                      then
+                        fail (bench, i) key ~base:base_v ~fresh:fresh_v
+                          (Printf.sprintf "below baseline - %.0f%%"
+                             (100.0 *. rel_tolerance))
+                  | Not_worse ->
+                      incr checked;
+                      if fresh_v > base_v +. 1e-9 then
+                        fail (bench, i) key ~base:base_v ~fresh:fresh_v
+                          "zero-bad counter grew"))
+            fields)
+        fresh_indexed;
+      (match List.rev !failures with
+      | [] ->
+          Printf.printf
+            "baseline check OK against %s: %d gated values within tolerance \
+             (%d informational)\n"
+            path !checked !informational
+      | fs ->
+          Printf.printf
+            "\nbaseline check FAILED against %s (%d of %d gated values):\n"
+            path (List.length fs) !checked;
+          List.iter
+            (fun (bench, i, key, base, fresh, reason) ->
+              Printf.printf "  %s[%d].%s: baseline %g, fresh %g — %s\n" bench i
+                key base fresh reason;
+              Obs.Log.warn
+                ~fields:
+                  [
+                    ("code", "TOBS004"); ("bench", bench); ("key", key);
+                    ("baseline", jf base); ("fresh", jf fresh);
+                  ]
+                "benchmark cell regressed beyond tolerance: %s[%d].%s" bench i
+                key)
+            fs;
+          exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Shared evaluation state                                             *)
@@ -600,7 +823,7 @@ let sdc () =
     "=== Silent-data-corruption guard: detection and overhead (bit-flip rate \
      sweep) ===";
   let batch = 256 in
-  let sweep trace rates =
+  let sweep label trace rates =
     Printf.printf "%-9s %12s %7s %7s %7s %7s %7s %10s %12s %12s\n" "rate" "rps"
       "flips" "checks" "caught" "falsal" "reexec" "degraded" "verify p50"
       "verify p95";
@@ -632,7 +855,21 @@ let sdc () =
           (Runtime.Stats.sdc_false_alarms stats)
           (Runtime.Stats.sdc_reexecs stats)
           (Runtime.Stats.degraded stats)
-          v.Runtime.Stats.p50 v.Runtime.Stats.p95)
+          v.Runtime.Stats.p50 v.Runtime.Stats.p95;
+        json_cell ~bench:"sdc"
+          [
+            ("trace", js label);
+            ("rate", jf rate);
+            ("rps", jf s.Runtime.Trace.s_rps);
+            ("flips", ji flips);
+            ("checks", ji (Runtime.Stats.sdc_checks stats));
+            ("caught", ji (Runtime.Stats.sdc_catches stats));
+            ("false_alarms", ji (Runtime.Stats.sdc_false_alarms stats));
+            ("reexecs", ji (Runtime.Stats.sdc_reexecs stats));
+            ("degraded", ji (Runtime.Stats.degraded stats));
+            ("verify_p50_us", jf v.Runtime.Stats.p50);
+            ("verify_p95_us", jf v.Runtime.Stats.p95);
+          ])
       rates
   in
   (* Overhead on the paper's mixed trace: mostly sampled-mode requests, so
@@ -646,7 +883,7 @@ let sdc () =
     requests
     (List.length spec.Runtime.Trace.t_archs)
     batch;
-  sweep (Runtime.Trace.generate spec) [ 0.0; 1e-4; 1e-3; 1e-2 ];
+  sweep "paper" (Runtime.Trace.generate spec) [ 0.0; 1e-4; 1e-3; 1e-2 ];
   (* Detection on a dense small-size trace: every request materializes a
      dense input <= 4096, runs exact and is witness-checked, so flips that
      corrupt a live cell must show up in 'caught'. *)
@@ -663,7 +900,7 @@ let sdc () =
     "\n-- detection: dense trace (%d requests, sizes 64..4096, every \
      response exact-checked) --\n"
     dense_requests;
-  sweep (Runtime.Trace.generate dense_spec) [ 0.0; 0.01; 0.05; 0.2 ];
+  sweep "dense" (Runtime.Trace.generate dense_spec) [ 0.0; 0.01; 0.05; 0.2 ];
   print_endline
     "\n(flips counts injections across every kernel run, including voting \
      re-executions and sampled-mode runs the guard does not check; a flip \
@@ -687,6 +924,7 @@ let lint () =
     "race (ms)" "access (ms)";
   let race_total = ref 0.0 and access_total = ref 0.0 in
   let race_worst = ref (0.0, "-") and access_worst = ref (0.0, "-") in
+  let errors_total = ref 0 and warns_total = ref 0 in
   List.iter
     (fun v ->
       let program = P.program plan v in
@@ -701,9 +939,11 @@ let lint () =
       if race_ms > fst !race_worst then race_worst := (race_ms, V.name v);
       if access_ms > fst !access_worst then access_worst := (access_ms, V.name v);
       let diags = race_diags @ access_diags in
-      Printf.printf "%-42s %7d %6d %10.2f %12.2f\n" (V.name v)
-        (List.length (Device_ir.Diag.errors diags))
-        (List.length (Device_ir.Diag.warnings diags))
+      let errs = List.length (Device_ir.Diag.errors diags) in
+      let warns = List.length (Device_ir.Diag.warnings diags) in
+      errors_total := !errors_total + errs;
+      warns_total := !warns_total + warns;
+      Printf.printf "%-42s %7d %6d %10.2f %12.2f\n" (V.name v) errs warns
         race_ms access_ms)
     versions;
   let n = float_of_int (List.length versions) in
@@ -712,7 +952,17 @@ let lint () =
      access %.1f ms total (mean %.2f ms, worst %.2f ms on %s)\n\n"
     (List.length versions) !race_total (!race_total /. n) (fst !race_worst)
     (snd !race_worst) !access_total (!access_total /. n) (fst !access_worst)
-    (snd !access_worst)
+    (snd !access_worst);
+  json_cell ~bench:"lint"
+    [
+      ("versions", ji (List.length versions));
+      ("errors", ji !errors_total);
+      ("warns", ji !warns_total);
+      ("race_total_ms", jf !race_total);
+      ("race_mean_ms", jf (!race_total /. n));
+      ("access_total_ms", jf !access_total);
+      ("access_mean_ms", jf (!access_total /. n));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Access-analyzer calibration: static predictions vs observed Events  *)
@@ -739,7 +989,17 @@ let access () =
         (r.Synthesis.Calibrate.cr_max_trans_err *. 100.0)
         (r.Synthesis.Calibrate.cr_mean_serial_err *. 100.0)
         (r.Synthesis.Calibrate.cr_max_serial_err *. 100.0)
-        (List.length r.Synthesis.Calibrate.cr_flips))
+        (List.length r.Synthesis.Calibrate.cr_flips);
+      json_cell ~bench:"access"
+        [
+          ("arch", js r.Synthesis.Calibrate.cr_arch.Gpusim.Arch.name);
+          ("versions", ji (List.length r.Synthesis.Calibrate.cr_rows));
+          ("mean_trans_err", jf r.Synthesis.Calibrate.cr_mean_trans_err);
+          ("max_trans_err", jf r.Synthesis.Calibrate.cr_max_trans_err);
+          ("mean_replay_err", jf r.Synthesis.Calibrate.cr_mean_serial_err);
+          ("max_replay_err", jf r.Synthesis.Calibrate.cr_max_serial_err);
+          ("flips", ji (List.length r.Synthesis.Calibrate.cr_flips));
+        ])
     reports;
   List.iter
     (fun (r : Synthesis.Calibrate.report) ->
@@ -754,7 +1014,8 @@ let access () =
             (f.Synthesis.Calibrate.fl_obs_gap *. 100.0))
         r.Synthesis.Calibrate.cr_flips)
     reports;
-  Printf.printf "\ncalibrated in %.1f s\n\n" dt
+  Printf.printf "\ncalibrated in %.1f s\n\n" dt;
+  json_cell ~bench:"access" [ ("calibrate_wall_s", jf dt) ]
 
 (* ------------------------------------------------------------------ *)
 (* Prover cost: wall time of the symbolic equivalence proof per        *)
@@ -769,6 +1030,7 @@ let prove () =
   Printf.printf "%-42s %16s %11s\n" "version" "verdict" "wall (ms)";
   let total = ref 0.0 in
   let worst = ref (0.0, "-") in
+  let proved = ref 0 and refuted = ref 0 in
   List.iter
     (fun v ->
       let t0 = Unix.gettimeofday () in
@@ -776,6 +1038,9 @@ let prove () =
       let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       total := !total +. dt_ms;
       if dt_ms > fst !worst then worst := (dt_ms, V.name v);
+      (match verdict with
+      | Symbolic.Prove.Proved | Symbolic.Prove.Proved_reassoc _ -> incr proved
+      | Symbolic.Prove.Refuted _ -> incr refuted);
       Printf.printf "%-42s %16s %11.2f\n" (V.name v)
         (match verdict with
         | Symbolic.Prove.Proved -> "exact"
@@ -795,6 +1060,15 @@ let prove () =
   Printf.printf "synthesis sweep: %s in %.1f ms\n\n"
     (Symbolic.Synth.describe_summary r.P.sr_summary)
     dt_ms;
+  json_cell ~bench:"prove"
+    [
+      ("versions", ji (List.length versions));
+      ("proved", ji !proved);
+      ("refuted", ji !refuted);
+      ("total_ms", jf !total);
+      ("mean_ms", jf (!total /. float_of_int (List.length versions)));
+      ("synth_ms", jf dt_ms);
+    ];
   V.clear_synthesized ()
 
 (* ------------------------------------------------------------------ *)
@@ -826,6 +1100,30 @@ let obs () =
   Printf.printf "span cost (%d iterations of an empty span):\n" iters;
   Printf.printf "  tracing disabled %10.1f ns/span\n" ns_off;
   Printf.printf "  tracing enabled  %10.1f ns/span\n\n" ns_on;
+  (* Same pricing for the windowed-metrics instruments the service
+     monitor records through: one counter bump plus one histogram
+     observation per iteration, with the registry disabled (a single
+     load-and-branch) and enabled. *)
+  let spin_metrics enabled =
+    let reg = Obs.Metrics.create ~enabled () in
+    let c = Obs.Metrics.counter reg "bench_ops_total" in
+    let h = Obs.Metrics.histogram reg "bench_latency_us" in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      Obs.Metrics.inc c;
+      Obs.Metrics.observe h (float_of_int (i land 1023))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (* two record calls per iteration *)
+    dt /. float_of_int iters /. 2.0 *. 1e9
+  in
+  let metric_ns_off = spin_metrics false in
+  let metric_ns_on = spin_metrics true in
+  Printf.printf
+    "metric-record cost (%d iterations of counter inc + histogram observe):\n"
+    iters;
+  Printf.printf "  metrics disabled %10.1f ns/record\n" metric_ns_off;
+  Printf.printf "  metrics enabled  %10.1f ns/record\n\n" metric_ns_on;
   (* Warm replay of the mixed service trace under the three modes. *)
   let requests = 1000 and batch = 256 in
   let spec = Runtime.Trace.default ~requests ~seed:7 () in
@@ -863,17 +1161,37 @@ let obs () =
     "tracing enabled + Chrome export" export_rps export_bytes;
   ignore saved;
   (* The acceptance bar: the disabled path must cost < 1% of a warm
-     request. Estimated as (ns/span when off) x (spans per request)
-     against the per-request wall time with tracing off. *)
+     request — spans AND the monitor's metric records together.
+     Estimated as (ns/span when off) x (spans per request) plus
+     (ns/record when off) x (records per request: the monitor touches
+     about 8 instruments per served request) against the per-request
+     wall time with tracing off. *)
+  let metric_records_per_request = 8.0 in
   let request_ns = 1e9 /. off.Runtime.Trace.s_rps in
-  let overhead = ns_off *. spans_per_request /. request_ns in
-  Printf.printf
-    "\ndisabled-path overhead: %.1f ns/span x %.1f spans/request = %.0f ns \
-     per request (%.3f%% of %.0f ns) -- %s\n\n"
-    ns_off spans_per_request
+  let disabled_ns =
     (ns_off *. spans_per_request)
-    (100.0 *. overhead) request_ns
+    +. (metric_ns_off *. metric_records_per_request)
+  in
+  let overhead = disabled_ns /. request_ns in
+  Printf.printf
+    "\ndisabled-path overhead: %.1f ns/span x %.1f spans/request + %.1f \
+     ns/record x %.0f records/request = %.0f ns per request (%.3f%% of %.0f \
+     ns) -- %s\n\n"
+    ns_off spans_per_request metric_ns_off metric_records_per_request
+    disabled_ns (100.0 *. overhead) request_ns
     (if overhead < 0.01 then "OK (< 1%)" else "FAIL (>= 1%)");
+  json_cell ~bench:"obs"
+    [
+      ("span_ns_off", jf ns_off);
+      ("span_ns_on", jf ns_on);
+      ("metric_ns_off", jf metric_ns_off);
+      ("metric_ns_on", jf metric_ns_on);
+      ("spans_per_request", jf spans_per_request);
+      ("rps_off", jf off.Runtime.Trace.s_rps);
+      ("rps_on", jf on.Runtime.Trace.s_rps);
+      ("export_bytes", ji export_bytes);
+      ("overhead_wall_pct", jf (100.0 *. overhead));
+    ];
   if overhead >= 0.01 then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1236,13 +1554,31 @@ let all () =
   micro ()
 
 let () =
-  (* --json FILE is a global flag, stripped before subcommand dispatch *)
+  (* --json FILE, --baseline FILE and --inject-slowdown F are global
+     flags, stripped before subcommand dispatch *)
   let rec strip_json acc = function
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip_json acc rest
     | "--json" :: [] ->
         prerr_endline "--json needs a file argument (\"-\" for stdout)";
+        exit 1
+    | "--baseline" :: path :: rest ->
+        baseline_path := Some path;
+        strip_json acc rest
+    | "--baseline" :: [] ->
+        prerr_endline "--baseline needs a file argument";
+        exit 1
+    | "--inject-slowdown" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some v when v > 0.0 && not (Float.is_nan v) ->
+            inject_slowdown := v;
+            strip_json acc rest
+        | _ ->
+            prerr_endline "--inject-slowdown needs a positive factor";
+            exit 1)
+    | "--inject-slowdown" :: [] ->
+        prerr_endline "--inject-slowdown needs a positive factor";
         exit 1
     | x :: rest -> strip_json (x :: acc) rest
     | [] -> List.rev acc
@@ -1278,4 +1614,5 @@ let () =
                 other;
               exit 1)
         args);
-  json_flush ()
+  json_flush ();
+  baseline_check ()

@@ -69,23 +69,34 @@ let setup ~(exe : string) (t : t) : unit =
   Tangram.Obs.Log.set_json t.log_json;
   if t.trace_out <> None then Tangram.Obs.Trace.set_enabled true
 
-(** Write the trace file, if one was requested. *)
+(** Write the trace file, if one was requested. A ring that overwrote
+    events makes the export known-incomplete: warn (TOBS003) so nobody
+    mistakes a truncated trace for the whole story. *)
 let save_trace (t : t) : unit =
   match t.trace_out with
   | None -> ()
   | Some path ->
       Tangram.Obs.Trace.save path;
-      Printf.printf "wrote trace (%d events) to %s\n"
+      let dropped = Tangram.Obs.Trace.dropped () in
+      if dropped > 0 then
+        Tangram.Obs.Log.warn
+          ~fields:
+            [ ("code", "TOBS003"); ("dropped", string_of_int dropped) ]
+          "trace ring overflowed: exported trace is missing %d events"
+          dropped;
+      Printf.printf "wrote trace (%d events%s) to %s\n"
         (List.length (Tangram.Obs.Trace.events ()))
+        (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")
         path
 
-(** Write the Prometheus exposition, if one was requested. *)
-let write_metrics (t : t) (stats : Tangram.Stats.t) : unit =
+(** Write the Prometheus exposition, if one was requested. A monitored
+    service's windowed time-series families append to the document. *)
+let write_metrics ?metrics (t : t) (stats : Tangram.Stats.t) : unit =
   match t.metrics_out with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (Tangram.Stats.to_prometheus stats);
+      output_string oc (Tangram.Stats.to_prometheus ?metrics stats);
       close_out oc;
       Printf.printf "wrote metrics to %s\n" path
 

@@ -595,6 +595,224 @@ let serve_cmd =
       $ Obs_cli.term $ Overload_cli.term $ Fleet_cli.term)
 
 (* ------------------------------------------------------------------ *)
+(* monitor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let monitor_cmd =
+  let requests_arg =
+    let doc = "Number of requests in the synthetic trace." in
+    Arg.(value & opt int 1000 & info [ "requests" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Deterministic trace seed." in
+    Arg.(value & opt int 42 & info [ "trace-seed" ] ~doc)
+  in
+  let arch_arg =
+    let doc =
+      "Serve only this architecture (kepler|maxwell|pascal|volta); default: \
+       the three paper testbeds, mixed."
+    in
+    Arg.(value & opt (some string) None & info [ "arch"; "a" ] ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Fault-injection rate (probability in [0,1]; 0 disables)." in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Deterministic seed of the fault injector." in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc)
+  in
+  let bitflip_rate_arg =
+    let doc = "Silent bit-flip injection rate (probability in [0,1])." in
+    Arg.(value & opt float 0.0 & info [ "bitflip-rate" ] ~doc)
+  in
+  let incident_dir_arg =
+    let doc = "Write every retained incident bundle into $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "incident-dir" ] ~doc ~docv:"DIR")
+  in
+  let snapshot_every_arg =
+    let doc = "Metric-snapshot cadence, in requests." in
+    Arg.(value & opt int 32 & info [ "snapshot-every" ] ~doc)
+  in
+  let windows_arg =
+    let doc = "How many trailing windows the time-series table shows." in
+    Arg.(value & opt int 5 & info [ "windows" ] ~doc ~docv:"K")
+  in
+  let latency_mult_arg =
+    let doc =
+      "A request is latency-bad when it overruns MULT x the static-cost \
+       prediction (lower = stricter latency SLO)."
+    in
+    Arg.(value & opt float 3.0 & info [ "latency-mult" ] ~doc ~docv:"MULT")
+  in
+  let latency_target_arg =
+    let doc = "Good fraction the latency SLO demands (error budget 1-T)." in
+    Arg.(value & opt float 0.97 & info [ "latency-target" ] ~doc ~docv:"T")
+  in
+  let run spectrum source requests seed arch_name fault_rate fault_seed
+      bitflip_rate incident_dir snapshot_every windows_n latency_mult
+      latency_target obs fleet =
+    Obs_cli.setup ~exe:"tangramc monitor" obs;
+    let usage_error msg =
+      Printf.eprintf "tangramc monitor: %s\n" msg;
+      exit 2
+    in
+    if requests < 1 then usage_error "--requests must be at least 1";
+    if snapshot_every < 1 then usage_error "--snapshot-every must be at least 1";
+    if windows_n < 1 then usage_error "--windows must be at least 1";
+    if latency_mult <= 0.0 || Float.is_nan latency_mult then
+      usage_error "--latency-mult must be positive";
+    if latency_target <= 0.0 || latency_target > 1.0 || Float.is_nan latency_target
+    then usage_error "--latency-target must be within (0,1]";
+    if fault_rate < 0.0 || fault_rate > 1.0 || Float.is_nan fault_rate then
+      usage_error "--fault-rate must be within [0,1]";
+    if bitflip_rate < 0.0 || bitflip_rate > 1.0 || Float.is_nan bitflip_rate
+    then usage_error "--bitflip-rate must be within [0,1]";
+    handle_frontend_errors (fun () ->
+        let unit_info = load_unit spectrum source in
+        let elem = if spectrum = `Int then Tangram.Ir.I32 else Tangram.Ir.F32 in
+        let plan = Tangram.Planner.create ~elem unit_info in
+        let archs =
+          match arch_name with
+          | None -> Tangram.Arch.presets
+          | Some name -> (
+              match Tangram.Arch.by_name name with
+              | Some a -> [ a ]
+              | None ->
+                  Printf.eprintf "unknown architecture %S\n" name;
+                  exit 1)
+        in
+        let fault =
+          if fault_rate > 0.0 || bitflip_rate > 0.0 then
+            Some
+              (Tangram.Fault.create
+                 (Tangram.Fault.plan ~rate:fault_rate ~bitflip_rate
+                    ~seed:fault_seed ()))
+          else None
+        in
+        let svc = Tangram.Service.create ?fault plan in
+        ignore
+          (Fleet_cli.attach ~exe:"tangramc monitor" fleet
+             ~arch:(List.hd archs) svc);
+        Tangram.Service.attach_monitor ~snapshot_every
+          ~latency_mult ~latency_target svc;
+        let spec = Tangram.Trace.default ~requests ~seed ~archs () in
+        let trace = Tangram.Trace.generate spec in
+        Printf.printf
+          "replaying %d mixed-size requests under the monitor over %d \
+           architecture(s)...\n"
+          requests (List.length archs);
+        (* batch size 1: one request = one monitoring step, so the
+           dashboard's request counts match --requests *)
+        ignore (Tangram.Trace.replay ~batch_size:1 ~dense_upto:4096 svc trace);
+        Tangram.Service.monitor_snapshot svc;
+        let now = Tangram.Service.monitor_now_us svc in
+        Printf.printf "\nvirtual clock: %.0f us over %d requests\n" now requests;
+        (* --- windowed time series --- *)
+        (match Tangram.Service.monitor_metrics svc with
+        | None -> ()
+        | Some reg ->
+            let all = Tangram.Obs.Metrics.windows reg in
+            let total = List.length all in
+            let ws =
+              (* keep the trailing [windows_n] windows *)
+              let rec drop k l =
+                if k <= 0 then l
+                else match l with [] -> [] | _ :: r -> drop (k - 1) r
+              in
+              drop (total - windows_n) all
+            in
+            Printf.printf "\n=== windowed series (last %d of %d windows) ===\n"
+              (List.length ws) total;
+            List.iter
+              (fun (w : Tangram.Obs.Metrics.window) ->
+                Printf.printf "window [%.0f .. %.0f] us\n"
+                  w.Tangram.Obs.Metrics.w_from_us w.Tangram.Obs.Metrics.w_to_us;
+                List.iter
+                  (fun (r : Tangram.Obs.Metrics.window_row) ->
+                    let name =
+                      r.wr_name
+                      ^
+                      match r.wr_labels with
+                      | [] -> ""
+                      | ls ->
+                          "{"
+                          ^ String.concat ","
+                              (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                          ^ "}"
+                    in
+                    match r.wr_kind with
+                    | Tangram.Obs.Metrics.Histogram ->
+                        if r.wr_value > 0.0 then
+                          Printf.printf
+                            "  %-48s %9.0f samples   p50 %10.1f   p95 %10.1f\n"
+                            name r.wr_value r.wr_p50 r.wr_p95
+                    | Tangram.Obs.Metrics.Counter ->
+                        if r.wr_value > 0.0 then
+                          Printf.printf "  %-48s %9.0f\n" name r.wr_value
+                    | Tangram.Obs.Metrics.Gauge ->
+                        Printf.printf "  %-48s %9.1f\n" name r.wr_value)
+                  w.Tangram.Obs.Metrics.w_rows)
+              ws);
+        (* --- SLO states --- *)
+        let burn v =
+          if Float.is_finite v then Printf.sprintf "%8.2f" v else "     inf"
+        in
+        Printf.printf "\n=== SLOs (multi-window burn rates) ===\n";
+        List.iter
+          (fun (name, slo) ->
+            let o = Tangram.Obs.Slo.objective_of slo in
+            let b = Tangram.Obs.Slo.burn_rates slo ~now_us:now in
+            Printf.printf
+              "  %-10s target %.3f   burn fast %s  slow %s   %-6s (fired %d)\n"
+              name o.Tangram.Obs.Slo.o_target
+              (burn b.Tangram.Obs.Slo.br_fast)
+              (burn b.Tangram.Obs.Slo.br_slow)
+              (if Tangram.Obs.Slo.firing slo then "FIRING" else "ok")
+              (Tangram.Obs.Slo.fired_count slo))
+          (Tangram.Service.monitor_slos svc);
+        (* --- incidents --- *)
+        (match Tangram.Service.monitor_recorder svc with
+        | None -> ()
+        | Some recorder ->
+            let incs = Tangram.Recorder.incidents recorder in
+            Printf.printf "\n=== incidents (%d dumped, %d retained) ===\n"
+              (Tangram.Recorder.incidents_dumped recorder)
+              (List.length incs);
+            List.iter
+              (fun (inc : Tangram.Recorder.incident) ->
+                Printf.printf "  #%04d at %12.0f us   trigger %s\n"
+                  inc.Tangram.Recorder.in_seq inc.Tangram.Recorder.in_now_us
+                  (Tangram.Recorder.trigger_kind inc.Tangram.Recorder.in_trigger))
+              incs;
+            match incident_dir with
+            | Some dir ->
+                List.iter
+                  (fun p -> Printf.printf "wrote %s\n" p)
+                  (Tangram.Recorder.save_all recorder dir)
+            | None -> ());
+        print_newline ();
+        print_string (Obs_cli.render_report obs (Tangram.Service.stats svc));
+        Obs_cli.save_trace obs;
+        Obs_cli.write_metrics
+          ?metrics:(Tangram.Service.monitor_metrics svc)
+          obs
+          (Tangram.Service.stats svc))
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Replay a synthetic trace under the service monitor and render a \
+          text dashboard: windowed time series, SLO burn rates and the \
+          flight recorder's incident bundles")
+    Term.(
+      const run $ spectrum_arg $ source_arg $ requests_arg $ seed_arg
+      $ arch_arg $ fault_rate_arg $ fault_seed_arg $ bitflip_rate_arg
+      $ incident_dir_arg $ snapshot_every_arg $ windows_arg
+      $ latency_mult_arg $ latency_target_arg $ Obs_cli.term $ Fleet_cli.term)
+
+(* ------------------------------------------------------------------ *)
 (* profile                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -955,7 +1173,14 @@ let trace_check_cmd =
   in
   let run path =
     match Tangram.Obs.Trace.validate_chrome_file path with
-    | Ok n -> Printf.printf "%s: OK (%d events)\n" path n
+    | Ok n ->
+        (* a droppedEvents marker means the ring overwrote events before
+           export: the document is valid but known-incomplete (TOBS003) *)
+        let dropped = Tangram.Obs.Trace.chrome_dropped_file path in
+        if dropped > 0 then
+          Printf.printf "%s: OK (%d events, INCOMPLETE: %d dropped by the ring)\n"
+            path n dropped
+        else Printf.printf "%s: OK (%d events)\n" path n
     | Error msg ->
         Printf.eprintf "%s: INVALID: %s\n" path msg;
         exit 1
@@ -964,7 +1189,8 @@ let trace_check_cmd =
     (Cmd.info "trace-check"
        ~doc:
          "Validate a Chrome trace_event JSON file (--trace-out output): \
-          well-formed, monotone timestamps, balanced B/E spans")
+          well-formed, monotone timestamps, balanced B/E spans; reports the \
+          droppedEvents marker of a ring-truncated trace")
     Term.(const run $ file_arg)
 
 let () =
@@ -977,6 +1203,6 @@ let () =
        (Cmd.group info
           [
             emit_cmd; variants_cmd; versions_cmd; check_cmd; lint_cmd;
-            prove_cmd; synth_cmd; serve_cmd; profile_cmd; access_cmd;
-            codes_cmd; trace_check_cmd;
+            prove_cmd; synth_cmd; serve_cmd; monitor_cmd; profile_cmd;
+            access_cmd; codes_cmd; trace_check_cmd;
           ]))

@@ -65,6 +65,7 @@ module Stats = Runtime.Stats
 module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance
 module Guard = Runtime.Guard
+module Recorder = Runtime.Recorder
 (* the whole observability layer ([Obs.Trace], [Obs.Log], [Obs.Json]);
    [Trace] above is the request-trace replayer, a different thing *)
 module Obs = Obs

@@ -71,8 +71,13 @@ module Trace = Runtime.Trace
 module Tolerance = Runtime.Tolerance
 module Guard = Runtime.Guard
 
-(** The observability layer ({!Obs.Trace}, {!Obs.Log}, {!Obs.Json});
-    {!Trace} above is the request-trace replayer, a different thing. *)
+(** The black-box flight recorder: per-request ring plus incident
+    bundles ({!Service.attach_monitor}). *)
+module Recorder = Runtime.Recorder
+
+(** The observability layer ({!Obs.Trace}, {!Obs.Log}, {!Obs.Json},
+    {!Obs.Metrics}, {!Obs.Slo}); {!Trace} above is the request-trace
+    replayer, a different thing. *)
 module Obs = Obs
 
 module Scan = Apps.Scan

@@ -105,6 +105,10 @@ let registry : info list =
     mk "TFLT004" w "fleet" "first attempt overran the hedge deadline: speculative re-dispatch fired";
     mk "TFLT005" w "fleet" "device marked to drain: finishing in-flight work, taking no new dispatches";
     mk "TFLT006" w "fleet" "warm spare promoted into the serving pool";
+    mk "TOBS001" w "obs" "SLO burn-rate alert fired: fast and slow windows both exceed the firing threshold";
+    mk "TOBS002" w "obs" "flight recorder dumped an incident bundle (alert, confirmed corruption or device ejection)";
+    mk "TOBS003" w "obs" "trace ring overflowed: the exported trace is known-incomplete";
+    mk "TOBS004" w "obs" "benchmark cell regressed beyond tolerance against the committed baseline";
   ]
 
 let lookup code = List.find_opt (fun r -> r.r_code = code) registry

@@ -302,12 +302,43 @@ let event_to_json (ev : event) : Json.t =
   Json.Obj base
 
 let to_chrome_json () : string =
-  Json.to_string
-    (Json.Obj
-       [
-         ("traceEvents", Json.Arr (List.map event_to_json (balanced_events ())));
-         ("displayTimeUnit", Json.Str "ms");
-       ])
+  (* a lossless trace emits exactly the historical two-key document (the
+     golden file pins those bytes); only a ring that actually overwrote
+     events grows the droppedEvents marker, which [validate_chrome]
+     ignores and [chrome_dropped] reads back *)
+  let base =
+    [
+      ("traceEvents", Json.Arr (List.map event_to_json (balanced_events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+  in
+  let doc =
+    if ring.dropped > 0 then
+      base @ [ ("droppedEvents", Json.Num (float_of_int ring.dropped)) ]
+    else base
+  in
+  Json.to_string (Json.Obj doc)
+
+(* events the exporting ring had already overwritten, recorded in the
+   document itself; 0 for a complete trace (or a pre-marker file) *)
+let chrome_dropped (src : string) : int =
+  match Json.of_string src with
+  | Error _ -> 0
+  | Ok doc -> (
+      match Option.bind (Json.member "droppedEvents" doc) Json.to_float with
+      | Some n when n > 0.0 -> int_of_float n
+      | _ -> 0)
+
+let chrome_dropped_file (path : string) : int =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    src
+  with
+  | src -> chrome_dropped src
+  | exception Sys_error _ -> 0
 
 let save (path : string) : unit =
   let oc = open_out path in

@@ -81,10 +81,19 @@ val fold_nodes : ('a -> node -> 'a) -> 'a -> node list -> 'a
 (** {2 Chrome trace_event export} *)
 
 (** The buffered events as a [{"traceEvents":[...]}] document: balanced
-    B/E per tid, monotone timestamps. *)
+    B/E per tid, monotone timestamps. A ring that overwrote events
+    additionally carries a top-level [droppedEvents] count, so a reader
+    can tell a complete trace from a truncated one; a lossless export
+    is byte-identical to the historical two-key document. *)
 val to_chrome_json : unit -> string
 
 val save : string -> unit
+
+(** The [droppedEvents] marker of an exported document (0 when absent:
+    the trace is complete). *)
+val chrome_dropped : string -> int
+
+val chrome_dropped_file : string -> int
 
 (** Validate a Chrome trace-event document the way the CI job does:
     [traceEvents] exists, required fields present, timestamps monotone

@@ -344,6 +344,7 @@ let replay ?(config = default) ?(dense_upto = 0) (svc : Service.t)
   let shed_one (victim : item) ~(why : string) : unit =
     incr shed;
     Stats.shed_request stats ~interactive:(victim.i_prio = Interactive);
+    Service.monitor_shed svc;
     Obs.Log.warn
       ~fields:
         [
@@ -378,6 +379,7 @@ let replay ?(config = default) ?(dense_upto = 0) (svc : Service.t)
     end
     else begin
       Stats.queue_wait_us stats (start -. it.i_arrival);
+      Service.monitor_queue_wait svc (start -. it.i_arrival);
       let remaining = it.i_deadline_at -. start in
       let deadline_us =
         if config.a_enforce_deadline then Some (Float.max 1.0 remaining)
@@ -436,6 +438,7 @@ let replay ?(config = default) ?(dense_upto = 0) (svc : Service.t)
           | None -> ()
       in
       catch_up ();
+      Service.monitor_queue_depth svc (depth q);
       let prio = priority_of config n in
       let it =
         {

@@ -91,6 +91,9 @@ type t = {
   mutable hedging : bool;
   mutable total : int;  (* total fleet dispatches *)
   lat : ring;
+  mutable on_eject : (device -> unit) option;
+      (* fired after an ejection is recorded; the service points this at
+         the flight recorder so the bundle captures the ejection moment *)
 }
 
 (* log-event codes, registered in Device_ir.Diag's registry so
@@ -176,6 +179,7 @@ let create ?(config = default_config) ?(seed = 0) (specs : spec list) : t =
     hedging = false;
     total = 0;
     lat = { r_buf = Array.make 512 0.0; r_fill = 0; r_pos = 0 };
+    on_eject = None;
   }
 
 let st (t : t) (f : Stats.t -> unit) : unit =
@@ -193,6 +197,7 @@ let set_stats (t : t) (stats : Stats.t) : unit =
 
 let set_hedging (t : t) (b : bool) : unit = t.hedging <- b
 let hedging (t : t) : bool = t.hedging
+let set_on_eject (t : t) (f : device -> unit) : unit = t.on_eject <- Some f
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle transitions                                               *)
@@ -243,7 +248,8 @@ let eject (t : t) (d : device) : unit =
   event t d ~code:"TFLT002" ~mark:"fleet.eject"
     "device %s ejected: health %.3f below %.2f" (label d) d.d_health
     t.cfg.fl_eject_below;
-  promote_spare t
+  promote_spare t;
+  match t.on_eject with Some f -> f d | None -> ()
 
 let readmit (t : t) (d : device) : unit =
   set_state t d Active;

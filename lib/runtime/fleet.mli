@@ -103,6 +103,11 @@ val set_stats : t -> Stats.t -> unit
 val set_hedging : t -> bool -> unit
 val hedging : t -> bool
 
+(** Fired after an ejection has been recorded and a spare (if any)
+    promoted. The service points this at the flight recorder so the
+    incident bundle captures the ejection moment. *)
+val set_on_eject : t -> (device -> unit) -> unit
+
 (** The log-event codes this module emits (code, meaning), all
     registered in [Device_ir.Diag.registry]. *)
 val event_codes : (string * string) list

@@ -99,6 +99,43 @@ type breaker = {
   mutable br_open_until : int;  (* service tick; 0 = closed *)
 }
 
+(* The service monitor: windowed metrics, burn-rate SLOs and the
+   flight recorder, driven by a serialized virtual clock that advances
+   by each request's observed virtual latency. Optional — a service
+   without one behaves (and reports) exactly as before. *)
+type monitor = {
+  m_metrics : Obs.Metrics.t;
+  m_recorder : Recorder.t;
+  m_latency_slo : Obs.Slo.t;
+  m_sdc_slo : Obs.Slo.t;
+  m_goodput_slo : Obs.Slo.t;
+  m_latency_mult : float;
+      (* a request is latency-good when its observed virtual time stays
+         within this multiple of the static-cost prediction *)
+  m_interactive_max : int;
+      (* inputs at or below this size feed the latency SLO *)
+  m_snapshot_every : int;  (* metric-snapshot cadence, in requests *)
+  mutable m_now_us : float;  (* serialized virtual clock *)
+  mutable m_requests : int;
+  mutable m_pending_sdc : int;
+      (* corruption verdicts land mid-request, before the recorder notes
+         it; deferred so the bundle's trigger request is the right one *)
+  mutable m_pending_eject : string list;  (* same deferral for ejections *)
+  m_req_ok : Obs.Metrics.counter;
+  m_req_err : Obs.Metrics.counter;
+  m_lat_interactive : Obs.Metrics.histogram;
+  m_lat_batch : Obs.Metrics.histogram;
+  m_sdc_checks : Obs.Metrics.counter;
+  m_sdc_caught : Obs.Metrics.counter;
+  m_alerts : Obs.Metrics.counter;
+  m_incidents : Obs.Metrics.counter;
+  m_brownout_g : Obs.Metrics.gauge;
+  m_queue_depth : Obs.Metrics.gauge;
+  m_fleet_healthy : Obs.Metrics.gauge;
+  m_queue_wait : Obs.Metrics.histogram;
+  m_sheds : Obs.Metrics.counter;
+}
+
 type t = {
   planner : P.t;
   cache : Plan_cache.t;
@@ -124,6 +161,7 @@ type t = {
   predicted_cache : (string * string * int * (string * int) list, float) Hashtbl.t;
       (* memoized static-cost predictions keyed by (arch, version, n,
          tunables) — the health scorer's no-execution baseline *)
+  mutable monitor : monitor option;
 }
 
 let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
@@ -162,6 +200,7 @@ let create ?capacity ?cache ?candidates ?(exact_threshold = 1 lsl 17)
     brownout = 0;
     fleet = None;
     predicted_cache = Hashtbl.create 64;
+    monitor = None;
   }
 
 let planner t = t.planner
@@ -174,8 +213,17 @@ let profiling t = t.profile
 let set_profiling t b = t.profile <- b
 let fleet t = t.fleet
 
+let mon (t : t) (f : monitor -> unit) : unit =
+  match t.monitor with Some m -> f m | None -> ()
+
 let attach_fleet (t : t) (fl : Fleet.t) : unit =
   Fleet.set_stats fl t.stats;
+  (* ejections are deferred into the monitor's pending list: they fire
+     mid-request, and the bundle's trigger request must be the one that
+     actually pushed the device under the threshold *)
+  Fleet.set_on_eject fl (fun d ->
+      mon t (fun m ->
+          m.m_pending_eject <- Fleet.label d :: m.m_pending_eject));
   t.fleet <- Some fl
 
 let detach_fleet (t : t) : unit = t.fleet <- None
@@ -674,6 +722,7 @@ let verify_and_serve ?(budget : budget option) (t : t) (req : request)
     @@ fun () ->
     let t0 = now_us () in
     Stats.sdc_check t.stats;
+    mon t (fun m -> Obs.Metrics.inc m.m_sdc_checks);
     (* brownout level 3 sheds witness sampling density: the check still
        runs, but at the cheapest sample count *)
     let sample =
@@ -716,6 +765,9 @@ let verify_and_serve ?(budget : budget option) (t : t) (req : request)
       let confirm_sdc (r : Plan_cache.rung) =
         let vname = V.name r.Plan_cache.r_version in
         Stats.sdc_catch t.stats;
+        mon t (fun m ->
+            Obs.Metrics.inc m.m_sdc_caught;
+            m.m_pending_sdc <- m.m_pending_sdc + 1);
         Stats.fault t.stats ~version:vname;
         Obs.Log.info
           ~fields:[ ("arch", arch); ("version", vname) ]
@@ -949,27 +1001,24 @@ let serve ?(budget : budget option) (t : t) (req : request)
    executing anything and memoized per (arch, version, n, tunables).
    A prediction the analyzer cannot produce degrades to ratio 1.0 —
    the device is neither credited nor blamed for it. *)
-let predicted_us (t : t) (arch : Gpusim.Arch.t) (rung : Plan_cache.rung)
-    ~(n : int) : float option =
-  let key =
-    ( arch.Gpusim.Arch.name,
-      V.name rung.Plan_cache.r_version,
-      n,
-      rung.Plan_cache.r_tunables )
-  in
+let predicted_cost (t : t) (arch : Gpusim.Arch.t) (version : V.t)
+    ~(tunables : (string * int) list) ~(n : int) : float option =
+  let key = (arch.Gpusim.Arch.name, V.name version, n, tunables) in
   match Hashtbl.find_opt t.predicted_cache key with
   | Some p -> if Float.is_finite p && p > 0.0 then Some p else None
   | None ->
       let p =
-        match
-          P.static_cost ~n ~tunables:rung.Plan_cache.r_tunables arch t.planner
-            rung.Plan_cache.r_version
-        with
+        match P.static_cost ~n ~tunables arch t.planner version with
         | p -> p
         | exception _ -> Float.nan
       in
       Hashtbl.replace t.predicted_cache key p;
       if Float.is_finite p && p > 0.0 then Some p else None
+
+let predicted_us (t : t) (arch : Gpusim.Arch.t) (rung : Plan_cache.rung)
+    ~(n : int) : float option =
+  predicted_cost t arch rung.Plan_cache.r_version
+    ~tunables:rung.Plan_cache.r_tunables ~n
 
 let health_ratio (t : t) (arch : Gpusim.Arch.t) (ex : executed) ~(n : int)
     ~(observed_us : float) : float =
@@ -1128,6 +1177,316 @@ let submit_fleet ?(budget : budget option) (t : t) (fl : Fleet.t)
           | Ok r -> Ok r
           | Error e -> Error e))
 
+(* ------------------------------------------------------------------ *)
+(* Monitoring: windowed metrics, SLO burn rates, flight recorder        *)
+(* ------------------------------------------------------------------ *)
+
+let attach_monitor ?(latency_mult = 3.0) ?(interactive_max = 65536)
+    ?(snapshot_every = 32) ?(capacity = 128) ?(latency_target = 0.97)
+    ?(goodput_target = 0.95) (t : t) : unit =
+  let reg = Obs.Metrics.create () in
+  let m =
+    {
+      m_metrics = reg;
+      m_recorder = Recorder.create ~capacity ();
+      m_latency_slo =
+        Obs.Slo.create
+          (Obs.Slo.objective
+             ~description:
+               "interactive latency within the static-cost envelope"
+             ~target:latency_target "latency");
+      m_sdc_slo =
+        Obs.Slo.create
+          (Obs.Slo.objective
+             ~description:"confirmed silent corruptions (zero budget)"
+             ~target:1.0 "sdc");
+      m_goodput_slo =
+        Obs.Slo.create
+          (Obs.Slo.objective
+             ~description:
+               "requests served exactly, neither degraded nor errored"
+             ~target:goodput_target "goodput");
+      m_latency_mult = latency_mult;
+      m_interactive_max = interactive_max;
+      m_snapshot_every = max 1 snapshot_every;
+      m_now_us = 0.0;
+      m_requests = 0;
+      m_pending_sdc = 0;
+      m_pending_eject = [];
+      m_req_ok =
+        Obs.Metrics.counter reg ~help:"requests answered"
+          ~labels:[ ("outcome", "ok") ]
+          "tangram_monitor_requests_total";
+      m_req_err =
+        Obs.Metrics.counter reg
+          ~labels:[ ("outcome", "error") ]
+          "tangram_monitor_requests_total";
+      m_lat_interactive =
+        Obs.Metrics.histogram reg ~help:"virtual request latency"
+          ~labels:[ ("class", "interactive") ]
+          "tangram_monitor_latency_us";
+      m_lat_batch =
+        Obs.Metrics.histogram reg
+          ~labels:[ ("class", "batch") ]
+          "tangram_monitor_latency_us";
+      m_sdc_checks =
+        Obs.Metrics.counter reg ~help:"witness checks run"
+          "tangram_monitor_sdc_checks_total";
+      m_sdc_caught =
+        Obs.Metrics.counter reg ~help:"silent corruptions confirmed"
+          "tangram_monitor_sdc_caught_total";
+      m_alerts =
+        Obs.Metrics.counter reg ~help:"SLO burn-rate alerts fired"
+          "tangram_monitor_alerts_total";
+      m_incidents =
+        Obs.Metrics.counter reg
+          ~help:"flight-recorder incident bundles dumped"
+          "tangram_monitor_incidents_total";
+      m_brownout_g =
+        Obs.Metrics.gauge reg ~help:"active brownout level"
+          "tangram_monitor_brownout_level";
+      m_queue_depth =
+        Obs.Metrics.gauge reg ~help:"admission queue depth"
+          "tangram_monitor_queue_depth";
+      m_fleet_healthy =
+        Obs.Metrics.gauge reg ~help:"devices actively serving"
+          "tangram_monitor_fleet_active";
+      m_queue_wait =
+        Obs.Metrics.histogram reg ~help:"virtual queue wait"
+          "tangram_monitor_queue_wait_us";
+      m_sheds =
+        Obs.Metrics.counter reg ~help:"requests shed at admission"
+          "tangram_monitor_shed_total";
+    }
+  in
+  t.monitor <- Some m;
+  (* the ring's base snapshot: the first real snapshot diffs against it *)
+  Obs.Metrics.snapshot reg ~now_us:0.0
+
+let detach_monitor (t : t) : unit = t.monitor <- None
+let monitor_attached (t : t) : bool = Option.is_some t.monitor
+
+let monitor_slo_list (m : monitor) : (string * Obs.Slo.t) list =
+  [
+    ("latency", m.m_latency_slo);
+    ("sdc", m.m_sdc_slo);
+    ("goodput", m.m_goodput_slo);
+  ]
+
+let monitor_slos_json (m : monitor) : Obs.Json.t =
+  Obs.Json.Arr
+    (List.map
+       (fun (_, s) -> Obs.Slo.state_json s ~now_us:m.m_now_us)
+       (monitor_slo_list m))
+
+let fleet_table_json (fl : Fleet.t) : Obs.Json.t =
+  Obs.Json.Arr
+    (List.map
+       (fun d ->
+         Obs.Json.Obj
+           [
+             ("device", Obs.Json.Str (Fleet.label d));
+             ("state", Obs.Json.Str (Fleet.state_name (Fleet.dev_state d)));
+             ("health", Obs.Json.Num (Fleet.health d));
+             ("dispatches", Obs.Json.Num (float_of_int (Fleet.dispatches d)));
+           ])
+       (Fleet.devices fl))
+
+let window_json (w : Obs.Metrics.window) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("from_us", Obs.Json.Num w.Obs.Metrics.w_from_us);
+      ("to_us", Obs.Json.Num w.Obs.Metrics.w_to_us);
+      ( "rows",
+        Obs.Json.Arr
+          (List.map
+             (fun (r : Obs.Metrics.window_row) ->
+               Obs.Json.Obj
+                 ([
+                    ("name", Obs.Json.Str r.wr_name);
+                    ("kind", Obs.Json.Str (Obs.Metrics.kind_name r.wr_kind));
+                    ( "labels",
+                      Obs.Json.Obj
+                        (List.map
+                           (fun (k, v) -> (k, Obs.Json.Str v))
+                           r.wr_labels) );
+                    ("value", Obs.Json.Num r.wr_value);
+                  ]
+                 @
+                 if r.wr_kind = Obs.Metrics.Histogram then
+                   [
+                     ("sum", Obs.Json.Num r.wr_sum);
+                     ("p50", Obs.Json.Num r.wr_p50);
+                     ("p95", Obs.Json.Num r.wr_p95);
+                   ]
+                 else []))
+             w.Obs.Metrics.w_rows) );
+    ]
+
+let dump_incident (t : t) (m : monitor) (trigger : Recorder.trigger) : unit =
+  Obs.Metrics.inc m.m_incidents;
+  Stats.incident t.stats ~kind:(Recorder.trigger_kind trigger);
+  (* freeze a window boundary so the bundle's metrics run up to the
+     trigger *)
+  Obs.Metrics.snapshot m.m_metrics ~now_us:m.m_now_us;
+  let metrics =
+    match List.rev (Obs.Metrics.windows m.m_metrics) with
+    | w :: _ -> window_json w
+    | [] -> Obs.Json.Null
+  in
+  let fleet =
+    match t.fleet with Some fl -> fleet_table_json fl | None -> Obs.Json.Null
+  in
+  let inc =
+    Recorder.dump m.m_recorder ~now_us:m.m_now_us ~trigger
+      ~slos:(monitor_slos_json m) ~fleet ~brownout:t.brownout ~metrics ()
+  in
+  Obs.Log.warn
+    ~fields:
+      [
+        ("code", "TOBS002");
+        ("trigger", Recorder.trigger_kind trigger);
+        ("seq", string_of_int inc.Recorder.in_seq);
+      ]
+    "flight recorder dumped an incident bundle (trigger %s)"
+    (Recorder.trigger_kind trigger)
+
+let error_kind : error -> string = function
+  | Bad_request _ -> "bad-request"
+  | Transient _ -> "transient"
+  | Version_fault _ -> "version-fault"
+  | Cache_corrupt _ -> "cache-corrupt"
+  | Sdc _ -> "sdc"
+  | Deadline_exceeded _ -> "deadline"
+
+(* The per-request monitoring step, run inside the request's root span
+   (so the recorder captures the right trace id): note the record,
+   settle deferred corruption/ejection verdicts, feed the SLOs, step
+   the alert state machines and snapshot on cadence. *)
+let monitor_note (t : t) (req : request) (result : (response, error) result) :
+    unit =
+  match t.monitor with
+  | None -> ()
+  | Some m ->
+      let n = R.input_size req.req_input in
+      let arch = req.req_arch.Gpusim.Arch.name in
+      let caught_sdc = m.m_pending_sdc > 0 in
+      let latency_us, predicted, outcome =
+        match result with
+        | Ok r ->
+            let predicted =
+              match
+                predicted_cost t req.req_arch r.resp_version
+                  ~tunables:r.resp_tunables ~n
+              with
+              | Some p -> p
+              | None -> 0.0
+            in
+            ( r.resp_sim_us,
+              predicted,
+              if caught_sdc then "sdc-caught"
+              else if r.resp_degraded then "degraded"
+              else "ok" )
+        | Error e -> (0.0, 0.0, error_kind e)
+      in
+      m.m_requests <- m.m_requests + 1;
+      m.m_now_us <- m.m_now_us +. Float.max latency_us 1.0;
+      ignore
+        (Recorder.note m.m_recorder ~now_us:m.m_now_us ~arch ~n
+           ~predicted_us:predicted ~latency_us ~outcome ());
+      (* corruption verdicts were deferred to here so the record above
+         is the bundle's trigger request *)
+      if caught_sdc then begin
+        for _ = 1 to m.m_pending_sdc do
+          Obs.Slo.observe m.m_sdc_slo ~now_us:m.m_now_us ~good:false
+        done;
+        m.m_pending_sdc <- 0;
+        dump_incident t m Recorder.Sdc
+      end
+      else Obs.Slo.observe m.m_sdc_slo ~now_us:m.m_now_us ~good:true;
+      let interactive = n <= m.m_interactive_max in
+      (match result with
+      | Ok r ->
+          Obs.Metrics.inc m.m_req_ok;
+          Obs.Metrics.observe
+            (if interactive then m.m_lat_interactive else m.m_lat_batch)
+            latency_us;
+          if interactive then
+            Obs.Slo.observe m.m_latency_slo ~now_us:m.m_now_us
+              ~good:
+                (predicted <= 0.0
+                || latency_us <= m.m_latency_mult *. predicted);
+          Obs.Slo.observe m.m_goodput_slo ~now_us:m.m_now_us
+            ~good:(not r.resp_degraded)
+      | Error _ ->
+          Obs.Metrics.inc m.m_req_err;
+          Obs.Slo.observe m.m_goodput_slo ~now_us:m.m_now_us ~good:false);
+      Obs.Metrics.set m.m_brownout_g (float_of_int t.brownout);
+      (match t.fleet with
+      | Some fl ->
+          Obs.Metrics.set m.m_fleet_healthy
+            (float_of_int
+               (List.length
+                  (List.filter
+                     (fun d -> Fleet.dev_state d = Fleet.Active)
+                     (Fleet.devices fl))))
+      | None -> ());
+      List.iter
+        (fun (name, slo) ->
+          match Obs.Slo.evaluate slo ~now_us:m.m_now_us with
+          | Some (Obs.Slo.Fired burn) ->
+              Obs.Metrics.inc m.m_alerts;
+              Stats.alert t.stats ~slo:name;
+              Obs.Trace.mark ~attrs:[ ("slo", name) ] "slo.fired";
+              Obs.Log.warn
+                ~fields:
+                  [
+                    ("code", "TOBS001");
+                    ("slo", name);
+                    ("fast_burn", Printf.sprintf "%.2f" burn.Obs.Slo.br_fast);
+                    ("slow_burn", Printf.sprintf "%.2f" burn.Obs.Slo.br_slow);
+                  ]
+                "SLO burn-rate alert fired: %s" name;
+              dump_incident t m (Recorder.Alert name)
+          | Some (Obs.Slo.Resolved _) ->
+              Obs.Log.info ~fields:[ ("slo", name) ] "SLO alert resolved: %s"
+                name
+          | None -> ())
+        (monitor_slo_list m);
+      (* ejections recorded mid-request surface as their own bundles
+         once the triggering request is in the ring *)
+      List.iter
+        (fun dev -> dump_incident t m (Recorder.Eject dev))
+        (List.rev m.m_pending_eject);
+      m.m_pending_eject <- [];
+      if m.m_requests mod m.m_snapshot_every = 0 then
+        Obs.Metrics.snapshot m.m_metrics ~now_us:m.m_now_us
+
+let monitor_metrics (t : t) : Obs.Metrics.t option =
+  Option.map (fun m -> m.m_metrics) t.monitor
+
+let monitor_recorder (t : t) : Recorder.t option =
+  Option.map (fun m -> m.m_recorder) t.monitor
+
+let monitor_slos (t : t) : (string * Obs.Slo.t) list =
+  match t.monitor with Some m -> monitor_slo_list m | None -> []
+
+let monitor_now_us (t : t) : float =
+  match t.monitor with Some m -> m.m_now_us | None -> 0.0
+
+let monitor_snapshot (t : t) : unit =
+  mon t (fun m -> Obs.Metrics.snapshot m.m_metrics ~now_us:m.m_now_us)
+
+(* admission feeds: the queue lives above the service, but the monitor
+   owns the instruments *)
+let monitor_queue_depth (t : t) (depth : int) : unit =
+  mon t (fun m -> Obs.Metrics.set m.m_queue_depth (float_of_int depth))
+
+let monitor_queue_wait (t : t) (us : float) : unit =
+  mon t (fun m -> Obs.Metrics.observe m.m_queue_wait us)
+
+let monitor_shed (t : t) : unit = mon t (fun m -> Obs.Metrics.inc m.m_sheds)
+
 (* reduce of nothing is the combining operation's identity, served off the
    host without touching the simulator *)
 let empty_response (t : t) (req : request) ~(started_us : float) : response =
@@ -1189,10 +1548,17 @@ let submit_result ?deadline_us (t : t) (req : request) :
               | Error e -> Error e
               | Ok (entry, hit) -> serve ?budget t req entry hit started_us))
   in
+  (* the monitor notes the result inside the request's root span, so
+     the flight recorder captures this request's trace id *)
+  let monitored () =
+    let result = body () in
+    monitor_note t req result;
+    result
+  in
   (* one root span per request under a fresh trace id: every span the
      stack records below (lookup, plan, tune, rungs, attempts, verify...)
      lands on this request's track in the exported trace *)
-  if not (Obs.Trace.enabled ()) then body ()
+  if not (Obs.Trace.enabled ()) then monitored ()
   else
     Obs.Trace.with_request
       ~attrs:
@@ -1200,7 +1566,7 @@ let submit_result ?deadline_us (t : t) (req : request) :
           ("arch", req.req_arch.Gpusim.Arch.name);
           ("n", string_of_int (R.input_size req.req_input));
         ]
-      ~name:"request" body
+      ~name:"request" monitored
 
 let submit ?deadline_us (t : t) (req : request) : response =
   match submit_result ?deadline_us t req with

@@ -182,6 +182,62 @@ val attach_fleet : t -> Fleet.t -> unit
 (** Return to the single-device path. *)
 val detach_fleet : t -> unit
 
+(** {1 Monitoring: windowed metrics, SLO burn rates, flight recorder}
+
+    An attached monitor drives three layers off a serialized virtual
+    clock (advanced by each request's observed virtual latency):
+    windowed {!Obs.Metrics} instruments, multi-window burn-rate SLOs
+    ({!Obs.Slo}) and the black-box {!Recorder}. When an SLO alert
+    fires, a corruption is confirmed or a device is ejected, the
+    recorder freezes the last requests plus the SLO/fleet/metric
+    context into a self-contained incident bundle. A service without a
+    monitor behaves — and reports — exactly as before. *)
+
+(** Attach a fresh monitor. [latency_mult] bounds the latency SLO's
+    good region (observed <= mult x static-cost prediction, default 3);
+    inputs at or below [interactive_max] (default 65536) feed the
+    latency SLO; metrics snapshot every [snapshot_every] requests
+    (default 32); the recorder ring holds [capacity] requests
+    (default 128). [latency_target] (default 0.97) and
+    [goodput_target] (default 0.95) set the SLO targets — the SDC
+    objective is always zero-budget. *)
+val attach_monitor :
+  ?latency_mult:float ->
+  ?interactive_max:int ->
+  ?snapshot_every:int ->
+  ?capacity:int ->
+  ?latency_target:float ->
+  ?goodput_target:float ->
+  t ->
+  unit
+
+val detach_monitor : t -> unit
+val monitor_attached : t -> bool
+
+(** The monitor's metrics registry, e.g. for
+    [Stats.to_prometheus ?metrics]. *)
+val monitor_metrics : t -> Obs.Metrics.t option
+
+val monitor_recorder : t -> Recorder.t option
+
+(** The monitor's SLOs as (name, state) rows — empty without a
+    monitor. *)
+val monitor_slos : t -> (string * Obs.Slo.t) list
+
+(** The monitor's virtual clock (0 without a monitor). *)
+val monitor_now_us : t -> float
+
+(** Force a metrics-window boundary at the current virtual time (the
+    replay drivers call this once at the end of a run). *)
+val monitor_snapshot : t -> unit
+
+(** {2 Admission feeds} — the queue lives above the service, but the
+    monitor owns the instruments; no-ops without a monitor. *)
+
+val monitor_queue_depth : t -> int -> unit
+val monitor_queue_wait : t -> float -> unit
+val monitor_shed : t -> unit
+
 (** The deepest brownout ladder step (4: host path only). *)
 val max_brownout : int
 

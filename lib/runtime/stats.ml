@@ -125,6 +125,13 @@ type t = {
   mutable total_fleet_deaths : int;
   mutable total_fleet_drains : int;
   mutable total_fleet_promotions : int;
+  (* monitoring counters: all stay zero unless an SLO alert fires or
+     the flight recorder dumps an incident, keeping the quiet-path
+     report byte-identical *)
+  mutable total_alerts : int;
+  alerts_by_slo : (string, int) Hashtbl.t;
+  mutable total_incidents : int;
+  incidents_by_kind : (string, int) Hashtbl.t;
 }
 
 let create () : t =
@@ -173,6 +180,10 @@ let create () : t =
     total_fleet_deaths = 0;
     total_fleet_drains = 0;
     total_fleet_promotions = 0;
+    total_alerts = 0;
+    alerts_by_slo = Hashtbl.create 4;
+    total_incidents = 0;
+    incidents_by_kind = Hashtbl.create 4;
   }
 
 let counters_for (t : t) (bucket : string) : counters =
@@ -313,6 +324,16 @@ let fleet_hedge_won (t : t) ~(device : string) : unit =
   c.f_hedge_wins <- c.f_hedge_wins + 1;
   t.total_fleet_hedges_won <- t.total_fleet_hedges_won + 1
 
+let alert (t : t) ~(slo : string) : unit =
+  t.total_alerts <- t.total_alerts + 1;
+  Hashtbl.replace t.alerts_by_slo slo
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.alerts_by_slo slo))
+
+let incident (t : t) ~(kind : string) : unit =
+  t.total_incidents <- t.total_incidents + 1;
+  Hashtbl.replace t.incidents_by_kind kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.incidents_by_kind kind))
+
 let kernel (t : t) ~(arch : string) ~(version : string)
     (totals : Gpusim.Events.totals) : unit =
   let key = (arch, version) in
@@ -390,6 +411,22 @@ let fleet_fired (t : t) : bool =
   + t.total_fleet_promotions
   > 0
   || Hashtbl.length t.fleet_devices > 0
+
+let alerts t = t.total_alerts
+let incidents t = t.total_incidents
+
+let alert_rows (t : t) : (string * int) list =
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.alerts_by_slo []
+  |> List.sort compare
+
+let incident_rows (t : t) : (string * int) list =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.incidents_by_kind []
+  |> List.sort compare
+
+(* the gate of the report's monitoring section: an attached-but-quiet
+   monitor records nothing here, so its report stays byte-identical *)
+let monitoring_fired (t : t) : bool =
+  t.total_alerts + t.total_incidents > 0
 
 (* the gate of the report's overload section: admission alone (requests
    flowing through the queue at zero load) is not an overload event *)
@@ -538,6 +575,24 @@ let report (t : t) : string =
             pr "    %-24s %-8s dispatches %6d   hedge wins %4d   health %.2f\n"
               device r.fd_state r.fd_dispatches r.fd_hedge_wins r.fd_health)
           rows
+  end;
+  (* the monitoring section appears only once an SLO alert fired or the
+     flight recorder dumped — an attached-but-healthy monitor prints
+     exactly the report it always did *)
+  if monitoring_fired t then begin
+    pr "\nmonitoring:\n";
+    pr "  slo alerts %d   incident bundles %d\n" t.total_alerts
+      t.total_incidents;
+    (match alert_rows t with
+    | [] -> ()
+    | rows ->
+        pr "  alerts by slo:\n";
+        List.iter (fun (s, n) -> pr "    %-32s %6d\n" s n) rows);
+    match incident_rows t with
+    | [] -> ()
+    | rows ->
+        pr "  incidents by trigger:\n";
+        List.iter (fun (k, n) -> pr "    %-32s %6d\n" k n) rows
   end;
   (* the profiler section appears only when the service aggregated kernel
      counters (profiling is off by default), keeping the default report
@@ -691,6 +746,24 @@ let to_json (t : t) : string =
                           ])
                       (fleet_rows t)) );
              ] );
+         ( "monitoring",
+           J.Obj
+             [
+               ("alerts", int t.total_alerts);
+               ("incidents", int t.total_incidents);
+               ( "by_slo",
+                 J.Arr
+                   (List.map
+                      (fun (s, n) ->
+                        J.Obj [ ("slo", J.Str s); ("alerts", int n) ])
+                      (alert_rows t)) );
+               ( "by_trigger",
+                 J.Arr
+                   (List.map
+                      (fun (k, n) ->
+                        J.Obj [ ("trigger", J.Str k); ("incidents", int n) ])
+                      (incident_rows t)) );
+             ] );
          ( "kernels",
            J.Arr
              (List.map
@@ -719,7 +792,7 @@ let prom_escape (s : string) : string =
     s;
   Buffer.contents b
 
-let to_prometheus (t : t) : string =
+let to_prometheus ?(metrics : Obs.Metrics.t option) (t : t) : string =
   let b = Buffer.create 2048 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let number = J.number_to_string in
@@ -912,4 +985,25 @@ let to_prometheus (t : t) : string =
                 v)
             (Gpusim.Events.totals_fields tot))
         rows);
+  (* monitoring families render only once an alert or incident fired,
+     mirroring the text report's gate *)
+  if monitoring_fired t then begin
+    typ "tangram_slo_alerts_total" "counter";
+    counter "tangram_slo_alerts_total" (i t.total_alerts);
+    List.iter
+      (fun (s, n) ->
+        counter "tangram_slo_alerts_total" ~labels:[ ("slo", s) ] (i n))
+      (alert_rows t);
+    typ "tangram_incidents_total" "counter";
+    counter "tangram_incidents_total" (i t.total_incidents);
+    List.iter
+      (fun (k, n) ->
+        counter "tangram_incidents_total" ~labels:[ ("trigger", k) ] (i n))
+      (incident_rows t)
+  end;
+  (* the monitor's windowed time-series document rides at the end: the
+     instrument families carry their own HELP/TYPE headers *)
+  (match metrics with
+  | Some m -> Buffer.add_string b (Obs.Metrics.to_prometheus m)
+  | None -> ());
   Buffer.contents b

@@ -161,6 +161,15 @@ val fleet_hedge_won : t -> device:string -> unit
     per-(arch, version) aggregate. *)
 val kernel : t -> arch:string -> version:string -> Gpusim.Events.totals -> unit
 
+(** {2 Monitoring recording} *)
+
+(** An SLO burn-rate alert transitioned into firing. *)
+val alert : t -> slo:string -> unit
+
+(** The flight recorder dumped an incident bundle of [kind]
+    (["alert"], ["sdc"] or ["device-eject"]). *)
+val incident : t -> kind:string -> unit
+
 (** {1 Reading} *)
 
 val hits : t -> int
@@ -234,6 +243,24 @@ val fleet_rows : t -> (string * fleet_row) list
     the report's fleet section off. *)
 val fleet_fired : t -> bool
 
+(** {2 Monitoring reading} *)
+
+val alerts : t -> int
+val incidents : t -> int
+
+(** Alert counts per SLO name, sorted by name; empty unless an alert
+    fired. *)
+val alert_rows : t -> (string * int) list
+
+(** Incident counts per trigger kind, sorted by kind; empty unless the
+    recorder dumped. *)
+val incident_rows : t -> (string * int) list
+
+(** Did any SLO alert fire or incident dump happen? False on every
+    unmonitored (or healthy) service, which gates the report's
+    monitoring section off. *)
+val monitoring_fired : t -> bool
+
 (** Fault counts per version, most-faulting first. *)
 val fault_histogram : t -> (string * int) list
 
@@ -272,5 +299,6 @@ val to_json : t -> string
 
 (** Prometheus text exposition of every counter and latency summary,
     including per-bucket, per-version and per-(arch, version) kernel
-    series. *)
-val to_prometheus : t -> string
+    series. When a monitor's [metrics] registry is supplied, its
+    windowed time-series families are appended to the document. *)
+val to_prometheus : ?metrics:Obs.Metrics.t -> t -> string

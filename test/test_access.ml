@@ -432,6 +432,17 @@ let registry_tests =
                 Alcotest.(check string) (c ^ " source") "fleet" i.Diag.r_source
             | None -> Alcotest.failf "%s not registered" c)
           Runtime.Fleet.event_codes);
+    Alcotest.test_case "TOBS codes registered as warnings from obs" `Quick
+      (fun () ->
+        List.iter
+          (fun c ->
+            match Diag.lookup c with
+            | Some i ->
+                Alcotest.(check string) (c ^ " severity") "warning"
+                  (Diag.severity_name i.Diag.r_severity);
+                Alcotest.(check string) (c ^ " source") "obs" i.Diag.r_source
+            | None -> Alcotest.failf "%s not registered" c)
+          [ "TOBS001"; "TOBS002"; "TOBS003"; "TOBS004" ]);
   ]
 
 (* ------------------------------------------------------------------ *)

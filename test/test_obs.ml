@@ -579,6 +579,562 @@ let exporter_tests =
           (contains ~needle:"fault tolerance" report));
   ]
 
+(* -------------------------------------------------------------- *)
+(* Windowed metrics registry                                       *)
+(* -------------------------------------------------------------- *)
+
+module M = Obs.Metrics
+
+let metrics_tests =
+  [
+    Alcotest.test_case "re-registration returns the same instrument" `Quick
+      (fun () ->
+        let reg = M.create () in
+        let a = M.counter reg ~labels:[ ("k", "v") ] "demo_total" in
+        let b = M.counter reg ~labels:[ ("k", "v") ] "demo_total" in
+        M.inc a;
+        M.inc b;
+        Alcotest.(check (float 0.0)) "shared cell" 2.0 (M.counter_value a);
+        (* a different label set is a different series *)
+        let c = M.counter reg ~labels:[ ("k", "w") ] "demo_total" in
+        Alcotest.(check (float 0.0)) "fresh series" 0.0 (M.counter_value c));
+    Alcotest.test_case "illegal names and kind clashes are rejected" `Quick
+      (fun () ->
+        let reg = M.create () in
+        ignore (M.counter reg "ok_name_total");
+        (try
+           ignore (M.counter reg "9starts_with_digit");
+           Alcotest.fail "illegal metric name accepted"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (M.counter reg ~labels:[ ("0bad", "x") ] "demo2_total");
+           Alcotest.fail "illegal label name accepted"
+         with Invalid_argument _ -> ());
+        try
+          ignore (M.gauge reg "ok_name_total");
+          Alcotest.fail "kind clash accepted"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "counters are monotone, gauges are not" `Quick
+      (fun () ->
+        let reg = M.create () in
+        let c = M.counter reg "mono_total" in
+        M.inc c ~by:5.0;
+        M.inc c ~by:(-3.0);
+        Alcotest.(check (float 0.0)) "negative inc ignored" 5.0
+          (M.counter_value c);
+        let g = M.gauge reg "level" in
+        M.set g 7.0;
+        M.set g 2.0;
+        Alcotest.(check (float 0.0)) "gauge overwrites" 2.0 (M.gauge_value g));
+    Alcotest.test_case "histogram quantiles within the bucket error bound"
+      `Quick (fun () ->
+        let reg = M.create () in
+        let h = M.histogram reg "lat_us" in
+        for i = 1 to 1000 do
+          M.observe h (float_of_int i)
+        done;
+        Alcotest.(check int) "count" 1000 (M.hist_count h);
+        let within p expect =
+          let v = M.quantile h p in
+          (* log-bucketed, 8 sub-buckets per octave: <= ~9% relative *)
+          if Float.abs (v -. expect) /. expect > 0.10 then
+            Alcotest.failf "p%.0f = %g, want %g +- 10%%" p v expect
+        in
+        within 50.0 500.0;
+        within 95.0 950.0);
+    Alcotest.test_case "snapshots diff into per-window deltas" `Quick
+      (fun () ->
+        let reg = M.create () in
+        let c = M.counter reg "reqs_total" in
+        let g = M.gauge reg "depth" in
+        let h = M.histogram reg "lat_us" in
+        M.snapshot reg ~now_us:0.0;
+        M.inc c ~by:3.0;
+        M.set g 4.0;
+        M.observe h 10.0;
+        M.observe h 20.0;
+        M.snapshot reg ~now_us:100.0;
+        M.inc c ~by:2.0;
+        M.set g 1.0;
+        M.snapshot reg ~now_us:200.0;
+        match M.windows reg with
+        | [ w1; w2 ] ->
+            Alcotest.(check (float 0.0)) "w1 from" 0.0 w1.M.w_from_us;
+            Alcotest.(check (float 0.0)) "w1 to" 100.0 w1.M.w_to_us;
+            let row w name =
+              match
+                List.find_opt (fun r -> r.M.wr_name = name) w.M.w_rows
+              with
+              | Some r -> r
+              | None -> Alcotest.failf "no row %s" name
+            in
+            Alcotest.(check (float 0.0)) "counter delta w1" 3.0
+              (row w1 "reqs_total").M.wr_value;
+            Alcotest.(check (float 0.0)) "counter delta w2" 2.0
+              (row w2 "reqs_total").M.wr_value;
+            Alcotest.(check (float 0.0)) "gauge at w1 end" 4.0
+              (row w1 "depth").M.wr_value;
+            Alcotest.(check (float 0.0)) "gauge at w2 end" 1.0
+              (row w2 "depth").M.wr_value;
+            Alcotest.(check (float 0.0)) "hist count delta w1" 2.0
+              (row w1 "lat_us").M.wr_value;
+            Alcotest.(check (float 0.0)) "hist sum delta w1" 30.0
+              (row w1 "lat_us").M.wr_sum;
+            Alcotest.(check (float 0.0)) "hist count delta w2" 0.0
+              (row w2 "lat_us").M.wr_value
+        | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+    Alcotest.test_case "snapshot ring keeps only the newest" `Quick (fun () ->
+        let reg = M.create ~snapshots:3 () in
+        let c = M.counter reg "n_total" in
+        for i = 1 to 6 do
+          M.inc c;
+          M.snapshot reg ~now_us:(float_of_int i)
+        done;
+        Alcotest.(check int) "ring clamps" 3 (M.n_snapshots reg);
+        match M.windows reg with
+        | [ w1; w2 ] ->
+            Alcotest.(check (float 0.0)) "oldest kept" 4.0 w1.M.w_from_us;
+            Alcotest.(check (float 0.0)) "newest kept" 6.0 w2.M.w_to_us
+        | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+    Alcotest.test_case "disabled registry records and snapshots nothing"
+      `Quick (fun () ->
+        let reg = M.create ~enabled:false () in
+        let c = M.counter reg "quiet_total" in
+        let h = M.histogram reg "quiet_us" in
+        M.inc c;
+        M.observe h 5.0;
+        M.snapshot reg ~now_us:1.0;
+        Alcotest.(check (float 0.0)) "counter still 0" 0.0 (M.counter_value c);
+        Alcotest.(check int) "no samples" 0 (M.hist_count h);
+        Alcotest.(check int) "no snapshots" 0 (M.n_snapshots reg);
+        M.set_enabled reg true;
+        M.inc c;
+        Alcotest.(check (float 0.0)) "re-enabled records" 1.0
+          (M.counter_value c));
+    Alcotest.test_case "merge adds counters, gauges and histogram buckets"
+      `Quick (fun () ->
+        let a = M.create () and b = M.create () in
+        let ca = M.counter a "reqs_total" and cb = M.counter b "reqs_total" in
+        let ha = M.histogram a "lat_us" and hb = M.histogram b "lat_us" in
+        M.inc ca ~by:2.0;
+        M.inc cb ~by:5.0;
+        M.observe ha 10.0;
+        M.observe hb 10.0;
+        M.observe hb 40.0;
+        M.merge ~into:a b;
+        Alcotest.(check (float 0.0)) "counters added" 7.0 (M.counter_value ca);
+        Alcotest.(check int) "buckets added" 3 (M.hist_count ha);
+        (* src unchanged *)
+        Alcotest.(check (float 0.0)) "src untouched" 5.0 (M.counter_value cb));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* SLO burn rates                                                  *)
+(* -------------------------------------------------------------- *)
+
+module Slo = Obs.Slo
+
+let slo_tests =
+  [
+    Alcotest.test_case "burn rate is bad fraction over error budget" `Quick
+      (fun () ->
+        (* target 0.9: a 10% error budget; 1 bad in 10 burns at 1.0 *)
+        let s = Slo.create (Slo.objective ~target:0.9 "lat") in
+        for i = 0 to 8 do
+          Slo.observe s ~now_us:(float_of_int i) ~good:true
+        done;
+        Slo.observe s ~now_us:9.0 ~good:false;
+        let b = Slo.burn_rates s ~now_us:10.0 in
+        Alcotest.(check (float 1e-9)) "fast burn" 1.0 b.Slo.br_fast;
+        Alcotest.(check (float 1e-9)) "slow burn" 1.0 b.Slo.br_slow;
+        Alcotest.(check int) "fast bad" 1 b.Slo.br_fast_bad);
+    Alcotest.test_case "zero-budget objective burns infinitely on one bad"
+      `Quick (fun () ->
+        let s = Slo.create (Slo.objective ~target:1.0 "sdc") in
+        Slo.observe s ~now_us:1.0 ~good:true;
+        Alcotest.(check (float 0.0)) "clean is zero" 0.0
+          (Slo.burn_rates s ~now_us:2.0).Slo.br_fast;
+        Slo.observe s ~now_us:3.0 ~good:false;
+        let b = Slo.burn_rates s ~now_us:4.0 in
+        Alcotest.(check bool) "infinite burn" true (b.Slo.br_fast = infinity);
+        match Slo.evaluate s ~now_us:4.0 with
+        | Some (Slo.Fired _) -> ()
+        | _ -> Alcotest.fail "zero-budget breach must fire");
+    Alcotest.test_case "firing and resolving are hysteretic" `Quick (fun () ->
+        let s = Slo.create (Slo.objective ~target:0.9 "lat") in
+        (* 1 bad in 10: burn exactly 1.0 >= fire threshold -> fires *)
+        for i = 0 to 8 do
+          Slo.observe s ~now_us:(float_of_int i) ~good:true
+        done;
+        Slo.observe s ~now_us:9.0 ~good:false;
+        (match Slo.evaluate s ~now_us:10.0 with
+        | Some (Slo.Fired b) ->
+            Alcotest.(check (float 1e-9)) "fired at burn 1" 1.0 b.Slo.br_fast
+        | _ -> Alcotest.fail "should fire");
+        Alcotest.(check bool) "firing" true (Slo.firing s);
+        Alcotest.(check int) "fired once" 1 (Slo.fired_count s);
+        (* dilute to burn 0.5: at the resolve threshold, not below it *)
+        for i = 10 to 19 do
+          Slo.observe s ~now_us:(float_of_int i) ~good:true
+        done;
+        Alcotest.(check bool) "still firing at the threshold"
+          true
+          (Slo.evaluate s ~now_us:20.0 = None && Slo.firing s);
+        (* below the resolve threshold: resolves, count unchanged *)
+        for i = 20 to 29 do
+          Slo.observe s ~now_us:(float_of_int i) ~good:true
+        done;
+        (match Slo.evaluate s ~now_us:30.0 with
+        | Some (Slo.Resolved _) -> ()
+        | _ -> Alcotest.fail "should resolve");
+        Alcotest.(check bool) "not firing" false (Slo.firing s);
+        Alcotest.(check int) "fired count stable" 1 (Slo.fired_count s));
+    Alcotest.test_case "malformed objectives are rejected" `Quick (fun () ->
+        let bad f =
+          try
+            ignore (f ());
+            Alcotest.fail "accepted"
+          with Invalid_argument _ -> ()
+        in
+        bad (fun () -> Slo.objective ~target:0.0 "x");
+        bad (fun () -> Slo.objective ~target:0.9 "");
+        bad (fun () -> Slo.objective ~fast_us:0.0 ~target:0.9 "x");
+        bad (fun () -> Slo.objective ~fast_us:10.0 ~slow_us:5.0 ~target:0.9 "x");
+        bad (fun () ->
+            Slo.objective ~fire_burn:1.0 ~resolve_burn:1.0 ~target:0.9 "x"));
+    Alcotest.test_case "state_json carries the dashboard row" `Quick
+      (fun () ->
+        let s = Slo.create (Slo.objective ~target:0.9 "lat") in
+        Slo.observe s ~now_us:1.0 ~good:false;
+        let j = parse_json (J.to_string (Slo.state_json s ~now_us:2.0)) in
+        Alcotest.(check string) "name" "lat" (str (get "name" j));
+        Alcotest.(check (float 0.0)) "target" 0.9 (num (get "target" j)));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Flight recorder                                                 *)
+(* -------------------------------------------------------------- *)
+
+module Rec = Runtime.Recorder
+
+let note_n (r : Rec.t) (k : int) =
+  let last = ref None in
+  for i = 1 to k do
+    last :=
+      Some
+        (Rec.note r ~now_us:(float_of_int i) ~arch:"Tesla K40c" ~n:1024
+           ~predicted_us:10.0 ~latency_us:12.0 ~outcome:"ok" ())
+  done;
+  Option.get !last
+
+let recorder_tests =
+  [
+    Alcotest.test_case "the ring keeps the last capacity records" `Quick
+      (fun () ->
+        let r = Rec.create ~capacity:4 () in
+        let last = note_n r 6 in
+        let recs = Rec.records r in
+        Alcotest.(check int) "bounded" 4 (List.length recs);
+        Alcotest.(check int) "oldest evicted" 3 (List.hd recs).Rec.rc_seq;
+        Alcotest.(check int) "newest kept" last.Rec.rc_seq
+          (List.nth recs 3).Rec.rc_seq;
+        Alcotest.(check int) "last accessor" last.Rec.rc_seq
+          (Option.get (Rec.last r)).Rec.rc_seq);
+    Alcotest.test_case "a dumped bundle validates" `Quick (fun () ->
+        let r = Rec.create ~capacity:8 () in
+        ignore (note_n r 5);
+        let inc =
+          Rec.dump r ~now_us:6.0 ~trigger:(Rec.Alert "latency") ~brownout:1 ()
+        in
+        (match Rec.validate_bundle inc.Rec.in_json with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "invalid bundle: %s" e);
+        match Rec.validate_bundle_string (Rec.incident_to_string inc) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "string round-trip: %s" e);
+    Alcotest.test_case "incident retention evicts the oldest" `Quick
+      (fun () ->
+        let r = Rec.create ~capacity:4 ~keep_incidents:2 () in
+        ignore (note_n r 3);
+        ignore (Rec.dump r ~now_us:4.0 ~trigger:Rec.Sdc ());
+        ignore (Rec.dump r ~now_us:5.0 ~trigger:(Rec.Eject "d0") ());
+        ignore (Rec.dump r ~now_us:6.0 ~trigger:(Rec.Alert "goodput") ());
+        Alcotest.(check int) "lifetime count" 3 (Rec.incidents_dumped r);
+        match Rec.incidents r with
+        | [ newest; older ] ->
+            Alcotest.(check string) "newest first" "alert"
+              (Rec.trigger_kind newest.Rec.in_trigger);
+            Alcotest.(check string) "sdc evicted" "device-eject"
+              (Rec.trigger_kind older.Rec.in_trigger)
+        | l -> Alcotest.failf "expected 2 retained, got %d" (List.length l));
+    Alcotest.test_case "save_all writes one valid file per incident" `Quick
+      (fun () ->
+        let r = Rec.create ~capacity:4 () in
+        ignore (note_n r 2);
+        ignore (Rec.dump r ~now_us:3.0 ~trigger:Rec.Sdc ());
+        ignore (Rec.dump r ~now_us:4.0 ~trigger:(Rec.Alert "latency") ());
+        let dir = Filename.temp_file "tangram_incidents" "" in
+        Sys.remove dir;
+        let paths = Rec.save_all r dir in
+        Alcotest.(check int) "two files" 2 (List.length paths);
+        List.iter
+          (fun p ->
+            let ic = open_in_bin p in
+            let body = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            (match Rec.validate_bundle_string body with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s invalid: %s" p e);
+            Sys.remove p)
+          paths;
+        Alcotest.(check bool) "kind in the filename" true
+          (List.exists (fun p -> contains ~needle:"sdc" p) paths))
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Prometheus exposition correctness                               *)
+(* -------------------------------------------------------------- *)
+
+let golden_metrics () =
+  let reg = M.create () in
+  let c =
+    M.counter reg ~help:"requests answered"
+      ~labels:[ ("outcome", "ok") ]
+      "demo_requests_total"
+  in
+  let g = M.gauge reg ~help:"queue depth" "demo_queue_depth" in
+  let h =
+    M.histogram reg ~help:"request latency"
+      ~labels:[ ("class", "interactive") ]
+      "demo_latency_us"
+  in
+  M.snapshot reg ~now_us:0.0;
+  M.inc c;
+  M.inc c;
+  M.set g 3.0;
+  M.observe h 10.0;
+  M.observe h 100.0;
+  M.observe h 1000.0;
+  M.snapshot reg ~now_us:50.0;
+  M.inc c;
+  M.set g 1.0;
+  M.observe h 20.0;
+  M.snapshot reg ~now_us:100.0;
+  M.to_prometheus reg
+
+let prometheus_tests =
+  [
+    Alcotest.test_case "metric and label name grammars" `Quick (fun () ->
+        List.iter
+          (fun (name, want) ->
+            Alcotest.(check bool) name want (M.valid_metric_name name))
+          [
+            ("tangram_requests_total", true); ("a:b", true); ("_x9", true);
+            ("9bad", false); ("", false); ("has-dash", false);
+            ("has space", false);
+          ];
+        List.iter
+          (fun (name, want) ->
+            Alcotest.(check bool) name want (M.valid_label_name name))
+          [
+            ("le", true); ("_quantile", true); ("9x", false); ("a:b", false);
+            ("", false);
+          ]);
+    Alcotest.test_case "label values escape quotes, backslashes, newlines"
+      `Quick (fun () ->
+        Alcotest.(check string) "escaped" "a\\\"b\\\\c\\nd"
+          (M.escape_label_value "a\"b\\c\nd");
+        let reg = M.create () in
+        let c =
+          M.counter reg ~labels:[ ("path", "a\"b\\c\nd") ] "esc_total"
+        in
+        M.inc c;
+        let text = M.to_prometheus ~windows:false reg in
+        Alcotest.(check bool) "escaped in the exposition" true
+          (contains ~needle:"esc_total{path=\"a\\\"b\\\\c\\nd\"} 1" text));
+    Alcotest.test_case "HELP and TYPE lines precede every family" `Quick
+      (fun () ->
+        let text = golden_metrics () in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains ~needle text))
+          [
+            "# HELP demo_requests_total requests answered";
+            "# TYPE demo_requests_total counter";
+            "# TYPE demo_queue_depth gauge";
+            "# TYPE demo_latency_us histogram";
+            "demo_latency_us_bucket{class=\"interactive\",le=\"+Inf\"} 4";
+            "demo_latency_us_count{class=\"interactive\"} 4";
+          ]);
+    Alcotest.test_case "windowed families match the golden exposition" `Quick
+      (fun () ->
+        let got = golden_metrics () in
+        let path =
+          if Sys.file_exists "golden/obs_metrics.prom" then
+            "golden/obs_metrics.prom"
+          else "test/golden/obs_metrics.prom"
+        in
+        if Sys.getenv_opt "TANGRAM_REGOLDEN" = Some "1" then begin
+          let oc = open_out_bin path in
+          output_string oc got;
+          close_out oc
+        end;
+        let ic = open_in_bin path in
+        let want = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Alcotest.(check string) "golden/obs_metrics.prom" (String.trim want)
+          (String.trim got));
+    Alcotest.test_case "stats exposition appends the monitor's families"
+      `Quick (fun () ->
+        let svc = Service.create (Lazy.force plan) in
+        Service.attach_monitor svc;
+        for _ = 1 to 8 do
+          ignore (Service.submit svc (request (dense 1024)))
+        done;
+        Service.monitor_snapshot svc;
+        let text =
+          Stats.to_prometheus
+            ?metrics:(Service.monitor_metrics svc)
+            (Service.stats svc)
+        in
+        Alcotest.(check bool) "monitor families present" true
+          (contains ~needle:"tangram_monitor_requests_total" text);
+        Alcotest.(check bool) "windowed series present" true
+          (contains ~needle:"tangram_monitor_requests_total_window" text));
+  ]
+
+(* -------------------------------------------------------------- *)
+(* Service monitor end-to-end                                      *)
+(* -------------------------------------------------------------- *)
+
+module Fleet = Runtime.Fleet
+
+let monitor_tests =
+  [
+    Alcotest.test_case "attach, observe, detach" `Quick (fun () ->
+        let svc = Service.create (Lazy.force plan) in
+        Alcotest.(check bool) "off by default" false
+          (Service.monitor_attached svc);
+        Service.attach_monitor svc;
+        Alcotest.(check bool) "attached" true (Service.monitor_attached svc);
+        Alcotest.(check int) "three objectives" 3
+          (List.length (Service.monitor_slos svc));
+        for _ = 1 to 5 do
+          ignore (Service.submit svc (request (dense 1024)))
+        done;
+        Alcotest.(check bool) "virtual clock advanced" true
+          (Service.monitor_now_us svc > 0.0);
+        (match Service.monitor_recorder svc with
+        | Some r -> Alcotest.(check int) "all requests noted" 5
+            (List.length (Rec.records r))
+        | None -> Alcotest.fail "no recorder");
+        Service.detach_monitor svc;
+        Alcotest.(check bool) "detached" false (Service.monitor_attached svc));
+    Alcotest.test_case "a confirmed SDC dumps an incident bundle" `Slow
+      (fun () ->
+        let fault =
+          Fault.create (Fault.plan ~rate:0.0 ~bitflip_rate:0.2 ~seed:3 ())
+        in
+        let svc = Service.create ~fault (Lazy.force plan) in
+        Service.attach_monitor svc;
+        let stats = Service.stats svc in
+        let i = ref 0 in
+        while Stats.sdc_catches stats = 0 && !i < 200 do
+          incr i;
+          ignore (Service.submit svc (request (dense 1024)))
+        done;
+        Alcotest.(check bool) "guard caught a corruption" true
+          (Stats.sdc_catches stats > 0);
+        let r = Option.get (Service.monitor_recorder svc) in
+        let kinds =
+          List.map
+            (fun (inc : Rec.incident) -> Rec.trigger_kind inc.Rec.in_trigger)
+            (Rec.incidents r)
+        in
+        Alcotest.(check bool) "sdc bundle dumped" true (List.mem "sdc" kinds);
+        Alcotest.(check bool) "stats counted it" true (Stats.incidents stats > 0);
+        let sdc_slo = List.assoc "sdc" (Service.monitor_slos svc) in
+        Alcotest.(check bool) "zero-budget objective fired" true
+          (Slo.fired_count sdc_slo >= 1));
+    Alcotest.test_case
+      "fail-slow fleet: the burn-rate alert fires before ejection" `Slow
+      (fun () ->
+        with_tracing (fun () ->
+            let pascal = Gpusim.Arch.pascal_p100 in
+            let svc = Service.create (Lazy.force plan) in
+            let fl =
+              Fleet.create ~seed:42
+                [
+                  Fleet.spec
+                    ~profile:
+                      (Fault.Fail_slow
+                         { sl_onset = 5; sl_ramp = 40; sl_factor = 8.0 })
+                    pascal;
+                  Fleet.spec pascal;
+                  Fleet.spec pascal;
+                ]
+            in
+            Fleet.set_hedging fl false;
+            Service.attach_fleet svc fl;
+            Service.attach_monitor ~latency_mult:1.5 ~latency_target:0.99 svc;
+            let spec =
+              Runtime.Trace.default ~requests:600 ~seed:42 ~archs:[ pascal ] ()
+            in
+            let trace = Runtime.Trace.generate spec in
+            ignore (Runtime.Trace.replay ~batch_size:1 ~dense_upto:4096 svc trace);
+            let stats = Service.stats svc in
+            (* the detector pulled the slow device out... *)
+            Alcotest.(check bool) "fail-slow device ejected" true
+              (Stats.fleet_ejects stats >= 1);
+            (* ...but the burn-rate alert beat it to the punch *)
+            let lat = List.assoc "latency" (Service.monitor_slos svc) in
+            Alcotest.(check bool) "latency alert fired" true
+              (Slo.fired_count lat >= 1);
+            let r = Option.get (Service.monitor_recorder svc) in
+            let incs = Rec.incidents r in
+            let first kind =
+              List.fold_left
+                (fun acc (inc : Rec.incident) ->
+                  if Rec.trigger_kind inc.Rec.in_trigger = kind then
+                    match acc with
+                    | Some s when s <= inc.Rec.in_seq -> acc
+                    | _ -> Some inc.Rec.in_seq
+                  else acc)
+                None incs
+            in
+            let alert_seq =
+              match first "alert" with
+              | Some s -> s
+              | None -> Alcotest.fail "no alert incident dumped"
+            in
+            let eject_seq =
+              match first "device-eject" with
+              | Some s -> s
+              | None -> Alcotest.fail "no ejection incident dumped"
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "alert (request %d) precedes ejection (%d)"
+                 alert_seq eject_seq)
+              true (alert_seq < eject_seq);
+            (* the alert bundle is a valid, self-contained document with
+               the triggering request's span tree riding along *)
+            let alert_inc =
+              List.find
+                (fun (inc : Rec.incident) ->
+                  Rec.trigger_kind inc.Rec.in_trigger = "alert")
+                (List.rev incs)
+            in
+            (match Rec.validate_bundle alert_inc.Rec.in_json with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "invalid alert bundle: %s" e);
+            let req = get "request" alert_inc.Rec.in_json in
+            (match J.member "spans" req with
+            | Some (J.Obj _) -> ()
+            | _ -> Alcotest.fail "alert bundle lost the span tree");
+            (* deterministic replay: same seeds, same firing moment *)
+            Alcotest.(check int) "seeded alert request" 19 alert_seq));
+  ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -588,4 +1144,9 @@ let () =
       ("service", service_tests);
       ("profiler", profiler_tests);
       ("exporters", exporter_tests);
+      ("metrics", metrics_tests);
+      ("slo", slo_tests);
+      ("recorder", recorder_tests);
+      ("prometheus", prometheus_tests);
+      ("monitor", monitor_tests);
     ]
